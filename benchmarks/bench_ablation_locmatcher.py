@@ -1,0 +1,57 @@
+"""Ablation — LocMatcher hyperparameter sensitivity.
+
+The paper grid-searches hyperparameters (Section V-B) and lands on z=8,
+3 encoder layers.  This bench sweeps the representation width and depth on
+the DowBJ-like data to document how flat/sharp that choice is at our
+scale.
+"""
+
+from dataclasses import replace
+
+from repro.core import DLInfMA, DLInfMAConfig, LocMatcherConfig, build_artifacts
+from repro.eval import evaluate, series_table
+
+SWEEP = [
+    ("z=4,layers=3", dict(z=4)),
+    ("z=8,layers=3", dict()),  # paper setting
+    ("z=16,layers=3", dict(z=16)),
+    ("z=8,layers=1", dict(n_layers=1)),
+    ("z=8,heads=1", dict(n_heads=1)),
+]
+
+
+def test_ablation_locmatcher_hparams(dow_workload, write_result, benchmark):
+    workload = dow_workload
+    artifacts = build_artifacts(
+        workload.trips, workload.addresses, workload.projection, DLInfMAConfig()
+    )
+
+    def run(overrides):
+        config = DLInfMAConfig(locmatcher=replace(LocMatcherConfig(), **overrides))
+        model = DLInfMA(config)
+        model.fit(
+            workload.trips, workload.addresses, workload.ground_truth,
+            workload.train_ids, workload.val_ids,
+            projection=workload.projection, artifacts=artifacts,
+        )
+        return evaluate(model.predict(workload.test_ids), workload.ground_truth)
+
+    rows = []
+    results = {}
+    for label, overrides in SWEEP:
+        if label == "z=8,layers=3":
+            result = benchmark.pedantic(run, args=(overrides,), rounds=1, iterations=1)
+        else:
+            result = run(overrides)
+        results[label] = result
+        rows.append((label, result.mae, result.beta50))
+    text = series_table(
+        rows,
+        headers=["configuration", "MAE(m)", "beta50(%)"],
+        title="Ablation: LocMatcher width/depth (DowBJ-like)",
+    )
+    write_result("ablation_locmatcher_hparams", text)
+
+    # The paper setting must be within striking distance of the sweep best.
+    best_mae = min(r.mae for r in results.values())
+    assert results["z=8,layers=3"].mae <= max(best_mae * 1.8, best_mae + 15.0)

@@ -1,0 +1,54 @@
+"""Figure 10(a) — clustering distance selection.
+
+MAE of DLInfMA while sweeping the candidate-pool clustering distance
+D in {20, 30, 40, 50, 60} m on both datasets.  The paper reports a
+U-shape: too-small D floods the selector with near-duplicate candidates,
+too-large D degrades candidate precision; D = 40 m sits at the turn.
+"""
+
+import numpy as np
+
+from repro.core import DLInfMA, DLInfMAConfig, LocMatcherConfig, build_artifacts
+from repro.eval import evaluate, series_table
+
+SWEEP_D = [20.0, 30.0, 40.0, 50.0, 60.0]
+
+
+def _mae_at(workload, d):
+    config = DLInfMAConfig(cluster_distance_m=d, locmatcher=LocMatcherConfig())
+    artifacts = build_artifacts(workload.trips, workload.addresses, workload.projection, config)
+    model = DLInfMA(config)
+    model.fit(
+        workload.trips, workload.addresses, workload.ground_truth,
+        workload.train_ids, workload.val_ids,
+        projection=workload.projection, artifacts=artifacts,
+    )
+    result = evaluate(model.predict(workload.test_ids), workload.ground_truth)
+    return result.mae, len(artifacts.pool)
+
+
+def test_fig10a_cluster_distance_sweep(dow_workload, sub_workload, write_result, benchmark):
+    rows = []
+    maes = {}
+    for name, workload in (("DowBJ", dow_workload), ("SubBJ", sub_workload)):
+        for d in SWEEP_D:
+            if name == "DowBJ" and d == 40.0:
+                mae, pool = benchmark.pedantic(_mae_at, args=(workload, d), rounds=1, iterations=1)
+            else:
+                mae, pool = _mae_at(workload, d)
+            rows.append((name, d, mae, pool))
+            maes[(name, d)] = mae
+    text = series_table(
+        rows,
+        headers=["dataset", "D(m)", "MAE(m)", "pool size"],
+        title="Fig 10(a): MAE vs clustering distance D (paper: minimum near 40 m)",
+    )
+    write_result("fig10a_cluster_distance", text)
+
+    # Pool size must shrink monotonically as D grows.
+    for name in ("DowBJ", "SubBJ"):
+        pools = [r[3] for r in rows if r[0] == name]
+        assert all(a >= b for a, b in zip(pools, pools[1:]))
+    # The chosen D=40 should beat the extreme settings on average.
+    avg = lambda d: np.mean([maes[("DowBJ", d)], maes[("SubBJ", d)]])
+    assert avg(40.0) <= max(avg(20.0), avg(60.0)) + 1e-9

@@ -1,0 +1,52 @@
+"""Figure 13 — inference scalability.
+
+Inference time versus number of addresses for the heuristics, GeoCloud,
+GeoRank, UNet-based and DLInfMA.  Paper shape: time grows linearly with
+the number of addresses; heuristics fastest; DLInfMA faster than
+UNet-based and practical (the paper reports ~1 K addresses/s; ours is a
+pure-numpy substrate so the absolute rate differs).
+"""
+
+import time
+
+import numpy as np
+
+from repro.eval import run_methods, series_table
+
+METHODS = ["GeoCloud", "GeoRank", "UNet-based", "MaxTC-ILC", "DLInfMA"]
+
+
+def test_fig13_inference_scalability(dow_workload, write_result, benchmark):
+    workload = dow_workload
+    runs = run_methods(workload, METHODS)
+    base_ids = workload.test_ids + workload.train_ids + workload.val_ids
+
+    sizes = [50, 100, 200, 400]
+    rows = []
+    rates = {}
+    for name in METHODS:
+        method = runs[name].method
+        for size in sizes:
+            ids = [base_ids[i % len(base_ids)] for i in range(size)]
+            t0 = time.perf_counter()
+            method.predict(ids)
+            elapsed = time.perf_counter() - t0
+            rows.append((name, size, elapsed * 1e3, size / max(elapsed, 1e-9)))
+            rates[(name, size)] = elapsed
+    text = series_table(
+        rows,
+        headers=["method", "addresses", "time(ms)", "addr/s"],
+        title="Fig 13: inference time vs # addresses (linear growth expected)",
+    )
+    write_result("fig13_scalability", text)
+
+    # Linearity: quadrupling the input should not grow time superlinearly
+    # by more than 2.5x the proportional amount.
+    for name in METHODS:
+        ratio = rates[(name, 400)] / max(rates[(name, 100)], 1e-9)
+        assert ratio < 10.0, f"{name} scaling ratio {ratio}"
+
+    # Benchmark DLInfMA inference throughput properly.
+    dlinfma = runs["DLInfMA"].method
+    ids = [base_ids[i % len(base_ids)] for i in range(200)]
+    benchmark(lambda: dlinfma.predict(ids))

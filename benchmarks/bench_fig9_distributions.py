@@ -1,0 +1,104 @@
+"""Figure 9 — the four dataset distributions.
+
+(a) distinct delivery locations per building, (b) CDF of deliveries per
+address, (c) stay points per trip, (d) location candidates per address.
+The paper's headline numbers: >22%/14% of buildings have more than one
+delivery location; half of addresses have <5 (DowBJ) / <4 (SubBJ)
+deliveries; average stays per trip 24/27; average candidates 32/38 (ours
+are smaller-scale but the DowBJ<SubBJ ordering must hold).
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core import DLInfMAConfig, build_artifacts, extract_trip_stay_points
+from repro.eval import histogram_text, series_table
+
+
+def _locations_per_building(dataset):
+    by_building = {}
+    for addr in dataset.city.addresses.values():
+        by_building.setdefault(addr.building_id, set()).add(addr.spot_id)
+    return Counter(len(spots) for spots in by_building.values())
+
+
+def _deliveries_per_address(workload):
+    counts = Counter()
+    for trip in workload.trips:
+        for address_id in trip.address_ids:
+            counts[address_id] += 1
+    return np.array(sorted(counts.values()))
+
+
+def test_fig9a_delivery_locations_per_building(dow_dataset, sub_dataset, write_result, benchmark):
+    blocks = []
+    for ds in (dow_dataset, sub_dataset):
+        hist = benchmark.pedantic(_locations_per_building, args=(ds,), rounds=1, iterations=1) \
+            if ds is dow_dataset else _locations_per_building(ds)
+        multi = sum(v for k, v in hist.items() if k > 1) / sum(hist.values()) * 100
+        blocks.append(
+            histogram_text(hist, title=f"Fig 9(a) {ds.name}: # delivery locations per building "
+                                        f"(>1 location: {multi:.0f}% of buildings)")
+        )
+    write_result("fig9a_locations_per_building", "\n\n".join(blocks))
+
+
+def test_fig9b_deliveries_per_address(dow_workload, sub_workload, write_result, benchmark):
+    rows = []
+    for name, wl in (("DowBJ", dow_workload), ("SubBJ", sub_workload)):
+        counts = benchmark.pedantic(_deliveries_per_address, args=(wl,), rounds=1, iterations=1) \
+            if wl is dow_workload else _deliveries_per_address(wl)
+        rows.append(
+            (
+                name,
+                float(np.median(counts)),
+                float(counts.mean()),
+                float((counts < 5).mean() * 100),
+                int(counts.max()),
+            )
+        )
+    text = series_table(
+        rows,
+        headers=["dataset", "median", "mean", "%<5", "max"],
+        title="Fig 9(b): deliveries per address",
+    )
+    write_result("fig9b_deliveries_per_address", text)
+
+
+def test_fig9c_stay_points_per_trip(dow_workload, sub_workload, write_result, benchmark):
+    rows = []
+    for name, wl in (("DowBJ", dow_workload), ("SubBJ", sub_workload)):
+        stays = (
+            benchmark.pedantic(extract_trip_stay_points, args=(wl.trips,), rounds=1, iterations=1)
+            if wl is dow_workload
+            else extract_trip_stay_points(wl.trips)
+        )
+        per_trip = np.array([len(v) for v in stays.values()])
+        rows.append((name, float(per_trip.mean()), float(np.median(per_trip)), int(per_trip.max())))
+    text = series_table(
+        rows,
+        headers=["dataset", "mean", "median", "max"],
+        title="Fig 9(c): stay points per trip (paper: DowBJ 24 < SubBJ 27)",
+    )
+    write_result("fig9c_staypoints_per_trip", text)
+    # The ordering the paper reports must hold.
+    assert rows[0][1] < rows[1][1], "SubBJ must average more stays per trip"
+
+
+def test_fig9d_candidates_per_address(dow_workload, sub_workload, write_result, benchmark):
+    rows = []
+    for name, wl in (("DowBJ", dow_workload), ("SubBJ", sub_workload)):
+        build = lambda wl=wl: build_artifacts(wl.trips, wl.addresses, wl.projection, DLInfMAConfig())
+        artifacts = (
+            benchmark.pedantic(build, rounds=1, iterations=1) if wl is dow_workload else build()
+        )
+        n_cands = np.array([e.n_candidates for e in artifacts.examples.values()])
+        rows.append((name, float(n_cands.mean()), float(np.median(n_cands)), int(n_cands.max()), len(artifacts.pool)))
+    text = series_table(
+        rows,
+        headers=["dataset", "mean", "median", "max", "pool"],
+        title="Fig 9(d): location candidates per address (paper: DowBJ 32 < SubBJ 38)",
+    )
+    write_result("fig9d_candidates_per_address", text)
+    assert rows[0][1] < rows[1][1], "SubBJ must average more candidates per address"

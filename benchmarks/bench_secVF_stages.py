@@ -1,0 +1,42 @@
+"""Section V-F — pipeline stage timings.
+
+The paper reports stay-point extraction (7 min over 66 M points), candidate
+pool construction (1 min), and training times (GeoRank 0.2 min fastest,
+DLInfMA 13.6 min, UNet-based 27 min slowest).  At our synthetic scale the
+absolute numbers shrink, but the orderings should survive: pool
+construction cheaper than stay-point extraction, GeoRank training fastest,
+UNet-based slower than GeoRank.
+"""
+
+import time
+
+from repro.eval import run_methods, series_table
+
+
+def test_secVF_stage_timings(dow_workload, write_result, benchmark):
+    workload = dow_workload
+    runs = benchmark.pedantic(
+        lambda: run_methods(workload, ["GeoRank", "UNet-based", "DLInfMA"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    dlinfma = runs["DLInfMA"].method
+    rows = [
+        ("stay point extraction", dlinfma.timings["stay_point_extraction_s"]),
+        ("candidate pool construction", dlinfma.timings["pool_construction_s"]),
+        ("feature extraction", dlinfma.timings["feature_extraction_s"]),
+        ("train: GeoRank", runs["GeoRank"].fit_seconds),
+        ("train: UNet-based", runs["UNet-based"].fit_seconds),
+        ("train: DLInfMA (LocMatcher)", dlinfma.timings["training_s"]),
+    ]
+    text = series_table(
+        rows,
+        headers=["stage", "seconds"],
+        title="Section V-F: pipeline stage timings",
+    )
+    write_result("secVF_stage_timings", text)
+
+    timings = dict(rows)
+    assert timings["train: GeoRank"] < timings["train: DLInfMA (LocMatcher)"]
+    assert timings["train: GeoRank"] < timings["train: UNet-based"]

@@ -1,0 +1,35 @@
+"""Table I — dataset statistics for the DowBJ-like and SubBJ-like presets.
+
+The paper reports trips, addresses, waybills and GPS points per dataset;
+this bench regenerates those rows for the synthetic stand-ins and times
+dataset generation itself.
+"""
+
+from repro.eval import series_table
+from repro.synth import downbj_config, generate_dataset
+
+
+def test_table1_dataset_statistics(dow_dataset, sub_dataset, write_result, benchmark):
+    rows = []
+    for ds in (dow_dataset, sub_dataset):
+        stats = ds.stats()
+        rows.append(
+            (
+                ds.name,
+                stats["couriers"],
+                stats["trips"],
+                stats["addresses"],
+                stats["waybills"],
+                stats["gps_points"],
+                stats["buildings"],
+            )
+        )
+    text = series_table(
+        rows,
+        headers=["dataset", "couriers", "trips", "addresses", "waybills", "gps_pts", "buildings"],
+        title="Table I: dataset statistics (synthetic stand-ins)",
+    )
+    write_result("table1_datasets", text)
+
+    # Time a fresh end-to-end generation of the DowBJ-like preset.
+    benchmark.pedantic(lambda: generate_dataset(downbj_config()), rounds=2, iterations=1)

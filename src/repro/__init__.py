@@ -1,0 +1,21 @@
+"""repro — reproduction of DLInfMA (ICDE 2022).
+
+Discovering Actual Delivery Locations from Mis-Annotated Couriers'
+Trajectories.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Subpackages
+-----------
+- :mod:`repro.geo` — geospatial primitives
+- :mod:`repro.trajectory` — trajectory model + preprocessing
+- :mod:`repro.cluster` — clustering algorithms
+- :mod:`repro.nn` — numpy autograd neural-network framework
+- :mod:`repro.ml` — classical ML (trees, forests, boosting, ranking)
+- :mod:`repro.synth` — synthetic courier world + datasets
+- :mod:`repro.core` — the DLInfMA pipeline and LocMatcher
+- :mod:`repro.baselines` — all comparison methods from the paper
+- :mod:`repro.eval` — metrics and experiment harness
+- :mod:`repro.apps` — deployment store + downstream applications
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,96 @@
+"""The deployed delivery-location service (Figure 14).
+
+Wires the offline DLInfMA inference to the online query store: periodic
+batches of trips re-run the inference and refresh the store; online
+lookups go through the address -> building -> geocode fallback chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.store import DeliveryLocationStore, QueryResult
+from repro.core import DLInfMA, DLInfMAConfig
+from repro.geo import LocalProjection, Point
+from repro.trajectory import Address, DeliveryTrip
+
+
+@dataclass
+class ServiceStats:
+    """Bookkeeping about the last inference refresh."""
+
+    n_trips: int
+    n_addresses_inferred: int
+    timings: dict[str, float]
+
+
+class DeliveryLocationService:
+    """Offline-inference + online-query facade."""
+
+    def __init__(
+        self,
+        addresses: dict[str, Address],
+        projection: LocalProjection,
+        config: DLInfMAConfig | None = None,
+    ) -> None:
+        self.addresses = dict(addresses)
+        self.projection = projection
+        self.config = config or DLInfMAConfig()
+        self.store = DeliveryLocationStore({}, self.addresses)
+        self.pipeline: DLInfMA | None = None
+        self.last_refresh: ServiceStats | None = None
+
+    def refresh(
+        self,
+        trips: list[DeliveryTrip],
+        ground_truth: dict[str, Point],
+        train_ids: list[str],
+        val_ids: list[str] | None = None,
+    ) -> ServiceStats:
+        """Re-run the offline inference and update the store."""
+        pipeline = DLInfMA(self.config)
+        pipeline.fit(
+            trips,
+            self.addresses,
+            ground_truth,
+            train_ids,
+            val_ids,
+            projection=self.projection,
+        )
+        delivered = sorted({a for trip in trips for a in trip.address_ids})
+        inferred = pipeline.predict(delivered)
+        self.store.update(inferred)
+        self.pipeline = pipeline
+        self.last_refresh = ServiceStats(
+            n_trips=len(trips),
+            n_addresses_inferred=len(inferred),
+            timings=dict(pipeline.timings),
+        )
+        return self.last_refresh
+
+    def query(self, address: Address) -> QueryResult:
+        """Online lookup with the three-tier fallback."""
+        return self.store.query(address)
+
+    def query_id(self, address_id: str) -> QueryResult:
+        """Online lookup by known address id."""
+        return self.store.query_id(address_id)
+
+    def save(self, directory) -> None:
+        """Persist the serving payload (location table) to a directory."""
+        import pathlib
+
+        from repro.core.persistence import save_locations
+
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_locations(self.store._by_address, directory / "locations.json")
+
+    def load(self, directory) -> None:
+        """Restore a previously saved location table into the store."""
+        import pathlib
+
+        from repro.core.persistence import load_locations
+
+        directory = pathlib.Path(directory)
+        self.store.update(load_locations(directory / "locations.json"))

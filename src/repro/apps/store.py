@@ -1,0 +1,90 @@
+"""Delivery-location store with the deployed system's query fallback.
+
+Section VI-A: inference results are stored address-keyed; a building-keyed
+table holds each building's *most used* delivery location so addresses
+never seen in history still get a sensible answer; the geocode is the last
+resort.  Queries report which tier answered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geo import Point
+from repro.trajectory import Address
+
+
+class QuerySource(Enum):
+    """Which tier of the store answered a query."""
+
+    ADDRESS = "address"
+    BUILDING = "building"
+    GEOCODE = "geocode"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A resolved delivery location and its provenance."""
+
+    location: Point
+    source: QuerySource
+
+
+class DeliveryLocationStore:
+    """Two-tier key-value store: address -> location, building -> location."""
+
+    def __init__(
+        self,
+        address_locations: dict[str, Point],
+        addresses: dict[str, Address],
+    ) -> None:
+        self._by_address = dict(address_locations)
+        self._addresses = dict(addresses)
+        self._by_building = self._aggregate_buildings()
+
+    def _aggregate_buildings(self) -> dict[str, Point]:
+        """Most frequently used location per building (mode over addresses)."""
+        votes: dict[str, Counter] = defaultdict(Counter)
+        for address_id, point in self._by_address.items():
+            address = self._addresses.get(address_id)
+            if address is None:
+                continue
+            key = (round(point.lng, 6), round(point.lat, 6))
+            votes[address.building_id][key] += 1
+        return {
+            building: Point(*max(counter.items(), key=lambda kv: (kv[1], kv[0]))[0])
+            for building, counter in votes.items()
+        }
+
+    # ------------------------------------------------------------------
+    def query(self, address: Address) -> QueryResult:
+        """Resolve a delivery location: address -> building -> geocode."""
+        point = self._by_address.get(address.address_id)
+        if point is not None:
+            return QueryResult(point, QuerySource.ADDRESS)
+        point = self._by_building.get(address.building_id)
+        if point is not None:
+            return QueryResult(point, QuerySource.BUILDING)
+        return QueryResult(address.geocode, QuerySource.GEOCODE)
+
+    def query_id(self, address_id: str) -> QueryResult:
+        """Resolve by id; the address must be in the store's address book."""
+        address = self._addresses.get(address_id)
+        if address is None:
+            raise KeyError(f"unknown address id: {address_id!r}")
+        return self.query(address)
+
+    def update(self, address_locations: dict[str, Point]) -> None:
+        """Merge a fresh inference batch (periodic refresh, Section VI-A)."""
+        self._by_address.update(address_locations)
+        self._by_building = self._aggregate_buildings()
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+    @property
+    def building_locations(self) -> dict[str, Point]:
+        """The building-level fallback table (read-only copy)."""
+        return dict(self._by_building)

@@ -1,0 +1,61 @@
+"""Annotated-location derivation.
+
+Annotation-based baselines (Annotation, GeoCloud, GeoRank, UNet-based) work
+on the locations couriers were at when they *confirmed* deliveries.  As the
+paper does for its baseline comparisons, annotated locations are generated
+from the trajectory data: the courier's interpolated position at each
+waybill's recorded delivery time.  When confirmations are delayed, these
+positions drift away from the actual drop-off — exactly the failure mode
+DLInfMA is designed to survive.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import LocalProjection
+from repro.trajectory import DeliveryTrip
+
+
+@dataclass(frozen=True)
+class AnnotatedLocation:
+    """One confirmation event: where and when the courier confirmed."""
+
+    x: float
+    y: float
+    t: float
+    trip_id: str
+
+
+def position_at(trip: DeliveryTrip, t: float, projection: LocalProjection) -> tuple[float, float]:
+    """The courier's interpolated position (meters) at time ``t``.
+
+    Clamped to the trajectory's endpoints: a confirmation after the trip
+    ended annotates the courier's final position (often the station).
+    """
+    lng, lat, times = trip.trajectory.to_arrays()
+    if len(times) == 0:
+        raise ValueError(f"trip {trip.trip_id!r} has an empty trajectory")
+    x, y = projection.to_xy(lng, lat)
+    x = np.atleast_1d(np.asarray(x))
+    y = np.atleast_1d(np.asarray(y))
+    return float(np.interp(t, times, x)), float(np.interp(t, times, y))
+
+
+def annotated_locations(
+    trips: list[DeliveryTrip], projection: LocalProjection
+) -> dict[str, list[AnnotatedLocation]]:
+    """Annotation events per address, from all trips."""
+    out: dict[str, list[AnnotatedLocation]] = defaultdict(list)
+    for trip in trips:
+        if len(trip.trajectory) == 0:
+            continue
+        for waybill in trip.waybills:
+            x, y = position_at(trip, waybill.t_delivered, projection)
+            out[waybill.address_id].append(
+                AnnotatedLocation(x=x, y=y, t=waybill.t_delivered, trip_id=trip.trip_id)
+            )
+    return dict(out)

@@ -1,0 +1,110 @@
+"""Unsupervised baselines: Geocoding, Annotation, GeoCloud.
+
+All baselines share the fit/predict interface of
+:class:`~repro.core.pipeline.DLInfMA` so the evaluation harness can treat
+every method uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.annotations import annotated_locations
+from repro.cluster import dbscan
+from repro.geo import LocalProjection, Point
+from repro.trajectory import Address
+
+
+class GeocodingBaseline:
+    """Use the geocoder output as the delivery location (the default in
+    practice before DLInfMA, per the paper)."""
+
+    name = "Geocoding"
+
+    def __init__(self) -> None:
+        self.addresses: dict[str, Address] = {}
+
+    def fit(self, trips, addresses, ground_truth, train_ids, val_ids=None, projection=None):
+        """Store the address book (no learning)."""
+        self.addresses = dict(addresses)
+        return self
+
+    def predict(self, address_ids: list[str]) -> dict[str, Point]:
+        """Geocode per address."""
+        return {
+            a: self.addresses[a].geocode for a in address_ids if a in self.addresses
+        }
+
+
+class AnnotationBaseline:
+    """Spatial centroid of the annotated locations ([5] in the paper)."""
+
+    name = "Annotation"
+
+    def __init__(self) -> None:
+        self.addresses: dict[str, Address] = {}
+        self.annotations: dict[str, list] = {}
+        self.projection: LocalProjection | None = None
+
+    def fit(self, trips, addresses, ground_truth, train_ids, val_ids=None, projection=None):
+        """Collect annotation events per address."""
+        self.addresses = dict(addresses)
+        self.projection = projection or LocalProjection(next(iter(addresses.values())).geocode)
+        self.annotations = annotated_locations(trips, self.projection)
+        return self
+
+    def predict(self, address_ids: list[str]) -> dict[str, Point]:
+        """Centroid of annotations; geocode fallback when none exist."""
+        out: dict[str, Point] = {}
+        for address_id in address_ids:
+            events = self.annotations.get(address_id)
+            if events:
+                x = float(np.mean([e.x for e in events]))
+                y = float(np.mean([e.y for e in events]))
+                out[address_id] = self.projection.unproject_point(x, y)
+            elif address_id in self.addresses:
+                out[address_id] = self.addresses[address_id].geocode
+        return out
+
+
+class GeoCloudBaseline:
+    """DBSCAN over annotated locations; centroid of the biggest cluster
+    ([19] in the paper).  ``min_pts = 1`` so even rarely delivered
+    addresses cluster (the paper's setting)."""
+
+    name = "GeoCloud"
+
+    def __init__(self, eps_m: float = 30.0, min_pts: int = 1) -> None:
+        self.eps_m = eps_m
+        self.min_pts = min_pts
+        self.addresses: dict[str, Address] = {}
+        self.annotations: dict[str, list] = {}
+        self.projection: LocalProjection | None = None
+
+    def fit(self, trips, addresses, ground_truth, train_ids, val_ids=None, projection=None):
+        """Collect annotation events per address."""
+        self.addresses = dict(addresses)
+        self.projection = projection or LocalProjection(next(iter(addresses.values())).geocode)
+        self.annotations = annotated_locations(trips, self.projection)
+        return self
+
+    def predict(self, address_ids: list[str]) -> dict[str, Point]:
+        """Centroid of the largest DBSCAN cluster of annotations."""
+        out: dict[str, Point] = {}
+        for address_id in address_ids:
+            events = self.annotations.get(address_id)
+            if events:
+                coords = np.array([[e.x, e.y] for e in events])
+                labels = dbscan(coords, eps_m=self.eps_m, min_pts=self.min_pts)
+                valid = labels[labels >= 0]
+                if len(valid):
+                    biggest = np.bincount(valid).argmax()
+                    centroid = coords[labels == biggest].mean(axis=0)
+                else:
+                    centroid = coords.mean(axis=0)
+                out[address_id] = self.projection.unproject_point(
+                    float(centroid[0]), float(centroid[1])
+                )
+            elif address_id in self.addresses:
+                out[address_id] = self.addresses[address_id].geocode
+        return out

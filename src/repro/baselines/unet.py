@@ -1,0 +1,176 @@
+"""UNet-based baseline ([20] in the paper, customer locations removed).
+
+Treats delivery-location inference as semantic segmentation: annotated
+locations of an address are rasterized onto a 9 x 9 grid of GeoHash-8 cells
+(~32 m x 19 m) centered at the cell with the most annotations; a small UNet
+scores every cell and the argmax cell's center is the prediction.
+
+The paper's two noted weaknesses fall out naturally: when annotations are
+so noisy that the true location lies outside the 9 x 9 window the model
+cannot be right, and the prediction resolution is a whole cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.annotations import AnnotatedLocation, annotated_locations
+from repro.geo import LocalProjection, Point, geohash_bbox, geohash_encode
+from repro.nn import Adam, Conv2d, Module, Tensor, cat
+from repro.nn.conv import max_pool2d, upsample_nearest
+from repro.nn.functional import cross_entropy
+from repro.trajectory import Address
+
+GRID = 9
+GEOHASH_PRECISION = 8
+
+
+@dataclass(frozen=True)
+class _CellGrid:
+    """Geometry of one address's 9 x 9 GeoHash window."""
+
+    center_lng: float
+    center_lat: float
+    dlng: float
+    dlat: float
+
+    def cell_of(self, lng: float, lat: float) -> tuple[int, int] | None:
+        """(row, col) of a point, or None when outside the window."""
+        col = int(round((lng - self.center_lng) / self.dlng)) + GRID // 2
+        row = int(round((lat - self.center_lat) / self.dlat)) + GRID // 2
+        if 0 <= row < GRID and 0 <= col < GRID:
+            return row, col
+        return None
+
+    def center_of(self, row: int, col: int) -> Point:
+        """Center point of a cell."""
+        return Point(
+            self.center_lng + (col - GRID // 2) * self.dlng,
+            self.center_lat + (row - GRID // 2) * self.dlat,
+        )
+
+
+def _build_grid(events: list[AnnotatedLocation], projection: LocalProjection) -> _CellGrid:
+    """Window centered on the GeoHash-8 cell with the most annotations."""
+    cells: dict[str, int] = {}
+    for event in events:
+        lng, lat = projection.to_lnglat(event.x, event.y)
+        gh = geohash_encode(float(lng), float(lat), GEOHASH_PRECISION)
+        cells[gh] = cells.get(gh, 0) + 1
+    mode_cell = max(cells, key=lambda k: (cells[k], k))
+    box = geohash_bbox(mode_cell)
+    return _CellGrid(
+        center_lng=box.center.lng,
+        center_lat=box.center.lat,
+        dlng=box.max_lng - box.min_lng,
+        dlat=box.max_lat - box.min_lat,
+    )
+
+
+def _rasterize(events: list[AnnotatedLocation], grid: _CellGrid, projection: LocalProjection) -> np.ndarray:
+    """(1, 9, 9) normalized annotation-count image."""
+    image = np.zeros((1, GRID, GRID))
+    for event in events:
+        lng, lat = projection.to_lnglat(event.x, event.y)
+        cell = grid.cell_of(float(lng), float(lat))
+        if cell is not None:
+            image[0, cell[0], cell[1]] += 1.0
+    peak = image.max()
+    if peak > 0:
+        image /= peak
+    return image
+
+
+class _SmallUNet(Module):
+    """One-level UNet: encode, pool, bottleneck, upsample, skip, decode."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.enc = Conv2d(1, 8, 3, padding=1, rng=rng)
+        self.mid = Conv2d(8, 16, 3, padding=1, rng=rng)
+        self.dec = Conv2d(24, 8, 3, padding=1, rng=rng)
+        self.out = Conv2d(8, 1, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        e = self.enc(x).relu()  # (B, 8, 9, 9)
+        m = self.mid(max_pool2d(e, 2)).relu()  # (B, 16, 4, 4)
+        up = upsample_nearest(m, (GRID, GRID))  # (B, 16, 9, 9)
+        d = self.dec(cat([up, e], axis=1)).relu()
+        logits = self.out(d)  # (B, 1, 9, 9)
+        return logits.reshape(logits.shape[0], GRID * GRID)
+
+
+class UNetBaseline:
+    """Semantic-segmentation delivery-location inference."""
+
+    name = "UNet-based"
+
+    def __init__(
+        self, epochs: int = 30, lr: float = 3e-3, batch_size: int = 32, seed: int = 0
+    ) -> None:
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.net: _SmallUNet | None = None
+        self.addresses: dict[str, Address] = {}
+        self.annotations: dict[str, list[AnnotatedLocation]] = {}
+        self.projection: LocalProjection | None = None
+
+    def fit(self, trips, addresses, ground_truth, train_ids, val_ids=None, projection=None):
+        """Rasterize training addresses and train the UNet."""
+        self.addresses = dict(addresses)
+        self.projection = projection or LocalProjection(next(iter(addresses.values())).geocode)
+        self.annotations = annotated_locations(trips, self.projection)
+        rng = np.random.default_rng(self.seed)
+
+        images, targets = [], []
+        for address_id in train_ids:
+            events = self.annotations.get(address_id)
+            truth = ground_truth.get(address_id)
+            if not events or truth is None:
+                continue
+            grid = _build_grid(events, self.projection)
+            cell = grid.cell_of(truth.lng, truth.lat)
+            if cell is None:
+                continue  # truth outside the window: no learnable target
+            images.append(_rasterize(events, grid, self.projection))
+            targets.append(cell[0] * GRID + cell[1])
+        if not images:
+            raise ValueError("UNet baseline has no trainable addresses")
+        x = np.stack(images)
+        y = np.array(targets)
+
+        self.net = _SmallUNet(rng)
+        optimizer = Adam(self.net.parameters(), lr=self.lr)
+        order = np.arange(len(x))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                logits = self.net(Tensor(x[idx]))
+                loss = cross_entropy(logits, y[idx])
+                loss.backward()
+                optimizer.step()
+        self.net.eval()
+        return self
+
+    def predict(self, address_ids: list[str]) -> dict[str, Point]:
+        """Argmax-cell center per address; geocode fallback without data."""
+        if self.net is None:
+            raise RuntimeError("UNet baseline is not fitted")
+        out: dict[str, Point] = {}
+        for address_id in address_ids:
+            events = self.annotations.get(address_id)
+            if events:
+                grid = _build_grid(events, self.projection)
+                image = _rasterize(events, grid, self.projection)
+                logits = self.net(Tensor(image[None])).data[0]
+                best = int(logits.argmax())
+                out[address_id] = grid.center_of(best // GRID, best % GRID)
+            elif address_id in self.addresses:
+                out[address_id] = self.addresses[address_id].geocode
+        return out

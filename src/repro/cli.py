@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Workflow:
+
+.. code-block:: bash
+
+    python -m repro generate --preset downbj --out data/
+    python -m repro evaluate --data data/ --methods Geocoding,DLInfMA
+    python -m repro infer    --data data/ --out data/locations.json
+    python -m repro query    --data data/ --locations data/locations.json \
+                             --address-id a00042
+
+``generate`` writes trips/addresses/ground-truth/split files; ``evaluate``
+reproduces a Table II-style comparison on them; ``infer`` runs the full
+DLInfMA pipeline and dumps the address→location table; ``query`` answers a
+single lookup through the deployed store's fallback chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.apps import DeliveryLocationStore
+from repro.core import DLInfMA, DLInfMAConfig
+from repro.core.persistence import load_locations, save_locations
+from repro.eval import Workload, evaluate, metrics_table, run_methods
+from repro.geo import BBox, LocalProjection
+from repro.synth import (
+    AddressSplit,
+    downbj_config,
+    generate_dataset,
+    split_addresses_by_region,
+    subbj_config,
+    tiny_config,
+)
+from repro.synth.io import (
+    load_addresses,
+    load_ground_truth,
+    load_trips,
+    save_addresses,
+    save_ground_truth,
+    save_trips,
+)
+
+PRESETS = {"downbj": downbj_config, "subbj": subbj_config, "tiny": tiny_config}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factory = PRESETS[args.preset]
+    config = factory(seed=args.seed) if args.preset == "tiny" else factory(
+        scale=args.scale, seed=args.seed
+    )
+    dataset = generate_dataset(config)
+    split = split_addresses_by_region(dataset)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_trips(dataset.trips, out / "trips.jsonl")
+    save_addresses(dataset.addresses, out / "addresses.json")
+    save_ground_truth(dataset.ground_truth, out / "ground_truth.json")
+    (out / "split.json").write_text(
+        json.dumps({"train": split.train, "val": split.val, "test": split.test})
+    )
+    stats = dataset.stats()
+    print(f"generated {dataset.name}-like dataset into {out}/")
+    for key, value in stats.items():
+        print(f"  {key:<12} {value:.0f}")
+    return 0
+
+
+def _load_workload(data_dir: pathlib.Path) -> Workload:
+    trips = load_trips(data_dir / "trips.jsonl")
+    addresses = load_addresses(data_dir / "addresses.json")
+    ground_truth = load_ground_truth(data_dir / "ground_truth.json")
+    split_payload = json.loads((data_dir / "split.json").read_text())
+    split = AddressSplit(
+        tuple(split_payload["train"]),
+        tuple(split_payload["val"]),
+        tuple(split_payload["test"]),
+    )
+    box = BBox.from_points([a.geocode for a in addresses.values()])
+    projection = LocalProjection(box.center)
+    return Workload(
+        trips=trips,
+        addresses=addresses,
+        ground_truth=ground_truth,
+        split=split,
+        projection=projection,
+    )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    workload = _load_workload(pathlib.Path(args.data))
+    names = [n.strip() for n in args.methods.split(",") if n.strip()]
+    runs = run_methods(workload, names, seed=args.seed, fast=args.fast)
+    results = {
+        name: evaluate(run.predictions, workload.ground_truth)
+        for name, run in runs.items()
+    }
+    print(metrics_table(results, title=f"Evaluation on {args.data} (test addresses)", order=names))
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    workload = _load_workload(pathlib.Path(args.data))
+    model = DLInfMA(DLInfMAConfig(selector=args.selector))
+    model.fit(
+        workload.trips,
+        workload.addresses,
+        workload.ground_truth,
+        workload.train_ids,
+        workload.val_ids,
+        projection=workload.projection,
+    )
+    delivered = sorted({a for trip in workload.trips for a in trip.address_ids})
+    locations = model.predict(delivered)
+    save_locations(locations, args.out)
+    errors = evaluate(
+        {a: p for a, p in locations.items() if a in workload.test_ids},
+        workload.ground_truth,
+    )
+    print(f"inferred {len(locations)} delivery locations -> {args.out}")
+    print(f"held-out test MAE {errors.mae:.1f} m, P95 {errors.p95:.1f} m, "
+          f"β50 {errors.beta50:.1f}%")
+    return 0
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    from repro.eval import cross_validate, series_table
+
+    factory = PRESETS[args.preset]
+    config = factory(seed=args.seed) if args.preset == "tiny" else factory(
+        scale=args.scale, seed=args.seed
+    )
+    dataset = generate_dataset(config)
+    methods = [n.strip() for n in args.methods.split(",") if n.strip()]
+    results = cross_validate(dataset, methods, n_folds=args.folds, fast=args.fast)
+    rows = []
+    for name in methods:
+        cv = results[name]
+        lo, hi = cv.mae_ci
+        rows.append((name, cv.mae_mean, lo, hi, cv.beta50_mean))
+    print(series_table(
+        rows,
+        headers=["method", "MAE(m)", "CI lo", "CI hi", "β50(%)"],
+        title=f"{args.folds}-fold spatial cross-validation ({dataset.name}-like)",
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.core import DLInfMAConfig, build_artifacts, extract_trip_stay_points
+    from repro.eval import histogram_text, series_table
+
+    workload = _load_workload(pathlib.Path(args.data))
+    trips = workload.trips
+    n_waybills = sum(len(t.waybills) for t in trips)
+    n_points = sum(len(t.trajectory) for t in trips)
+    print(series_table(
+        [
+            ("trips", len(trips)),
+            ("couriers", len({t.courier_id for t in trips})),
+            ("addresses", len({a for t in trips for a in t.address_ids})),
+            ("waybills", n_waybills),
+            ("gps points", n_points),
+        ],
+        headers=["quantity", "value"],
+        title=f"Dataset statistics for {args.data}",
+    ))
+
+    deliveries = Counter()
+    for trip in trips:
+        for address_id in trip.address_ids:
+            deliveries[address_id] += 1
+    per_addr = Counter(deliveries.values())
+    print()
+    print(histogram_text(per_addr, title="Deliveries per address"))
+
+    stays = extract_trip_stay_points(trips)
+    per_trip = Counter(len(v) for v in stays.values())
+    print()
+    print(histogram_text(per_trip, title="Stay points per trip"))
+
+    artifacts = build_artifacts(trips, workload.addresses, workload.projection, DLInfMAConfig())
+    per_example = Counter(e.n_candidates for e in artifacts.examples.values())
+    print()
+    print(histogram_text(per_example, title=f"Candidates per address (pool={len(artifacts.pool)})"))
+    return 0
+
+
+def _cmd_export_geojson(args: argparse.Namespace) -> int:
+    from repro.core import DLInfMAConfig, build_artifacts
+    from repro.eval import pool_to_geojson, predictions_to_geojson, write_geojson
+
+    workload = _load_workload(pathlib.Path(args.data))
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifacts = build_artifacts(
+        workload.trips, workload.addresses, workload.projection, DLInfMAConfig()
+    )
+    write_geojson(pool_to_geojson(artifacts.pool), out_dir / "candidates.geojson")
+    written = ["candidates.geojson"]
+    if args.locations:
+        locations = load_locations(args.locations)
+        write_geojson(
+            predictions_to_geojson(locations, workload.ground_truth),
+            out_dir / "predictions.geojson",
+        )
+        written.append("predictions.geojson")
+    print(f"wrote {', '.join(written)} to {out_dir}/")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data_dir = pathlib.Path(args.data)
+    addresses = load_addresses(data_dir / "addresses.json")
+    locations = load_locations(args.locations)
+    store = DeliveryLocationStore(locations, addresses)
+    address = addresses.get(args.address_id)
+    if address is None:
+        print(f"unknown address id: {args.address_id}", file=sys.stderr)
+        return 1
+    result = store.query(address)
+    print(f"address   {address.address_id}: {address.text!r}")
+    print(f"location  lng={result.location.lng:.6f} lat={result.location.lat:.6f}")
+    print(f"source    {result.source.value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DLInfMA reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    p_gen.add_argument("--preset", choices=sorted(PRESETS), default="downbj")
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_eval = sub.add_parser("evaluate", help="compare methods on a dataset")
+    p_eval.add_argument("--data", required=True)
+    p_eval.add_argument("--methods", default="Geocoding,GeoCloud,GeoRank,DLInfMA")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--fast", action="store_true")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_infer = sub.add_parser("infer", help="run DLInfMA and dump locations")
+    p_infer.add_argument("--data", required=True)
+    p_infer.add_argument("--out", required=True)
+    p_infer.add_argument("--selector", default="locmatcher")
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_cv = sub.add_parser("crossval", help="spatial cross-validation on a preset")
+    p_cv.add_argument("--preset", choices=sorted(PRESETS), default="downbj")
+    p_cv.add_argument("--scale", type=float, default=1.0)
+    p_cv.add_argument("--seed", type=int, default=0)
+    p_cv.add_argument("--folds", type=int, default=3)
+    p_cv.add_argument("--methods", default="Geocoding,GeoCloud,DLInfMA")
+    p_cv.add_argument("--fast", action="store_true")
+    p_cv.set_defaults(func=_cmd_crossval)
+
+    p_stats = sub.add_parser("stats", help="print dataset distribution stats")
+    p_stats.add_argument("--data", required=True)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_geo = sub.add_parser("export-geojson", help="export candidates/predictions as GeoJSON")
+    p_geo.add_argument("--data", required=True)
+    p_geo.add_argument("--out", required=True)
+    p_geo.add_argument("--locations", default=None)
+    p_geo.set_defaults(func=_cmd_export_geojson)
+
+    p_query = sub.add_parser("query", help="resolve one address via the store")
+    p_query.add_argument("--data", required=True)
+    p_query.add_argument("--locations", required=True)
+    p_query.add_argument("--address-id", required=True)
+    p_query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""DBSCAN over 2-D meter coordinates (used by the GeoCloud baseline)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.geo import GridIndex
+
+NOISE = -1
+
+
+def dbscan(coords: np.ndarray, eps_m: float, min_pts: int) -> np.ndarray:
+    """Label ``(n, 2)`` points; returns an int array, ``-1`` marks noise.
+
+    Standard density-based clustering: a core point has at least ``min_pts``
+    neighbours (itself included) within ``eps_m``; clusters are the
+    connected components of core points plus their border points.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2 or (coords.size and coords.shape[1] != 2):
+        raise ValueError(f"coords must be (n, 2), got shape {coords.shape}")
+    if eps_m <= 0:
+        raise ValueError("eps_m must be positive")
+    if min_pts < 1:
+        raise ValueError("min_pts must be >= 1")
+    n = len(coords)
+    labels = np.full(n, NOISE, dtype=int)
+    if n == 0:
+        return labels
+
+    grid = GridIndex(cell_size_m=eps_m)
+    for i, (x, y) in enumerate(coords):
+        grid.insert(i, float(x), float(y))
+
+    neighbors_cache: dict[int, list[int]] = {}
+
+    def neighbors(i: int) -> list[int]:
+        if i not in neighbors_cache:
+            x, y = coords[i]
+            neighbors_cache[i] = grid.query_radius(float(x), float(y), eps_m)
+        return neighbors_cache[i]
+
+    cluster_id = 0
+    visited = np.zeros(n, dtype=bool)
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        seed_neighbors = neighbors(seed)
+        if len(seed_neighbors) < min_pts:
+            continue  # stays noise unless claimed as a border point later
+        labels[seed] = cluster_id
+        queue = deque(seed_neighbors)
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = cluster_id  # border or core of this cluster
+            if visited[j]:
+                continue
+            visited[j] = True
+            j_neighbors = neighbors(j)
+            if len(j_neighbors) >= min_pts:
+                queue.extend(j_neighbors)
+        cluster_id += 1
+    return labels

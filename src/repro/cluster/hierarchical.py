@@ -1,0 +1,125 @@
+"""Threshold centroid-linkage agglomerative clustering.
+
+The paper's candidate-pool construction (Section III-B): start with every
+stay point as a singleton cluster and repeatedly merge the closest pair of
+centroids until no two centroids are within ``distance_threshold``.  The
+centroid of each final cluster becomes a location candidate.
+
+The implementation is exact but avoids the O(n^2) distance matrix: a spatial
+grid limits candidate pairs to those within the threshold (a pair farther
+apart can never be merged), and a lazy min-heap orders merges globally.
+Merged clusters get fresh ids, so heap entries never go stale — they are
+simply skipped when either endpoint is no longer alive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.types import Cluster
+from repro.geo import GridIndex
+
+
+def hierarchical_cluster(
+    coords: np.ndarray,
+    distance_threshold: float,
+    weights: Sequence[float] | None = None,
+) -> list[Cluster]:
+    """Cluster ``(n, 2)`` meter coordinates with a centroid-distance cutoff.
+
+    Returns clusters whose pairwise centroid distances are all at least
+    ``distance_threshold``.  ``weights`` (default all-ones) make centroids
+    weighted means — used when merging an existing candidate pool (where a
+    candidate stands for many stay points) with fresh stay points.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2 or (coords.size and coords.shape[1] != 2):
+        raise ValueError(f"coords must be (n, 2), got shape {coords.shape}")
+    n = len(coords)
+    if weights is None:
+        w = np.ones(n, dtype=float)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError("weights must align with coords")
+        if np.any(w <= 0):
+            raise ValueError("weights must be positive")
+    if distance_threshold <= 0:
+        raise ValueError("distance_threshold must be positive")
+    if n == 0:
+        return []
+
+    # Live clusters: id -> (x, y, weight, member indices).
+    live: dict[int, tuple[float, float, float, list[int]]] = {
+        i: (float(coords[i, 0]), float(coords[i, 1]), float(w[i]), [i]) for i in range(n)
+    }
+    next_id = n
+    grid = GridIndex(cell_size_m=distance_threshold)
+    for cid, (x, y, _, _) in live.items():
+        grid.insert(cid, x, y)
+
+    heap: list[tuple[float, int, int]] = []
+
+    def push_pairs(cid: int) -> None:
+        x, y, _, _ = live[cid]
+        for other in grid.query_radius(x, y, distance_threshold):
+            if other == cid:
+                continue
+            ox, oy, _, _ = live[other]
+            d = math.hypot(ox - x, oy - y)
+            if d < distance_threshold:
+                a, b = (cid, other) if cid < other else (other, cid)
+                heapq.heappush(heap, (d, a, b))
+
+    for cid in range(n):
+        push_pairs(cid)
+
+    while heap:
+        d, a, b = heapq.heappop(heap)
+        if a not in live or b not in live:
+            continue
+        xa, ya, wa, ma = live.pop(a)
+        xb, yb, wb, mb = live.pop(b)
+        grid.remove(a)
+        grid.remove(b)
+        wt = wa + wb
+        nx = (xa * wa + xb * wb) / wt
+        ny = (ya * wa + yb * wb) / wt
+        cid = next_id
+        next_id += 1
+        live[cid] = (nx, ny, wt, ma + mb)
+        grid.insert(cid, nx, ny)
+        push_pairs(cid)
+
+    return [
+        Cluster(x=x, y=y, weight=wt, members=sorted(members))
+        for x, y, wt, members in live.values()
+    ]
+
+
+def merge_weighted_clusters(
+    existing: Sequence[Cluster],
+    new_coords: np.ndarray,
+    distance_threshold: float,
+) -> list[Cluster]:
+    """Merge an existing candidate pool with new points (bi-weekly update).
+
+    Existing clusters enter as weighted points (their centroids, weighted by
+    ``weight``); member index bookkeeping is reset because the two batches
+    index different arrays — callers interested in provenance should track it
+    themselves via weights.
+    """
+    new_coords = np.asarray(new_coords, dtype=float).reshape(-1, 2)
+    ex_coords = np.array([[c.x, c.y] for c in existing], dtype=float).reshape(-1, 2)
+    coords = np.vstack([ex_coords, new_coords]) if len(existing) else new_coords
+    weights = np.concatenate(
+        [
+            np.array([c.weight for c in existing], dtype=float),
+            np.ones(len(new_coords), dtype=float),
+        ]
+    )
+    return hierarchical_cluster(coords, distance_threshold, weights=weights)

@@ -1,0 +1,65 @@
+"""Lloyd's k-means with k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans(
+    coords: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``(n, d)`` points into ``k`` groups.
+
+    Returns ``(labels, centers)`` where ``labels`` has shape ``(n,)`` and
+    ``centers`` has shape ``(k, d)``.  Empty clusters are re-seeded to the
+    point farthest from its center.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2:
+        raise ValueError("coords must be 2-D")
+    n = len(coords)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n={n}], got {k}")
+    rng = rng or np.random.default_rng(0)
+
+    centers = _kmeanspp_init(coords, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iter):
+        d2 = ((coords[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        new_centers = centers.copy()
+        for c in range(k):
+            mask = labels == c
+            if mask.any():
+                new_centers[c] = coords[mask].mean(axis=0)
+            else:
+                worst = d2[np.arange(n), labels].argmax()
+                new_centers[c] = coords[worst]
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift < tol:
+            break
+    d2 = ((coords[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    return labels, centers
+
+
+def _kmeanspp_init(coords: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = len(coords)
+    centers = np.empty((k, coords.shape[1]), dtype=float)
+    centers[0] = coords[rng.integers(n)]
+    closest_d2 = ((coords - centers[0]) ** 2).sum(axis=1)
+    for c in range(1, k):
+        total = closest_d2.sum()
+        if total <= 0:
+            centers[c:] = coords[rng.integers(n, size=k - c)]
+            break
+        probs = closest_d2 / total
+        centers[c] = coords[rng.choice(n, p=probs)]
+        d2 = ((coords - centers[c]) ** 2).sum(axis=1)
+        closest_d2 = np.minimum(closest_d2, d2)
+    return centers

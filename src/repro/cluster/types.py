@@ -1,0 +1,25 @@
+"""Shared cluster result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Cluster:
+    """A weighted cluster of 2-D points.
+
+    ``members`` are indices into the coordinate array the clustering was run
+    on; ``weight`` is the sum of member weights (member count when the input
+    was unweighted).
+    """
+
+    x: float
+    y: float
+    weight: float
+    members: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of member points."""
+        return len(self.members)

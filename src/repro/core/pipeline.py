@@ -1,0 +1,195 @@
+"""The end-to-end DLInfMA pipeline (Figure 3).
+
+``fit`` runs the two components of the framework — location candidate
+generation (stay-point extraction, candidate-pool construction, candidate
+retrieval) and delivery location discovery (feature extraction,
+address-location matching) — and records per-stage wall-clock timings
+(Section V-F reports these).  ``predict`` maps each address to the selected
+candidate's location, falling back to the geocode for addresses with no
+candidates (the deployed system's last-resort fallback, Section VI-A).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.candidates import CandidatePool, build_candidate_pool, build_profiles
+from repro.core.features import AddressExample, FeatureConfig, FeatureExtractor
+from repro.core.locmatcher import LocMatcherConfig, LocMatcherSelector
+from repro.core.selectors import make_variant_selector
+from repro.core.staypoints import ExtractionConfig, extract_trip_stay_points
+from repro.geo import LocalProjection, Point
+from repro.trajectory import Address, DeliveryTrip
+
+
+@dataclass(frozen=True)
+class DLInfMAConfig:
+    """Pipeline configuration; defaults follow the paper."""
+
+    cluster_distance_m: float = 40.0
+    pool_method: str = "hierarchical"  # or "grid" (DLInfMA-Grid)
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    selector: str = "locmatcher"  # or gbdt/rf/mlp/rkdt/rknet/mindist/maxtc/maxtc-ilc
+    locmatcher: LocMatcherConfig = field(default_factory=LocMatcherConfig)
+    seed: int = 0
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything candidate generation produces, shareable across methods.
+
+    Table II compares ~20 selectors over the *same* candidate pool; building
+    artifacts once and passing them to each :class:`DLInfMA` avoids redoing
+    stay-point extraction / clustering / feature extraction per method.
+    """
+
+    pool: CandidatePool
+    extractor: FeatureExtractor
+    examples: dict[str, AddressExample]
+    timings: dict[str, float]
+
+
+def build_artifacts(
+    trips: list[DeliveryTrip],
+    addresses: dict[str, Address],
+    projection: LocalProjection,
+    config: DLInfMAConfig | None = None,
+) -> PipelineArtifacts:
+    """Run the location-candidate-generation component (Section III)."""
+    cfg = config or DLInfMAConfig()
+    t0 = time.perf_counter()
+    stay_points_by_trip = extract_trip_stay_points(trips, cfg.extraction)
+    t1 = time.perf_counter()
+    all_stays = [sp for stays in stay_points_by_trip.values() for sp in stays]
+    pool = build_candidate_pool(
+        all_stays,
+        projection,
+        distance_threshold_m=cfg.cluster_distance_m,
+        method=cfg.pool_method,
+    )
+    profiles = build_profiles(all_stays, pool)
+    t2 = time.perf_counter()
+    extractor = FeatureExtractor(trips, stay_points_by_trip, pool, profiles, addresses)
+    delivered = sorted({a for trip in trips for a in trip.address_ids})
+    examples = extractor.build_examples(delivered)
+    t3 = time.perf_counter()
+    return PipelineArtifacts(
+        pool=pool,
+        extractor=extractor,
+        examples=examples,
+        timings={
+            "stay_point_extraction_s": t1 - t0,
+            "pool_construction_s": t2 - t1,
+            "feature_extraction_s": t3 - t2,
+        },
+    )
+
+
+class DLInfMA:
+    """Delivery Location Inference under Mis-Annotation."""
+
+    def __init__(self, config: DLInfMAConfig | None = None) -> None:
+        self.config = config or DLInfMAConfig()
+        self.pool: CandidatePool | None = None
+        self.extractor: FeatureExtractor | None = None
+        self.selector = None
+        self.examples: dict[str, AddressExample] = {}
+        self.addresses: dict[str, Address] = {}
+        self.timings: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        trips: list[DeliveryTrip],
+        addresses: dict[str, Address],
+        ground_truth: dict[str, Point],
+        train_ids: list[str],
+        val_ids: list[str] | None = None,
+        projection: LocalProjection | None = None,
+        artifacts: PipelineArtifacts | None = None,
+    ) -> "DLInfMA":
+        """Run candidate generation (unless ``artifacts`` are supplied) and
+        train the selector.
+
+        ``ground_truth`` only needs to cover ``train_ids``/``val_ids`` —
+        the labeled delivery locations couriers provided (Section V-A).
+        """
+        self.addresses = dict(addresses)
+        if projection is None:
+            first = next(iter(addresses.values()))
+            projection = LocalProjection(first.geocode)
+        if artifacts is None:
+            artifacts = build_artifacts(trips, addresses, projection, self.config)
+        self.pool = artifacts.pool
+        self.extractor = artifacts.extractor
+        self.examples = artifacts.examples
+        self.timings = dict(artifacts.timings)
+
+        t3 = time.perf_counter()
+        train_examples = self._labeled(train_ids, ground_truth)
+        val_examples = self._labeled(val_ids or [], ground_truth)
+        self.selector = self._make_selector()
+        self.selector.fit(train_examples, val_examples or None)
+        self.timings["training_s"] = time.perf_counter() - t3
+        return self
+
+    def _labeled(
+        self, address_ids: list[str], ground_truth: dict[str, Point]
+    ) -> list[AddressExample]:
+        out = []
+        for address_id in address_ids:
+            example = self.examples.get(address_id)
+            truth = ground_truth.get(address_id)
+            if example is None or truth is None:
+                continue
+            self.extractor.label_example(example, truth)
+            out.append(example)
+        return out
+
+    def _make_selector(self):
+        cfg = self.config
+        if cfg.selector == "locmatcher":
+            return LocMatcherSelector(cfg.features, cfg.locmatcher)
+        return make_variant_selector(cfg.selector, cfg.features, seed=cfg.seed)
+
+    # ------------------------------------------------------------------
+    def predict_one(self, address_id: str) -> Point | None:
+        """Inferred delivery location for one address.
+
+        Falls back to the geocode when the address has no candidates, and
+        to ``None`` when it is entirely unknown.
+        """
+        example = self.examples.get(address_id)
+        if example is not None:
+            index = self.selector.predict_index(example)
+            return self.extractor.candidate_point(example.candidate_ids[index])
+        address = self.addresses.get(address_id)
+        return address.geocode if address is not None else None
+
+    def predict(self, address_ids: list[str]) -> dict[str, Point]:
+        """Inferred delivery locations for many addresses.
+
+        Uses the selector's batched scoring when available (LocMatcher),
+        falling back to per-address prediction otherwise.
+        """
+        if self.selector is None:
+            raise RuntimeError("pipeline is not fitted")
+        out: dict[str, Point] = {}
+        with_examples = [a for a in address_ids if a in self.examples]
+        without = [a for a in address_ids if a not in self.examples]
+        if with_examples and hasattr(self.selector, "predict_index_batch"):
+            examples = [self.examples[a] for a in with_examples]
+            indices = self.selector.predict_index_batch(examples)
+            for address_id, example, index in zip(with_examples, examples, indices):
+                out[address_id] = self.extractor.candidate_point(
+                    example.candidate_ids[index]
+                )
+        else:
+            without = list(address_ids)
+        for address_id in without:
+            point = self.predict_one(address_id)
+            if point is not None:
+                out[address_id] = point
+        return out

@@ -1,0 +1,81 @@
+"""Streaming candidate-pool maintenance.
+
+The deployed system re-runs inference periodically as new trips arrive
+(Section VI-A), and candidate pools are built "in a bi-weekly manner and
+then merged with existing ones" (Section III-B).  This builder is the
+production-facing surface for that: feed stay-point batches as they land;
+the pool stays valid (all centroids >= D apart) after every batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import Cluster, hierarchical_cluster, merge_weighted_clusters
+from repro.core.candidates import CandidatePool, LocationCandidate
+from repro.geo import LocalProjection
+from repro.trajectory import StayPoint
+
+
+class CandidatePoolBuilder:
+    """Accumulates stay-point batches into a continuously valid pool."""
+
+    def __init__(
+        self, projection: LocalProjection, distance_threshold_m: float = 40.0
+    ) -> None:
+        if distance_threshold_m <= 0:
+            raise ValueError("distance_threshold_m must be positive")
+        self.projection = projection
+        self.distance_threshold_m = distance_threshold_m
+        self._clusters: list[Cluster] = []
+        self._n_batches = 0
+        self._n_points = 0
+
+    @property
+    def n_batches(self) -> int:
+        """How many batches have been merged so far."""
+        return self._n_batches
+
+    @property
+    def n_points(self) -> int:
+        """Total stay points consumed."""
+        return self._n_points
+
+    def add_batch(self, stay_points: list[StayPoint]) -> int:
+        """Cluster one batch and merge it into the pool.
+
+        Returns the current number of candidates.  Empty batches are
+        counted but change nothing.
+        """
+        self._n_batches += 1
+        if not stay_points:
+            return len(self._clusters)
+        lng = np.array([sp.lng for sp in stay_points])
+        lat = np.array([sp.lat for sp in stay_points])
+        x, y = self.projection.to_xy(lng, lat)
+        coords = np.column_stack([np.atleast_1d(x), np.atleast_1d(y)])
+        if self._clusters:
+            self._clusters = merge_weighted_clusters(
+                self._clusters, coords, self.distance_threshold_m
+            )
+        else:
+            self._clusters = hierarchical_cluster(coords, self.distance_threshold_m)
+        self._n_points += len(stay_points)
+        return len(self._clusters)
+
+    def build(self) -> CandidatePool:
+        """Materialize the current pool (ids assigned west-to-east)."""
+        candidates = []
+        for i, cluster in enumerate(sorted(self._clusters, key=lambda c: (c.x, c.y))):
+            lng, lat = self.projection.to_lnglat(cluster.x, cluster.y)
+            candidates.append(
+                LocationCandidate(
+                    candidate_id=i,
+                    x=cluster.x,
+                    y=cluster.y,
+                    lng=float(lng),
+                    lat=float(lat),
+                    weight=cluster.weight,
+                )
+            )
+        return CandidatePool(candidates, self.projection)

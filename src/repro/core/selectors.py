@@ -1,0 +1,200 @@
+"""Alternative candidate selectors: the paper's variants and heuristics.
+
+All selectors implement the same protocol as
+:class:`~repro.core.locmatcher.LocMatcherSelector`:
+
+- ``fit(train, val)`` on labeled :class:`AddressExample` lists (heuristics
+  ignore it),
+- ``scores(example)`` returning one score per candidate,
+- ``predict_index(example)``.
+
+Variants reproduced (Section V-B):
+
+- MinDist / MaxTC / MaxTC-ILC — heuristic baselines over our candidates;
+- DLInfMA-GBDT / -RF / -MLP — independent binary classification per
+  candidate (Figure 7(a)), class weight 8:2 for the rare positives;
+- DLInfMA-RkDT / -RkNet — pairwise ranking (Figure 7(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import (
+    AddressExample,
+    COL_DIST,
+    COL_LC_BUILDING,
+    COL_TC,
+    FeatureConfig,
+)
+from repro.ml import (
+    GradientBoostingClassifier,
+    MLPClassifier,
+    PairwiseRankingTree,
+    RandomForestClassifier,
+    RankNet,
+    RankingGroup,
+    StandardScaler,
+)
+
+
+class HeuristicSelector:
+    """Score candidates with a single rule; no training involved."""
+
+    MODES = ("mindist", "maxtc", "maxtc-ilc")
+
+    def __init__(self, mode: str) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        self.mode = mode
+
+    def fit(self, train=None, val=None) -> "HeuristicSelector":
+        """No-op (kept for interface parity)."""
+        return self
+
+    def scores(self, example: AddressExample) -> np.ndarray:
+        feats = example.features
+        if self.mode == "mindist":
+            return -feats[:, COL_DIST]
+        if self.mode == "maxtc":
+            return feats[:, COL_TC]
+        # TC-ILC (Eq. 5): TC x inverse LC.  Like IDF, the inverse is taken
+        # through a smoothed log so that a candidate seen in one trip but
+        # shared with nobody cannot outrank a candidate seen in every trip.
+        return feats[:, COL_TC] * np.log(1.0 / (feats[:, COL_LC_BUILDING] + 5e-2))
+
+    def predict_index(self, example: AddressExample) -> int:
+        """Index of the best candidate under the heuristic."""
+        return int(self.scores(example).argmax())
+
+
+def _feature_matrix(example: AddressExample, config: FeatureConfig) -> np.ndarray:
+    cols = config.scalar_columns() + config.hist_columns()
+    return example.features[:, cols]
+
+
+class ClassifierSelector:
+    """Per-candidate binary classification (Figure 7(a)).
+
+    ``model`` must provide sklearn-style ``fit(x, y, [sample_weight])`` and
+    ``predict_proba``; the positive class is the labeled candidate.  The
+    8:2 class weight of the paper maps to a 4x positive sample weight.
+    """
+
+    def __init__(
+        self,
+        model,
+        feature_config: FeatureConfig | None = None,
+        positive_weight: float = 4.0,
+        supports_sample_weight: bool = True,
+    ) -> None:
+        self.model = model
+        self.feature_config = feature_config or FeatureConfig()
+        self.positive_weight = positive_weight
+        self.supports_sample_weight = supports_sample_weight
+        self.scaler = StandardScaler()
+        self._fitted = False
+
+    def fit(self, train: list[AddressExample], val=None) -> "ClassifierSelector":
+        """Stack every candidate row of every example and fit."""
+        train = [e for e in train if e.label is not None]
+        if not train:
+            raise ValueError("no labeled training examples")
+        rows, labels = [], []
+        for example in train:
+            feats = _feature_matrix(example, self.feature_config)
+            rows.append(feats)
+            y = np.zeros(example.n_candidates, dtype=int)
+            y[example.label] = 1
+            labels.append(y)
+        x = self.scaler.fit_transform(np.vstack(rows))
+        y = np.concatenate(labels)
+        if self.supports_sample_weight:
+            weights = np.where(y == 1, self.positive_weight, 1.0)
+            self.model.fit(x, y, sample_weight=weights)
+        else:
+            self.model.fit(x, y)
+        self._fitted = True
+        return self
+
+    def scores(self, example: AddressExample) -> np.ndarray:
+        """Positive-class probability per candidate."""
+        if not self._fitted:
+            raise RuntimeError("selector is not fitted")
+        x = self.scaler.transform(_feature_matrix(example, self.feature_config))
+        proba = self.model.predict_proba(x)
+        return proba[:, -1]
+
+    def predict_index(self, example: AddressExample) -> int:
+        """Candidate with the highest positive probability."""
+        return int(self.scores(example).argmax())
+
+
+class RankingSelector:
+    """Pairwise ranking over each example's candidate set (Figure 7(b))."""
+
+    def __init__(self, ranker, feature_config: FeatureConfig | None = None) -> None:
+        self.ranker = ranker
+        self.feature_config = feature_config or FeatureConfig()
+        self._fitted = False
+
+    def fit(self, train: list[AddressExample], val=None) -> "RankingSelector":
+        """Build ranking groups (one per address) and fit the ranker."""
+        groups = [
+            RankingGroup(_feature_matrix(e, self.feature_config), e.label)
+            for e in train
+            if e.label is not None and e.n_candidates >= 2
+        ]
+        if not groups:
+            raise ValueError("no multi-candidate labeled training examples")
+        self.ranker.fit(groups)
+        self._fitted = True
+        return self
+
+    def scores(self, example: AddressExample) -> np.ndarray:
+        """Ranker scores (win counts or net scores) per candidate."""
+        if not self._fitted:
+            raise RuntimeError("selector is not fitted")
+        return self.ranker.scores(_feature_matrix(example, self.feature_config))
+
+    def predict_index(self, example: AddressExample) -> int:
+        """Candidate ranked first."""
+        return int(self.scores(example).argmax())
+
+
+def make_variant_selector(
+    name: str,
+    feature_config: FeatureConfig | None = None,
+    seed: int = 0,
+):
+    """Factory for the paper's selector variants by name.
+
+    Accepted names: ``gbdt``, ``rf``, ``mlp``, ``rkdt``, ``rknet``,
+    ``mindist``, ``maxtc``, ``maxtc-ilc``.
+    """
+    rng = np.random.default_rng(seed)
+    feature_config = feature_config or FeatureConfig()
+    name = name.lower()
+    if name in HeuristicSelector.MODES:
+        return HeuristicSelector(name)
+    if name == "gbdt":
+        return ClassifierSelector(
+            GradientBoostingClassifier(n_estimators=150, max_depth=3, rng=rng),
+            feature_config,
+        )
+    if name == "rf":
+        return ClassifierSelector(
+            RandomForestClassifier(n_estimators=60, max_depth=10, rng=rng),
+            feature_config,
+        )
+    if name == "mlp":
+        return ClassifierSelector(
+            MLPClassifier(hidden=16, rng=rng),
+            feature_config,
+            supports_sample_weight=False,
+        )
+    if name == "rkdt":
+        return RankingSelector(PairwiseRankingTree(max_leaf_nodes=1024, rng=rng), feature_config)
+    if name == "rknet":
+        return RankingSelector(RankNet(hidden=16, rng=rng), feature_config)
+    raise ValueError(f"unknown selector variant: {name!r}")

@@ -1,0 +1,54 @@
+"""Stage 1 of DLInfMA: stay-point extraction from couriers' trajectories.
+
+Noise filtering followed by stay-point detection (paper defaults
+``D_max = 20 m``, ``T_min = 30 s``, Section III-A).  The paper implements
+this stage with trajectory-level parallelization (Section V-F); pass
+``workers`` to fan the per-trip work out over processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+from repro.trajectory import (
+    DeliveryTrip,
+    NoiseFilterConfig,
+    StayPoint,
+    StayPointConfig,
+    detect_stay_points,
+    filter_noise,
+)
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Noise-filter + stay-point thresholds."""
+
+    noise: NoiseFilterConfig = field(default_factory=NoiseFilterConfig)
+    stay: StayPointConfig = field(default_factory=StayPointConfig)
+
+
+def _extract_one(args: tuple[DeliveryTrip, ExtractionConfig]) -> tuple[str, list[StayPoint]]:
+    trip, config = args
+    cleaned = filter_noise(trip.trajectory, config.noise)
+    return trip.trip_id, detect_stay_points(cleaned, config.stay)
+
+
+def extract_trip_stay_points(
+    trips: list[DeliveryTrip],
+    config: ExtractionConfig | None = None,
+    workers: int | None = None,
+) -> dict[str, list[StayPoint]]:
+    """Stay points per trip id, from cleaned trajectories.
+
+    ``workers`` > 1 runs trips through a process pool (trajectory-level
+    parallelization); the default is serial, which is faster at small
+    scales because of pickling overhead.
+    """
+    config = config or ExtractionConfig()
+    if workers is not None and workers > 1 and len(trips) > 1:
+        with multiprocessing.Pool(workers) as pool:
+            pairs = pool.map(_extract_one, [(trip, config) for trip in trips])
+        return dict(pairs)
+    return dict(_extract_one((trip, config)) for trip in trips)

@@ -1,0 +1,61 @@
+"""Metrics, experiment harness and report rendering."""
+
+from repro.eval.metrics import EvalResult, beta, error_meters, evaluate, mae, p95
+from repro.eval.harness import (
+    MethodRun,
+    SHARED_ARTIFACT_METHODS,
+    Workload,
+    method_registry,
+    run_method,
+    run_methods,
+)
+from repro.eval.report import histogram_text, metrics_csv, metrics_table, series_table
+from repro.eval.crossval import CrossValResult, cross_validate, rotated_splits
+from repro.eval.geojson import (
+    city_to_geojson,
+    pool_to_geojson,
+    predictions_to_geojson,
+    write_geojson,
+)
+from repro.eval.analysis import (
+    bootstrap_ci,
+    breakdown_by,
+    candidate_recall,
+    compare_methods_errors,
+    error_cdf,
+    paired_permutation_pvalue,
+    paired_win_rate,
+)
+
+__all__ = [
+    "EvalResult",
+    "beta",
+    "error_meters",
+    "evaluate",
+    "mae",
+    "p95",
+    "MethodRun",
+    "SHARED_ARTIFACT_METHODS",
+    "Workload",
+    "method_registry",
+    "run_method",
+    "run_methods",
+    "histogram_text",
+    "metrics_csv",
+    "metrics_table",
+    "series_table",
+    "bootstrap_ci",
+    "breakdown_by",
+    "candidate_recall",
+    "compare_methods_errors",
+    "error_cdf",
+    "paired_permutation_pvalue",
+    "paired_win_rate",
+    "CrossValResult",
+    "cross_validate",
+    "rotated_splits",
+    "city_to_geojson",
+    "pool_to_geojson",
+    "predictions_to_geojson",
+    "write_geojson",
+]

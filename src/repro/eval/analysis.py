@@ -1,0 +1,159 @@
+"""Deeper result analysis: error CDFs, bootstrap CIs, grouped breakdowns.
+
+Supports the case-study style reporting of Section V (e.g. error by
+delivery-spot kind) and gives the reproduction honest uncertainty bars —
+our synthetic test sets are small, so point estimates alone overstate
+precision.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import EvalResult, error_meters, evaluate
+from repro.geo import Point
+
+
+def error_cdf(
+    errors: np.ndarray, thresholds: Sequence[float] = (10, 25, 50, 100, 200)
+) -> list[tuple[float, float]]:
+    """``(threshold_m, % of samples below)`` pairs."""
+    errors = np.asarray(errors)
+    if errors.size == 0:
+        raise ValueError("no errors to aggregate")
+    return [(float(t), float((errors < t).mean() * 100.0)) for t in thresholds]
+
+
+def bootstrap_ci(
+    errors: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_boot: int = 1000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic of errors."""
+    errors = np.asarray(errors)
+    if errors.size == 0:
+        raise ValueError("no errors to aggregate")
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_boot)
+    n = len(errors)
+    for b in range(n_boot):
+        stats[b] = statistic(errors[rng.integers(0, n, size=n)])
+    lo, hi = np.percentile(stats, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return float(lo), float(hi)
+
+
+def breakdown_by(
+    predictions: Mapping[str, Point],
+    ground_truth: Mapping[str, Point],
+    groups: Mapping[str, Hashable],
+    delta_m: float = 50.0,
+) -> dict[Hashable, EvalResult]:
+    """Per-group :class:`EvalResult` where ``groups`` maps address→key.
+
+    Addresses missing from any of the three mappings are skipped; groups
+    left with no addresses are omitted.
+    """
+    members: dict[Hashable, list[str]] = defaultdict(list)
+    for address_id in predictions:
+        if address_id in ground_truth and address_id in groups:
+            members[groups[address_id]].append(address_id)
+    out: dict[Hashable, EvalResult] = {}
+    for key, ids in members.items():
+        preds = {a: predictions[a] for a in ids}
+        truth = {a: ground_truth[a] for a in ids}
+        out[key] = evaluate(preds, truth, delta_m=delta_m)
+    return out
+
+
+def compare_methods_errors(
+    predictions_by_method: Mapping[str, Mapping[str, Point]],
+    ground_truth: Mapping[str, Point],
+) -> dict[str, np.ndarray]:
+    """Aligned per-address error arrays for paired method comparison."""
+    common: set[str] = set(ground_truth)
+    for preds in predictions_by_method.values():
+        common &= set(preds)
+    ids = sorted(common)
+    if not ids:
+        raise ValueError("methods share no evaluated addresses")
+    out = {}
+    for name, preds in predictions_by_method.items():
+        out[name] = error_meters({a: preds[a] for a in ids}, {a: ground_truth[a] for a in ids})
+    return out
+
+
+def paired_win_rate(errors_a: np.ndarray, errors_b: np.ndarray) -> float:
+    """Fraction of addresses where method A beats method B (ties split)."""
+    errors_a = np.asarray(errors_a)
+    errors_b = np.asarray(errors_b)
+    if errors_a.shape != errors_b.shape or errors_a.size == 0:
+        raise ValueError("need equal, non-empty error arrays")
+    wins = (errors_a < errors_b).sum() + 0.5 * (errors_a == errors_b).sum()
+    return float(wins / len(errors_a))
+
+
+def candidate_recall(
+    examples: Mapping[str, "object"],
+    ground_truth: Mapping[str, Point],
+    projection,
+    pool,
+    radius_m: float = 50.0,
+) -> float:
+    """Share of addresses whose candidate set reaches the ground truth.
+
+    A selector can never beat its candidate generation: if no retrieved
+    candidate lies within ``radius_m`` of the true delivery location, the
+    address is lost before selection.  This is the error floor the
+    Figure 10(a) D-sweep trades against.
+    """
+    if radius_m <= 0:
+        raise ValueError("radius_m must be positive")
+    hits, total = 0, 0
+    for address_id, example in examples.items():
+        truth = ground_truth.get(address_id)
+        if truth is None:
+            continue
+        tx, ty = projection.to_xy(truth.lng, truth.lat)
+        total += 1
+        for cid in example.candidate_ids:
+            candidate = pool.by_id[cid]
+            if np.hypot(candidate.x - tx, candidate.y - ty) <= radius_m:
+                hits += 1
+                break
+    if total == 0:
+        raise ValueError("no addresses with ground truth to score")
+    return hits / total
+
+
+def paired_permutation_pvalue(
+    errors_a: np.ndarray,
+    errors_b: np.ndarray,
+    n_perm: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Two-sided paired permutation test on the mean error difference.
+
+    Under the null the sign of each per-address difference is exchangeable;
+    the p-value is the fraction of sign-flipped resamples whose |mean
+    difference| reaches the observed one.
+    """
+    errors_a = np.asarray(errors_a, dtype=float)
+    errors_b = np.asarray(errors_b, dtype=float)
+    if errors_a.shape != errors_b.shape or errors_a.size == 0:
+        raise ValueError("need equal, non-empty error arrays")
+    diffs = errors_a - errors_b
+    observed = abs(diffs.mean())
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(n_perm):
+        signs = rng.choice([-1.0, 1.0], size=len(diffs))
+        if abs((diffs * signs).mean()) >= observed - 1e-12:
+            hits += 1
+    return (hits + 1) / (n_perm + 1)

@@ -1,0 +1,77 @@
+"""Evaluation metrics: MAE, P95, beta_delta (Section V-B, Eq. 6-7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Point, haversine_m
+
+
+def error_meters(
+    predictions: dict[str, Point], ground_truth: dict[str, Point]
+) -> np.ndarray:
+    """Geodesic error per address present in both mappings (sorted ids)."""
+    ids = sorted(set(predictions) & set(ground_truth))
+    return np.array(
+        [
+            haversine_m(
+                predictions[a].lng, predictions[a].lat,
+                ground_truth[a].lng, ground_truth[a].lat,
+            )
+            for a in ids
+        ]
+    )
+
+
+def mae(errors: np.ndarray) -> float:
+    """Mean absolute error in meters."""
+    errors = np.asarray(errors)
+    if errors.size == 0:
+        raise ValueError("no errors to aggregate")
+    return float(errors.mean())
+
+
+def p95(errors: np.ndarray) -> float:
+    """0.95-percentile error in meters (the paper's bad-case metric)."""
+    errors = np.asarray(errors)
+    if errors.size == 0:
+        raise ValueError("no errors to aggregate")
+    return float(np.percentile(errors, 95))
+
+
+def beta(errors: np.ndarray, delta_m: float = 50.0) -> float:
+    """Percentage of samples with error strictly below ``delta_m`` (Eq. 7)."""
+    errors = np.asarray(errors)
+    if errors.size == 0:
+        raise ValueError("no errors to aggregate")
+    if delta_m <= 0:
+        raise ValueError("delta_m must be positive")
+    return float((errors < delta_m).mean() * 100.0)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Aggregate metrics of one method on one evaluation set."""
+
+    mae: float
+    p95: float
+    beta50: float
+    n: int
+
+    def row(self) -> tuple[float, float, float]:
+        """``(MAE, P95, beta50)`` for table printing."""
+        return (self.mae, self.p95, self.beta50)
+
+
+def evaluate(
+    predictions: dict[str, Point],
+    ground_truth: dict[str, Point],
+    delta_m: float = 50.0,
+) -> EvalResult:
+    """All three paper metrics over the common address set."""
+    errors = error_meters(predictions, ground_truth)
+    return EvalResult(
+        mae=mae(errors), p95=p95(errors), beta50=beta(errors, delta_m), n=len(errors)
+    )

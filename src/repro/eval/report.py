@@ -1,0 +1,76 @@
+"""Plain-text table/figure rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.metrics import EvalResult
+
+
+def metrics_table(
+    results: Mapping[str, EvalResult],
+    title: str = "",
+    order: Sequence[str] | None = None,
+) -> str:
+    """Render a Table II-style block: method x (MAE, P95, beta50)."""
+    names = list(order) if order else list(results)
+    width = max([len(n) for n in names] + [8])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'Method'.ljust(width)}  {'MAE(m)':>8}  {'P95(m)':>8}  {'β50(%)':>8}")
+    lines.append("-" * (width + 30))
+    for name in names:
+        r = results[name]
+        lines.append(
+            f"{name.ljust(width)}  {r.mae:8.1f}  {r.p95:8.1f}  {r.beta50:8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def series_table(
+    rows: Sequence[tuple],
+    headers: Sequence[str],
+    title: str = "",
+    fmt: str = "10.2f",
+) -> str:
+    """Render a figure-style series (e.g. MAE vs D) as an aligned table."""
+    lines = []
+    if title:
+        lines.append(title)
+    head = "  ".join(f"{h:>12}" for h in headers)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, (int, float)):
+                cells.append(f"{value:>12.2f}")
+            else:
+                cells.append(f"{str(value):>12}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def metrics_csv(results: Mapping[str, EvalResult], order: Sequence[str] | None = None) -> str:
+    """CSV form of a metrics table (method,mae_m,p95_m,beta50_pct,n)."""
+    names = list(order) if order else list(results)
+    lines = ["method,mae_m,p95_m,beta50_pct,n"]
+    for name in names:
+        r = results[name]
+        lines.append(f"{name},{r.mae:.3f},{r.p95:.3f},{r.beta50:.3f},{r.n}")
+    return "\n".join(lines)
+
+
+def histogram_text(
+    counts: Mapping, title: str = "", bar_width: int = 40
+) -> str:
+    """ASCII histogram for distribution figures (Figure 9)."""
+    lines = [title] if title else []
+    if not counts:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(counts.values()) or 1
+    for key in sorted(counts):
+        bar = "#" * max(1, int(bar_width * counts[key] / peak)) if counts[key] else ""
+        lines.append(f"{str(key):>10}  {str(counts[key]):>7}  {bar}")
+    return "\n".join(lines)

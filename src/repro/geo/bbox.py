@@ -1,0 +1,62 @@
+"""Axis-aligned bounding boxes in lng/lat space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True)
+class BBox:
+    """A closed axis-aligned box ``[min_lng, max_lng] x [min_lat, max_lat]``."""
+
+    min_lng: float
+    min_lat: float
+    max_lng: float
+    max_lat: float
+
+    def __post_init__(self) -> None:
+        if self.min_lng > self.max_lng or self.min_lat > self.max_lat:
+            raise ValueError(f"degenerate bbox: {self!r}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BBox":
+        """The tightest box containing all ``points`` (must be non-empty)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build a BBox from zero points")
+        lngs = [p.lng for p in pts]
+        lats = [p.lat for p in pts]
+        return cls(min(lngs), min(lats), max(lngs), max(lats))
+
+    @property
+    def center(self) -> Point:
+        """The box centroid."""
+        return Point((self.min_lng + self.max_lng) / 2.0, (self.min_lat + self.max_lat) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside or on the border of the box."""
+        return (
+            self.min_lng <= point.lng <= self.max_lng
+            and self.min_lat <= point.lat <= self.max_lat
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the two boxes share any point."""
+        return not (
+            other.min_lng > self.max_lng
+            or other.max_lng < self.min_lng
+            or other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+        )
+
+    def expanded(self, dlng: float, dlat: float) -> "BBox":
+        """A copy grown by ``dlng``/``dlat`` degrees on every side."""
+        return BBox(
+            self.min_lng - dlng,
+            self.min_lat - dlat,
+            self.max_lng + dlng,
+            self.max_lat + dlat,
+        )

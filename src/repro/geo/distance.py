@@ -1,0 +1,40 @@
+"""Distance functions on the sphere and in local metric planes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Mean Earth radius in meters (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def haversine_m(lng1: float, lat1: float, lng2: float, lat2: float) -> float:
+    """Great-circle distance between two lng/lat points, in meters."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lng2 - lng1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_m_vec(
+    lng1: np.ndarray,
+    lat1: np.ndarray,
+    lng2: np.ndarray,
+    lat2: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`haversine_m`; inputs broadcast like numpy arrays."""
+    phi1 = np.radians(lat1)
+    phi2 = np.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = np.radians(np.asarray(lng2) - np.asarray(lng1))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def euclidean_m(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Planar distance between two projected points, in meters."""
+    return math.hypot(x2 - x1, y2 - y1)

@@ -1,0 +1,130 @@
+"""A uniform spatial grid index over projected (meter) coordinates.
+
+Used to accelerate radius queries during clustering and candidate retrieval:
+all points within ``r`` of a query are found by scanning the
+``ceil(r / cell)``-ring of neighbouring cells.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterator
+
+import numpy as np
+
+
+class GridIndex:
+    """Buckets (x, y) meter coordinates into square cells.
+
+    Items are arbitrary hashable ids; coordinates are remembered so radius
+    queries can do exact distance checks.
+    """
+
+    def __init__(self, cell_size_m: float) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        self.cell_size_m = float(cell_size_m)
+        self._cells: dict[tuple[int, int], list[Hashable]] = defaultdict(list)
+        self._coords: dict[Hashable, tuple[float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._coords
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (int(math.floor(x / self.cell_size_m)), int(math.floor(y / self.cell_size_m)))
+
+    def insert(self, item: Hashable, x: float, y: float) -> None:
+        """Add ``item`` at (x, y); re-inserting an existing id moves it."""
+        if item in self._coords:
+            self.remove(item)
+        self._coords[item] = (x, y)
+        self._cells[self._cell_of(x, y)].append(item)
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item``; raises ``KeyError`` if absent."""
+        x, y = self._coords.pop(item)
+        cell = self._cell_of(x, y)
+        bucket = self._cells[cell]
+        bucket.remove(item)
+        if not bucket:
+            del self._cells[cell]
+
+    def position(self, item: Hashable) -> tuple[float, float]:
+        """The stored coordinates of ``item``."""
+        return self._coords[item]
+
+    def items(self) -> Iterator[tuple[Hashable, tuple[float, float]]]:
+        """Iterate over ``(item, (x, y))`` pairs."""
+        return iter(self._coords.items())
+
+    def query_radius(self, x: float, y: float, radius_m: float) -> list[Hashable]:
+        """All items within ``radius_m`` (inclusive) of (x, y)."""
+        if radius_m < 0:
+            raise ValueError("radius_m must be non-negative")
+        ring = int(math.ceil(radius_m / self.cell_size_m))
+        cx, cy = self._cell_of(x, y)
+        r2 = radius_m * radius_m
+        found = []
+        for gx in range(cx - ring, cx + ring + 1):
+            for gy in range(cy - ring, cy + ring + 1):
+                for item in self._cells.get((gx, gy), ()):
+                    px, py = self._coords[item]
+                    if (px - x) ** 2 + (py - y) ** 2 <= r2:
+                        found.append(item)
+        return found
+
+    def nearest(self, x: float, y: float) -> Hashable | None:
+        """The closest item to (x, y), or ``None`` when empty.
+
+        Expands the search ring until a hit is confirmed closer than the
+        next unexplored ring could be.
+        """
+        if not self._coords:
+            return None
+        cx, cy = self._cell_of(x, y)
+        best: Hashable | None = None
+        best_d2 = math.inf
+        ring = 0
+        max_ring = self._max_ring(cx, cy)
+        while ring <= max_ring:
+            for gx, gy in self._ring_cells(cx, cy, ring):
+                for item in self._cells.get((gx, gy), ()):
+                    px, py = self._coords[item]
+                    d2 = (px - x) ** 2 + (py - y) ** 2
+                    if d2 < best_d2:
+                        best, best_d2 = item, d2
+            if best is not None:
+                # Anything in a farther ring is at least (ring*cell) away
+                # from the query cell border; stop once that bound exceeds
+                # the best hit.
+                if math.sqrt(best_d2) <= ring * self.cell_size_m:
+                    break
+            ring += 1
+        return best
+
+    def _max_ring(self, cx: int, cy: int) -> int:
+        return max(
+            max(abs(gx - cx), abs(gy - cy)) for gx, gy in self._cells
+        )
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, ring: int) -> Iterator[tuple[int, int]]:
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for gx in range(cx - ring, cx + ring + 1):
+            yield (gx, cy - ring)
+            yield (gx, cy + ring)
+        for gy in range(cy - ring + 1, cy + ring):
+            yield (cx - ring, gy)
+            yield (cx + ring, gy)
+
+    def to_arrays(self) -> tuple[list[Hashable], np.ndarray]:
+        """All items and an ``(n, 2)`` coordinate array, aligned by index."""
+        ids = list(self._coords)
+        coords = np.array([self._coords[i] for i in ids], dtype=float).reshape(-1, 2)
+        return ids, coords

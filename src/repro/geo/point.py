@@ -1,0 +1,32 @@
+"""A WGS84 point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable longitude/latitude pair in degrees.
+
+    The field order (``lng`` first) follows the GeoJSON / x-y convention.
+    """
+
+    lng: float
+    lat: float
+
+    def __post_init__(self) -> None:
+        if not -180.0 <= self.lng <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lng!r}")
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lng, lat)``."""
+        return (self.lng, self.lat)
+
+    def distance_m(self, other: "Point") -> float:
+        """Great-circle distance to ``other`` in meters."""
+        from repro.geo.distance import haversine_m
+
+        return haversine_m(self.lng, self.lat, other.lng, other.lat)

@@ -1,0 +1,72 @@
+"""Planar polygon utilities: convex hull, point-in-polygon, area.
+
+Used for region-of-interest style analyses over stay points and candidate
+pools (the VGI literature the paper builds on extracts ROIs from exactly
+this kind of data), and for visual/audit exports of candidate service
+areas.  All functions operate on projected meter coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Andrew's monotone-chain convex hull.
+
+    Returns hull vertices in counter-clockwise order (no repeated closing
+    vertex).  Degenerate inputs return what they can: fewer than 3 distinct
+    points yield those points.
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    unique = np.unique(points, axis=0)
+    if len(unique) <= 2:
+        return unique
+    pts = unique[np.lexsort((unique[:, 1], unique[:, 0]))]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return np.array(lower[:-1] + upper[:-1])
+
+
+def polygon_area(vertices: np.ndarray) -> float:
+    """Signed shoelace area (positive for counter-clockwise rings)."""
+    vertices = np.asarray(vertices, dtype=float).reshape(-1, 2)
+    if len(vertices) < 3:
+        return 0.0
+    x = vertices[:, 0]
+    y = vertices[:, 1]
+    return float(0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+def point_in_polygon(x: float, y: float, vertices: np.ndarray) -> bool:
+    """Ray-casting point-in-polygon test (boundary counts as inside)."""
+    vertices = np.asarray(vertices, dtype=float).reshape(-1, 2)
+    n = len(vertices)
+    if n < 3:
+        return False
+    inside = False
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        # On-edge check (within numerical tolerance).
+        cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+        if abs(cross) < 1e-9:
+            if min(x1, x2) - 1e-9 <= x <= max(x1, x2) + 1e-9 and min(y1, y2) - 1e-9 <= y <= max(y1, y2) + 1e-9:
+                return True
+        if (y1 > y) != (y2 > y):
+            x_int = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_int:
+                inside = not inside
+    return inside

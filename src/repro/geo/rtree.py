@@ -1,0 +1,175 @@
+"""A static STR-packed R-tree over points.
+
+Complements :class:`~repro.geo.GridIndex`: the grid is ideal for uniform
+city-scale data with known density; the R-tree handles skewed
+distributions (e.g. station-heavy stay-point clouds) and bounding-box
+queries without tuning a cell size.  Built once (Sort-Tile-Recursive
+packing), queried many times — the access pattern of candidate retrieval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    children: list["_Node"] | None  # None for leaves
+    items: list[tuple[Hashable, float, float]] | None
+
+    def intersects_box(self, qx0: float, qy0: float, qx1: float, qy1: float) -> bool:
+        return not (
+            self.min_x > qx1 or self.max_x < qx0 or self.min_y > qy1 or self.max_y < qy0
+        )
+
+    def min_dist2(self, x: float, y: float) -> float:
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return dx * dx + dy * dy
+
+
+class RTree:
+    """Immutable point R-tree with box, radius and nearest queries."""
+
+    def __init__(
+        self,
+        items: Sequence[Hashable],
+        coords: np.ndarray,
+        leaf_size: int = 16,
+    ) -> None:
+        coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+        if len(items) != len(coords):
+            raise ValueError("items and coords must align")
+        if leaf_size < 2:
+            raise ValueError("leaf_size must be >= 2")
+        self.leaf_size = leaf_size
+        self._size = len(items)
+        records = [(item, float(x), float(y)) for item, (x, y) in zip(items, coords)]
+        self.root = self._build(records) if records else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def _build(self, records: list[tuple[Hashable, float, float]]) -> _Node:
+        if len(records) <= self.leaf_size:
+            xs = [r[1] for r in records]
+            ys = [r[2] for r in records]
+            return _Node(min(xs), min(ys), max(xs), max(ys), None, records)
+        # STR packing: sort by x, slice into vertical strips, sort each
+        # strip by y, chunk into nodes.
+        n = len(records)
+        n_nodes = math.ceil(n / self.leaf_size)
+        n_strips = math.ceil(math.sqrt(n_nodes))
+        by_x = sorted(records, key=lambda r: (r[1], r[2]))
+        strip_size = math.ceil(n / n_strips)
+        children: list[_Node] = []
+        for s in range(0, n, strip_size):
+            strip = sorted(by_x[s : s + strip_size], key=lambda r: (r[2], r[1]))
+            for c in range(0, len(strip), self.leaf_size):
+                chunk = strip[c : c + self.leaf_size]
+                xs = [r[1] for r in chunk]
+                ys = [r[2] for r in chunk]
+                children.append(_Node(min(xs), min(ys), max(xs), max(ys), None, chunk))
+        # Pack upward until a single root remains.
+        while len(children) > 1:
+            children = self._pack_level(children)
+        return children[0]
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        fanout = self.leaf_size
+        n_groups = math.ceil(len(nodes) / fanout)
+        n_strips = math.ceil(math.sqrt(n_groups))
+        by_x = sorted(nodes, key=lambda nd: (nd.min_x + nd.max_x))
+        strip_size = math.ceil(len(nodes) / n_strips)
+        parents: list[_Node] = []
+        for s in range(0, len(by_x), strip_size):
+            strip = sorted(by_x[s : s + strip_size], key=lambda nd: (nd.min_y + nd.max_y))
+            for c in range(0, len(strip), fanout):
+                chunk = strip[c : c + fanout]
+                parents.append(
+                    _Node(
+                        min(nd.min_x for nd in chunk),
+                        min(nd.min_y for nd in chunk),
+                        max(nd.max_x for nd in chunk),
+                        max(nd.max_y for nd in chunk),
+                        chunk,
+                        None,
+                    )
+                )
+        return parents
+
+    # ------------------------------------------------------------------
+    def query_box(self, x0: float, y0: float, x1: float, y1: float) -> list[Hashable]:
+        """Items inside the closed box ``[x0, x1] x [y0, y1]``."""
+        if x0 > x1 or y0 > y1:
+            raise ValueError("degenerate query box")
+        found: list[Hashable] = []
+        if self.root is None:
+            return found
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.intersects_box(x0, y0, x1, y1):
+                continue
+            if node.items is not None:
+                for item, x, y in node.items:
+                    if x0 <= x <= x1 and y0 <= y <= y1:
+                        found.append(item)
+            else:
+                stack.extend(node.children)
+        return found
+
+    def query_radius(self, x: float, y: float, radius: float) -> list[Hashable]:
+        """Items within ``radius`` (inclusive) of (x, y)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        found: list[Hashable] = []
+        if self.root is None:
+            return found
+        r2 = radius * radius
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.min_dist2(x, y) > r2:
+                continue
+            if node.items is not None:
+                for item, px, py in node.items:
+                    if (px - x) ** 2 + (py - y) ** 2 <= r2:
+                        found.append(item)
+            else:
+                stack.extend(node.children)
+        return found
+
+    def nearest(self, x: float, y: float) -> Hashable | None:
+        """The closest item to (x, y) via best-first branch and bound."""
+        if self.root is None:
+            return None
+        import heapq
+
+        best: Hashable | None = None
+        best_d2 = math.inf
+        counter = 0
+        heap: list[tuple[float, int, _Node]] = [(self.root.min_dist2(x, y), counter, self.root)]
+        while heap:
+            d2, _, node = heapq.heappop(heap)
+            if d2 >= best_d2:
+                break
+            if node.items is not None:
+                for item, px, py in node.items:
+                    pd2 = (px - x) ** 2 + (py - y) ** 2
+                    if pd2 < best_d2:
+                        best, best_d2 = item, pd2
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(heap, (child.min_dist2(x, y), counter, child))
+        return best

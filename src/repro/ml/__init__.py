@@ -1,0 +1,26 @@
+"""Classical ML substrate (replaces scikit-learn for this reproduction)."""
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.mlp import MLPClassifier
+from repro.ml.ranking import PairwiseRankingTree, RankNet, RankingGroup
+from repro.ml.scaler import StandardScaler
+from repro.ml.metrics import accuracy, confusion_matrix, precision_recall_f1, roc_auc
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "roc_auc",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "MLPClassifier",
+    "PairwiseRankingTree",
+    "RankNet",
+    "RankingGroup",
+    "StandardScaler",
+]

@@ -1,0 +1,86 @@
+"""Random forest classifier (bagged CART trees) — DLInfMA-RF variant.
+
+Paper hyperparameters: 400 trees, max depth 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated gini trees with sqrt-feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 400,
+        max_depth: int | None = 10,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features is None:
+            return None
+        return int(self.max_features)
+
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+    ) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        n, d = x.shape
+        self.classes_ = np.unique(y)
+        max_features = self._resolve_max_features(d)
+        w = np.ones(n) if sample_weight is None else np.asarray(sample_weight, dtype=float)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = self.rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=self.rng,
+            )
+            tree.fit(x[idx], y[idx], sample_weight=w[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Average of per-tree class probabilities, aligned to classes_."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        x = np.asarray(x, dtype=float)
+        total = np.zeros((len(x), len(self.classes_)))
+        for tree in self.trees_:
+            proba = tree.predict_proba(x)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            total[:, cols] += proba
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority-probability class per row."""
+        proba = self.predict_proba(x)
+        return self.classes_[proba.argmax(axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean normalized split-gain importance across trees."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([t.feature_importances_ for t in self.trees_], axis=0)

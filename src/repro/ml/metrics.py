@@ -1,0 +1,87 @@
+"""Classification metrics for the candidate-selector models.
+
+The paper evaluates end-to-end location error; these metrics support the
+intermediate diagnosis the variants need (e.g. how well a binary
+classifier separates true delivery candidates before argmax selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("need equal, non-empty label arrays")
+    return float((y_true == y_pred).mean())
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive=1
+) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 for the ``positive`` label.
+
+    Empty denominators yield 0.0 (no predicted positives -> precision 0,
+    no actual positives -> recall 0).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("need equal, non-empty label arrays")
+    tp = float(((y_pred == positive) & (y_true == positive)).sum())
+    fp = float(((y_pred == positive) & (y_true != positive)).sum())
+    fn = float(((y_pred != positive) & (y_true == positive)).sum())
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return precision, recall, f1
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (ties averaged).
+
+    Equivalent to the probability a random positive outscores a random
+    negative.  Requires both classes present.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape or y_true.size == 0:
+        raise ValueError("need equal, non-empty arrays")
+    n_pos = int(y_true.sum())
+    n_neg = int((~y_true).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over tied scores.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true].sum())
+    return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, labels=None) -> np.ndarray:
+    """``(k, k)`` confusion counts with ``labels`` row/col ordering."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("need equal, non-empty label arrays")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    out = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out

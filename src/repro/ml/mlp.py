@@ -1,0 +1,80 @@
+"""A small sklearn-style MLP classifier on the repro.nn substrate.
+
+The DLInfMA-MLP variant feeds candidate features into one hidden layer with
+16 neurons (paper Section V-B) and classifies each candidate independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Adam, Linear, ReLU, Sequential, Tensor
+from repro.nn.functional import binary_cross_entropy_with_logits
+from repro.ml.scaler import StandardScaler
+
+
+class MLPClassifier:
+    """Binary classifier with one hidden layer and weighted BCE loss."""
+
+    def __init__(
+        self,
+        hidden: int = 16,
+        epochs: int = 60,
+        lr: float = 3e-3,
+        batch_size: int = 64,
+        pos_weight: float = 4.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("hidden, epochs and batch_size must be >= 1")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.pos_weight = pos_weight
+        self.rng = rng or np.random.default_rng(0)
+        self.model: Sequential | None = None
+        self.scaler = StandardScaler()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on ``(n, d)`` features and 0/1 labels."""
+        x = self.scaler.fit_transform(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be 0/1")
+        n, d = x.shape
+        self.model = Sequential(
+            Linear(d, self.hidden, rng=self.rng),
+            ReLU(),
+            Linear(self.hidden, 1, rng=self.rng),
+        )
+        opt = Adam(self.model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                opt.zero_grad()
+                logits = self.model(Tensor(x[idx])).reshape(len(idx))
+                loss = binary_cross_entropy_with_logits(
+                    logits, y[idx], pos_weight=self.pos_weight
+                )
+                loss.backward()
+                opt.step()
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw logit per row."""
+        if self.model is None:
+            raise RuntimeError("model is not fitted")
+        x = self.scaler.transform(np.asarray(x, dtype=float))
+        return self.model(Tensor(x)).data.reshape(-1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(n, 2)`` probabilities for classes [0, 1]."""
+        z = self.decision_function(x)
+        p1 = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 labels."""
+        return (self.decision_function(x) > 0).astype(int)

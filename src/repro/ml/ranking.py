@@ -1,0 +1,169 @@
+"""Pairwise learning-to-rank over candidate groups.
+
+A *group* is one address's candidate set: an ``(n_i, d)`` feature matrix
+plus the index of the positive (true delivery-location) candidate.  Both
+rankers train on within-group (positive, negative) pairs:
+
+- :class:`PairwiseRankingTree` — GeoRank / DLInfMA-RkDT: a decision-tree
+  classifier on feature differences; inference counts pairwise wins in a
+  voting manner (quadratic comparisons, as the paper notes).
+- :class:`RankNet` — DLInfMA-RkNet: a shared scoring MLP trained with the
+  pairwise logistic loss; inference scores each candidate directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.scaler import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+from repro.nn import Adam, Linear, ReLU, Sequential, Tensor
+from repro.nn.functional import pairwise_logistic_loss
+
+
+@dataclass(frozen=True)
+class RankingGroup:
+    """One training group: candidate features and the positive index."""
+
+    features: np.ndarray
+    positive_index: int
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be (n, d)")
+        if not 0 <= self.positive_index < len(features):
+            raise ValueError("positive_index out of range")
+        object.__setattr__(self, "features", features)
+
+
+def _make_pairs(
+    groups: list[RankingGroup], max_negatives: int | None, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature differences (pos - neg and neg - pos) with 1/0 labels."""
+    diffs, labels = [], []
+    for group in groups:
+        pos = group.features[group.positive_index]
+        negatives = np.delete(np.arange(len(group.features)), group.positive_index)
+        if max_negatives is not None and len(negatives) > max_negatives:
+            negatives = rng.choice(negatives, size=max_negatives, replace=False)
+        for j in negatives:
+            diffs.append(pos - group.features[j])
+            labels.append(1)
+            diffs.append(group.features[j] - pos)
+            labels.append(0)
+    if not diffs:
+        raise ValueError("no training pairs (all groups have a single candidate?)")
+    return np.array(diffs), np.array(labels)
+
+
+class PairwiseRankingTree:
+    """Decision-tree pairwise ranker (1024 leaves max, per the paper)."""
+
+    def __init__(
+        self,
+        max_leaf_nodes: int = 1024,
+        max_negatives: int | None = 30,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.rng = rng or np.random.default_rng(0)
+        self.max_negatives = max_negatives
+        self.tree = DecisionTreeClassifier(max_leaf_nodes=max_leaf_nodes, rng=self.rng)
+
+    def fit(self, groups: list[RankingGroup]) -> "PairwiseRankingTree":
+        """Train the pairwise comparator."""
+        diffs, labels = _make_pairs(groups, self.max_negatives, self.rng)
+        self.tree.fit(diffs, labels)
+        return self
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Win counts from all-pairs voting within one candidate set."""
+        features = np.asarray(features, dtype=float)
+        n = len(features)
+        if n == 1:
+            return np.zeros(1)
+        # Build all ordered pair differences in one batch.
+        ii, jj = np.nonzero(~np.eye(n, dtype=bool))
+        diffs = features[ii] - features[jj]
+        p_win = self.tree.predict_proba(diffs)[:, list(self.tree.classes_).index(1)]
+        wins = np.zeros(n)
+        np.add.at(wins, ii, (p_win > 0.5).astype(float))
+        return wins
+
+    def predict_best(self, features: np.ndarray) -> int:
+        """Index of the candidate winning the most comparisons."""
+        return int(self.scores(features).argmax())
+
+
+class RankNet:
+    """Burges-style RankNet with a shared scoring MLP (16 hidden units)."""
+
+    def __init__(
+        self,
+        hidden: int = 16,
+        epochs: int = 60,
+        lr: float = 3e-3,
+        batch_size: int = 64,
+        max_negatives: int | None = 30,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_negatives = max_negatives
+        self.rng = rng or np.random.default_rng(0)
+        self.model: Sequential | None = None
+        self.scaler = StandardScaler()
+
+    def fit(self, groups: list[RankingGroup]) -> "RankNet":
+        """Train the scoring network on (positive, negative) pairs."""
+        pos_feats, neg_feats = [], []
+        for group in groups:
+            pos = group.features[group.positive_index]
+            negatives = np.delete(np.arange(len(group.features)), group.positive_index)
+            if self.max_negatives is not None and len(negatives) > self.max_negatives:
+                negatives = self.rng.choice(negatives, size=self.max_negatives, replace=False)
+            for j in negatives:
+                pos_feats.append(pos)
+                neg_feats.append(group.features[j])
+        if not pos_feats:
+            raise ValueError("no training pairs (all groups have a single candidate?)")
+        pos_arr = np.array(pos_feats)
+        neg_arr = np.array(neg_feats)
+        self.scaler.fit(np.vstack([pos_arr, neg_arr]))
+        pos_arr = self.scaler.transform(pos_arr)
+        neg_arr = self.scaler.transform(neg_arr)
+
+        d = pos_arr.shape[1]
+        self.model = Sequential(
+            Linear(d, self.hidden, rng=self.rng),
+            ReLU(),
+            Linear(self.hidden, 1, rng=self.rng),
+        )
+        opt = Adam(self.model.parameters(), lr=self.lr)
+        n = len(pos_arr)
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                opt.zero_grad()
+                s_pos = self.model(Tensor(pos_arr[idx])).reshape(len(idx))
+                s_neg = self.model(Tensor(neg_arr[idx])).reshape(len(idx))
+                loss = pairwise_logistic_loss(s_pos, s_neg)
+                loss.backward()
+                opt.step()
+        return self
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Learned score per candidate."""
+        if self.model is None:
+            raise RuntimeError("model is not fitted")
+        features = self.scaler.transform(np.asarray(features, dtype=float))
+        return self.model(Tensor(features)).data.reshape(-1)
+
+    def predict_best(self, features: np.ndarray) -> int:
+        """Index of the highest-scoring candidate."""
+        return int(self.scores(features).argmax())

@@ -1,0 +1,42 @@
+"""Feature standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling; constant features map to zero."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the standardization."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(x, dtype=float) * self.scale_ + self.mean_

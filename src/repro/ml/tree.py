@@ -1,0 +1,390 @@
+"""CART decision trees (classification and regression).
+
+Replaces scikit-learn for the paper's tree-based baselines and variants:
+GeoRank / DLInfMA-RkDT use a decision tree as the pairwise base learner
+(1024 leaves max), DLInfMA-RF bags classification trees, and DLInfMA-GBDT
+boosts regression trees.
+
+Split search is vectorized per feature: sort, form cumulative statistics,
+and score every midpoint in one pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    n_samples: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class _BaseTree:
+    """Shared growth machinery; subclasses define impurity and leaf values."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_leaf_nodes: int | None = None,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if max_leaf_nodes is not None and max_leaf_nodes < 2:
+            raise ValueError("max_leaf_nodes must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_leaf_nodes = max_leaf_nodes
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self.root: _Node | None = None
+        self.n_features_: int | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    # -- subclass API ---------------------------------------------------
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, w: np.ndarray, features: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        raise NotImplementedError
+
+    # -- fitting ----------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None):
+        """Grow the tree on ``(n, d)`` features and ``(n,)`` targets."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        w = (
+            np.ones(len(y), dtype=float)
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=float)
+        )
+        if w.shape != (len(y),):
+            raise ValueError("sample_weight must align with y")
+        self.n_features_ = x.shape[1]
+        self._prepare_targets(y)
+        self._importance_acc = np.zeros(self.n_features_)
+        if self.max_leaf_nodes is None:
+            self.root = self._grow_depth_first(x, y, w, depth=0)
+        else:
+            self.root = self._grow_best_first(x, y, w)
+        total = self._importance_acc.sum()
+        self.feature_importances_ = (
+            self._importance_acc / total if total > 0 else self._importance_acc.copy()
+        )
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        d = self.n_features_
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        return self.rng.choice(d, size=self.max_features, replace=False)
+
+    def _make_leaf(self, y: np.ndarray, w: np.ndarray) -> _Node:
+        return _Node(value=self._leaf_value(y, w), n_samples=float(w.sum()))
+
+    def _splittable(self, y: np.ndarray, depth: int | None) -> bool:
+        if len(y) < self.min_samples_split:
+            return False
+        if depth is not None and self.max_depth is not None and depth >= self.max_depth:
+            return False
+        return True
+
+    def _grow_depth_first(self, x, y, w, depth: int) -> _Node:
+        node = self._make_leaf(y, w)
+        if not self._splittable(y, depth):
+            return node
+        split = self._best_split(x, y, w, self._candidate_features())
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        self._importance_acc[feature] += gain * float(w.sum())
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow_depth_first(x[mask], y[mask], w[mask], depth + 1)
+        node.right = self._grow_depth_first(x[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _grow_best_first(self, x, y, w) -> _Node:
+        """Grow by repeatedly splitting the leaf with the largest gain,
+        until ``max_leaf_nodes`` is reached (how sklearn bounds leaves)."""
+        counter = itertools.count()
+        root = self._make_leaf(y, w)
+        heap: list[tuple[float, int, _Node, np.ndarray, int]] = []
+
+        def try_queue(node: _Node, idx: np.ndarray, depth: int) -> None:
+            if not self._splittable(y[idx], depth):
+                return
+            split = self._best_split(x[idx], y[idx], w[idx], self._candidate_features())
+            if split is None:
+                return
+            feature, threshold, gain = split
+            node.feature = feature  # provisional; reverted if never popped
+            node.threshold = threshold
+            heapq.heappush(heap, (-gain, next(counter), node, idx, depth))
+
+        all_idx = np.arange(len(y))
+        try_queue(root, all_idx, 0)
+        n_leaves = 1
+        popped: list[tuple[_Node, np.ndarray, int]] = []
+        while heap and n_leaves < self.max_leaf_nodes:
+            neg_gain, _, node, idx, depth = heapq.heappop(heap)
+            popped.append((node, idx, depth))
+            self._importance_acc[node.feature] += -neg_gain * float(w[idx].sum())
+            mask = x[idx, node.feature] <= node.threshold
+            left_idx, right_idx = idx[mask], idx[~mask]
+            node.left = self._make_leaf(y[left_idx], w[left_idx])
+            node.right = self._make_leaf(y[right_idx], w[right_idx])
+            n_leaves += 1
+            try_queue(node.left, left_idx, depth + 1)
+            try_queue(node.right, right_idx, depth + 1)
+        # Any nodes still queued keep leaf semantics: clear provisional split.
+        for _, _, node, _, _ in heap:
+            node.feature = -1
+        return root
+
+    # -- prediction -------------------------------------------------------
+    def _predict_values(self, x: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_features_:
+            raise ValueError(f"expected (n, {self.n_features_}) features")
+        out = np.empty((len(x),) + self.root.value.shape, dtype=float)
+        for i, row in enumerate(x):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend([node.left, node.right])
+        return count
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth of the fitted tree."""
+        if self.root is None:
+            return 0
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def _prepare_targets(self, y: np.ndarray) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Gini-impurity CART classifier; ``predict_proba`` gives class shares."""
+
+    def _prepare_targets(self, y: np.ndarray) -> None:
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 1:
+            raise ValueError("no classes in y")
+
+    def _class_counts(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        counts = np.zeros(len(self.classes_))
+        for k, cls in enumerate(self.classes_):
+            counts[k] = w[y == cls].sum()
+        return counts
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        counts = self._class_counts(y, w)
+        total = counts.sum()
+        return counts / total if total > 0 else np.full(len(counts), 1.0 / len(counts))
+
+    def _impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        p = self._leaf_value(y, w)
+        return float(1.0 - (p * p).sum())
+
+    def _best_split(self, x, y, w, features):
+        n = len(y)
+        y_codes = np.searchsorted(self.classes_, y)
+        k = len(self.classes_)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_codes] = 1.0
+        weighted = onehot * w[:, None]
+        total_counts = weighted.sum(axis=0)
+        total_w = w.sum()
+        parent_gini = 1.0 - ((total_counts / total_w) ** 2).sum()
+
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for f in features:
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            cum_counts = np.cumsum(weighted[order], axis=0)
+            cum_w = np.cumsum(w[order])
+            # Valid split positions: between distinct adjacent values.
+            pos = np.nonzero(xs[:-1] < xs[1:])[0]
+            if len(pos) == 0:
+                continue
+            if self.min_samples_leaf > 1:
+                pos = pos[
+                    (pos + 1 >= self.min_samples_leaf)
+                    & (n - pos - 1 >= self.min_samples_leaf)
+                ]
+                if len(pos) == 0:
+                    continue
+            left_w = cum_w[pos]
+            right_w = total_w - left_w
+            left_counts = cum_counts[pos]
+            right_counts = total_counts[None, :] - left_counts
+            gini_l = 1.0 - ((left_counts / left_w[:, None]) ** 2).sum(axis=1)
+            gini_r = 1.0 - ((right_counts / right_w[:, None]) ** 2).sum(axis=1)
+            children = (left_w * gini_l + right_w * gini_r) / total_w
+            gains = parent_gini - children
+            j = int(gains.argmax())
+            if gains[j] > best_gain:
+                best_gain = float(gains[j])
+                threshold = float((xs[pos[j]] + xs[pos[j] + 1]) / 2.0)
+                best = (int(f), threshold, best_gain)
+        return best
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(n, n_classes)`` class-probability estimates."""
+        return self._predict_values(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class label per row."""
+        proba = self.predict_proba(x)
+        return self.classes_[proba.argmax(axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Variance-reduction CART regressor."""
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        total = w.sum()
+        mean = float((y * w).sum() / total) if total > 0 else 0.0
+        return np.array([mean])
+
+    def _impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        total = w.sum()
+        if total <= 0:
+            return 0.0
+        mean = (y * w).sum() / total
+        return float((w * (y - mean) ** 2).sum() / total)
+
+    def _best_split(self, x, y, w, features):
+        n = len(y)
+        y = y.astype(float)
+        total_w = w.sum()
+        total_sum = (y * w).sum()
+        total_sq = (y * y * w).sum()
+        parent_sse = total_sq - total_sum * total_sum / total_w
+
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for f in features:
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            yw = (y * w)[order]
+            yyw = (y * y * w)[order]
+            ws = w[order]
+            cum_sum = np.cumsum(yw)
+            cum_sq = np.cumsum(yyw)
+            cum_w = np.cumsum(ws)
+            pos = np.nonzero(xs[:-1] < xs[1:])[0]
+            if len(pos) == 0:
+                continue
+            if self.min_samples_leaf > 1:
+                pos = pos[
+                    (pos + 1 >= self.min_samples_leaf)
+                    & (n - pos - 1 >= self.min_samples_leaf)
+                ]
+                if len(pos) == 0:
+                    continue
+            lw = cum_w[pos]
+            rw = total_w - lw
+            ls = cum_sum[pos]
+            rs = total_sum - ls
+            lq = cum_sq[pos]
+            rq = total_sq - lq
+            sse = (lq - ls * ls / lw) + (rq - rs * rs / rw)
+            gains = parent_sse - sse
+            j = int(gains.argmax())
+            if gains[j] > best_gain:
+                best_gain = float(gains[j])
+                threshold = float((xs[pos[j]] + xs[pos[j] + 1]) / 2.0)
+                best = (int(f), threshold, best_gain)
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted target per row."""
+        return self._predict_values(x)[:, 0]
+
+    def leaves(self) -> list[_Node]:
+        """All leaf nodes in deterministic (left-first DFS) order."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        out: list[_Node] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return out
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Stable leaf index (DFS order) each row lands in."""
+        leaf_ids = {id(node): k for k, node in enumerate(self.leaves())}
+        x = np.asarray(x, dtype=float)
+        out = np.empty(len(x), dtype=int)
+        for i, row in enumerate(x):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = leaf_ids[id(node)]
+        return out

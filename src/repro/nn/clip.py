@@ -1,0 +1,38 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Parameters without gradients are
+    skipped; clipping is a no-op when the norm is already within bounds.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float((g * g).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+def clip_grad_value(params: Sequence[Tensor], max_value: float) -> None:
+    """Clamp every gradient element into ``[-max_value, max_value]``."""
+    if max_value <= 0:
+        raise ValueError("max_value must be positive")
+    for p in params:
+        if p.grad is not None:
+            np.clip(p.grad, -max_value, max_value, out=p.grad)

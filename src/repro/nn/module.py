@@ -1,0 +1,124 @@
+"""Module base class: parameter discovery, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class for layers and models.
+
+    Parameters are ``Tensor`` attributes with ``requires_grad=True``;
+    :meth:`parameters` finds them recursively through ``Module``,
+    ``list``/``tuple``-of-``Module`` and ``dict`` attributes.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # Subclasses implement forward(); __call__ delegates.
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield item
+
+    def _own_parameters(self) -> Iterator[tuple[str, Tensor]]:
+        for attr, value in self.__dict__.items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield attr, value
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors, depth-first and deduplicated."""
+        seen: set[int] = set()
+        out: list[Tensor] = []
+
+        def visit(module: "Module") -> None:
+            for _, p in module._own_parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    out.append(p)
+            for child in module._children():
+                visit(child)
+
+        visit(self)
+        return out
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        """``(dotted_name, tensor)`` pairs for every trainable parameter."""
+        out: list[tuple[str, Tensor]] = []
+        for attr, p in self._own_parameters():
+            out.append((f"{prefix}{attr}", p))
+        for name, value in self.__dict__.items():
+            if isinstance(value, Module):
+                out.extend(value.named_parameters(f"{prefix}{name}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        out.extend(item.named_parameters(f"{prefix}{name}.{i}."))
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        out.extend(item.named_parameters(f"{prefix}{name}.{key}."))
+        return out
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        self.training = True
+        for child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode (dropout off) recursively."""
+        self.training = False
+        for child in self._children():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, array in state.items():
+            p = params[name]
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {array.shape} vs {p.data.shape}")
+            p.data = array.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())

@@ -1,0 +1,456 @@
+"""Reverse-mode autodiff on numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
+it; :meth:`Tensor.backward` walks the recorded graph in reverse topological
+order accumulating gradients.  Broadcasting is supported: gradients are
+summed back down to each operand's shape.
+
+This is the substrate replacing PyTorch for the paper's neural models
+(LocMatcher's transformer, the LSTM pointer variant, and the UNet baseline).
+
+Gradient flow: every op output carries a ``_backward`` closure that, given
+the output gradient, deposits contributions into each parent's ``_pending``
+slot via :meth:`Tensor._receive`.  The engine in :meth:`Tensor.backward`
+drains ``_pending`` in reverse topological order, so each closure runs
+exactly once with the fully accumulated gradient.  Leaves (no ``_backward``)
+accumulate into ``.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+Scalar = Union[int, float]
+TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an autograd tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_pending", "name")
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(
+        self,
+        data: TensorLike,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._pending: np.ndarray | None = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def item(self) -> float:
+        """The scalar value; raises if not a one-element tensor."""
+        if self.data.size != 1:
+            raise ValueError("item() requires a one-element tensor")
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, not copied)."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: TensorLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing the same data but cut off from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def _receive(self, grad: np.ndarray) -> None:
+        """Deposit a gradient contribution (called by child op closures)."""
+        if self._pending is None:
+            self._pending = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self._pending = self._pending + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones, so a scalar loss needs no argument.
+        Leaf tensors with ``requires_grad`` end up with ``.grad`` set.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor {self.data.shape}"
+                )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._receive(grad)
+        for node in reversed(topo):
+            g = node._pending
+            node._pending = None
+            if g is None:
+                continue
+            if node._backward is None:
+                node._accumulate(g)
+            else:
+                node._backward(g)
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other = self._lift(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._receive(_unbroadcast(g, a.shape))
+            if b.requires_grad:
+                b._receive(_unbroadcast(g, b.shape))
+
+        return self._make(a.data + b.data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(-g)
+
+        return self._make(-a.data, (a,), backward)
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        other = self._lift(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._receive(_unbroadcast(g, a.shape))
+            if b.requires_grad:
+                b._receive(_unbroadcast(-g, b.shape))
+
+        return self._make(a.data - b.data, (a, b), backward)
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other = self._lift(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._receive(_unbroadcast(g * b.data, a.shape))
+            if b.requires_grad:
+                b._receive(_unbroadcast(g * a.data, b.shape))
+
+        return self._make(a.data * b.data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other = self._lift(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._receive(_unbroadcast(g / b.data, a.shape))
+            if b.requires_grad:
+                b._receive(_unbroadcast(-g * a.data / (b.data * b.data), b.shape))
+
+        return self._make(a.data / b.data, (a, b), backward)
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return self._lift(other).__truediv__(self)
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g * exponent * np.power(a.data, exponent - 1))
+
+        return self._make(np.power(a.data, float(exponent)), (a,), backward)
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        other = self._lift(other)
+        a, b = self, other
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError("matmul requires tensors with ndim >= 2")
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                ga = np.matmul(g, b.data.swapaxes(-1, -2))
+                a._receive(_unbroadcast(ga, a.shape))
+            if b.requires_grad:
+                gb = np.matmul(a.data.swapaxes(-1, -2), g)
+                b._receive(_unbroadcast(gb, b.shape))
+
+        return self._make(np.matmul(a.data, b.data), (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g * out_data)
+
+        return self._make(out_data, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g / a.data)
+
+        return self._make(np.log(a.data), (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g / (2.0 * out_data))
+
+        return self._make(out_data, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g * (1.0 - out_data * out_data))
+
+        return self._make(out_data, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500)))
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g * mask)
+
+        return self._make(a.data * mask, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(ax % a.ndim for ax in axes):
+                    grad = np.expand_dims(grad, ax)
+            a._receive(np.broadcast_to(grad, a.shape))
+
+        return self._make(out_data, (a,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Max along ``axis``; gradient flows to the first argmax per slice."""
+        a = self
+        out_keep = a.data.max(axis=axis, keepdims=True)
+        mask = a.data == out_keep
+        first = np.cumsum(mask, axis=axis) == 1
+        mask = mask & first
+
+        def backward(g: np.ndarray) -> None:
+            grad = g if keepdims else np.expand_dims(g, axis)
+            a._receive(np.broadcast_to(grad, a.shape) * mask)
+
+        out_data = out_keep if keepdims else out_keep.squeeze(axis)
+        return self._make(out_data, (a,), backward)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        old_shape = a.shape
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g.reshape(old_shape))
+
+        return self._make(a.data.reshape(shape), (a,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        a = self
+        if not axes:
+            axes = tuple(reversed(range(a.ndim)))
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g.transpose(inverse))
+
+        return self._make(a.data.transpose(axes), (a,), backward)
+
+    def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._receive(g.swapaxes(ax1, ax2))
+
+        return self._make(a.data.swapaxes(ax1, ax2), (a,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, index, g)
+            a._receive(grad)
+
+        return self._make(a.data[index], (a,), backward)
+
+
+def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    ts = [Tensor._lift(t) for t in tensors]
+    if not ts:
+        raise ValueError("cat() of no tensors")
+    data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    out = Tensor(data)
+    if any(t.requires_grad for t in ts):
+        out.requires_grad = True
+        out._parents = tuple(t for t in ts if t.requires_grad)
+
+        def backward(g: np.ndarray) -> None:
+            for t, start, stop in zip(ts, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    index = [slice(None)] * g.ndim
+                    index[axis % g.ndim] = slice(start, stop)
+                    t._receive(g[tuple(index)])
+
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    ts = [Tensor._lift(t) for t in tensors]
+    if not ts:
+        raise ValueError("stack() of no tensors")
+    data = np.stack([t.data for t in ts], axis=axis)
+    out = Tensor(data)
+    if any(t.requires_grad for t in ts):
+        out.requires_grad = True
+        out._parents = tuple(t for t in ts if t.requires_grad)
+
+        def backward(g: np.ndarray) -> None:
+            slices = np.moveaxis(g, axis, 0)
+            for t, gs in zip(ts, slices):
+                if t.requires_grad:
+                    t._receive(gs)
+
+        out._backward = backward
+    return out

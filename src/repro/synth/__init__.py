@@ -1,0 +1,70 @@
+"""Synthetic courier world: city, geocoder, trip simulation, datasets.
+
+Stands in for the proprietary JD Logistics data (DowBJ / SubBJ).  See
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.synth.city import (
+    City,
+    CityConfig,
+    DeliverySpot,
+    SpotKind,
+    SynthAddressRecord,
+    SynthBuilding,
+    N_POI_CATEGORIES,
+)
+from repro.synth.geocoder import GeocoderConfig, SyntheticGeocoder
+from repro.synth.simulate import (
+    PlannedStop,
+    SimulatedTrip,
+    SimulationConfig,
+    TripSimulator,
+)
+from repro.synth.delays import inject_delays
+from repro.synth.weather import Weather, WeatherConfig, daily_weather, weather_of_time
+from repro.synth.addressparse import ParsedAddress, building_of, parse_address, resolve_building
+from repro.synth.stream import build_day_streams
+from repro.synth.datasets import (
+    AddressSplit,
+    DatasetConfig,
+    SynthDataset,
+    downbj_config,
+    generate_dataset,
+    split_addresses_by_region,
+    subbj_config,
+    tiny_config,
+)
+
+__all__ = [
+    "City",
+    "CityConfig",
+    "DeliverySpot",
+    "SpotKind",
+    "SynthAddressRecord",
+    "SynthBuilding",
+    "N_POI_CATEGORIES",
+    "GeocoderConfig",
+    "SyntheticGeocoder",
+    "PlannedStop",
+    "SimulatedTrip",
+    "SimulationConfig",
+    "TripSimulator",
+    "inject_delays",
+    "Weather",
+    "WeatherConfig",
+    "daily_weather",
+    "weather_of_time",
+    "ParsedAddress",
+    "build_day_streams",
+    "building_of",
+    "parse_address",
+    "resolve_building",
+    "AddressSplit",
+    "DatasetConfig",
+    "SynthDataset",
+    "downbj_config",
+    "generate_dataset",
+    "split_addresses_by_region",
+    "subbj_config",
+    "tiny_config",
+]

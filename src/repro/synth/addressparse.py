@@ -1,0 +1,83 @@
+"""Toy address segmentation: plaintext address -> building key.
+
+Stands in for the paper's "commercial address segmentation and tagging
+tool" that extracts ``B(addr)`` (footnote 3).  Synthetic addresses follow
+the template ``"<complex name> Building <n> Unit <m>"``; the parser
+tokenizes that and resolves the building against the city registry,
+including the realistic failure on near-duplicate complex names when fuzzy
+matching is allowed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.synth.city import City
+
+_PATTERN = re.compile(
+    r"^(?P<complex>.+?)\s+Building\s+(?P<building>\d+)(?:\s+Unit\s+(?P<unit>\d+))?\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class ParsedAddress:
+    """Segmented address components."""
+
+    complex_name: str
+    building_no: int
+    unit_no: int | None
+
+
+def parse_address(text: str) -> ParsedAddress:
+    """Segment an address string; raises ``ValueError`` when malformed."""
+    match = _PATTERN.match(text.strip())
+    if not match:
+        raise ValueError(f"unparseable address: {text!r}")
+    unit = match.group("unit")
+    return ParsedAddress(
+        complex_name=match.group("complex").strip(),
+        building_no=int(match.group("building")),
+        unit_no=int(unit) if unit is not None else None,
+    )
+
+
+def resolve_building(
+    parsed: ParsedAddress, city: City, fuzzy: bool = False
+) -> str | None:
+    """Resolve a parsed address to a ``building_id`` in the city.
+
+    Exact complex-name match first.  With ``fuzzy=True``, a unique
+    2-token-prefix match is accepted — which is precisely how
+    "San Yi Li" can be confused with "San Yi Xi Li" when only one of them
+    exists in the registry, mirroring geocoder failure mode 1.
+    """
+    by_name = {}
+    for block in city.blocks.values():
+        by_name.setdefault(block.name, []).append(block)
+    candidates = by_name.get(parsed.complex_name, [])
+    if not candidates and fuzzy:
+        prefix = " ".join(parsed.complex_name.split()[:2])
+        matches = [
+            block
+            for name, blocks in by_name.items()
+            if " ".join(name.split()[:2]) == prefix
+            for block in blocks
+        ]
+        if len(matches) == 1:
+            candidates = matches
+    for block in candidates:
+        index = parsed.building_no - 1
+        if 0 <= index < len(block.building_ids):
+            return block.building_ids[index]
+    return None
+
+
+def building_of(text: str, city: City, fuzzy: bool = False) -> str | None:
+    """One-call ``B(addr)``: parse then resolve (None when unresolvable)."""
+    try:
+        parsed = parse_address(text)
+    except ValueError:
+        return None
+    return resolve_building(parsed, city, fuzzy=fuzzy)

@@ -1,0 +1,278 @@
+"""Synthetic city generator.
+
+Builds the world the courier simulation runs in: a grid of residential
+complexes (blocks), each with buildings, a shared express locker and a
+reception desk.  Every address belongs to a building and is assigned an
+*actual delivery location* according to the customer's preference —
+doorstep, locker or reception — which reproduces the paper's observation
+(Figure 9(a)) that addresses in the same building can have different
+delivery locations.
+
+The city works in projected meters; :class:`repro.synth.datasets` converts
+to lng/lat when emitting trajectories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo import LocalProjection, Point
+
+#: Number of POI categories the (synthetic) geocoder reports (paper: 21).
+N_POI_CATEGORIES = 21
+
+#: Deterministic dwell-time multiplier per POI category.  The paper notes
+#: the POI category "influence[s] the average stay duration at a location"
+#: (Section IV-A): offices with receptions are quick handovers, dense
+#: residential blocks and markets take longer.  Values span 0.6x-1.5x.
+POI_DWELL_FACTOR = tuple(0.6 + 0.9 * (i / (N_POI_CATEGORIES - 1)) for i in range(N_POI_CATEGORIES))
+
+# Pinyin-style complex names; consecutive entries are deliberately similar so
+# the geocoder's parse-confusion failure mode (case study 1) has neighbours
+# to confuse, e.g. "San Yi Li" vs "San Yi Xi Li".
+_COMPLEX_NAMES = [
+    "San Yi Li",
+    "San Yi Xi Li",
+    "Hua Yuan Lu",
+    "Hua Yuan Dong Lu",
+    "Fu Cheng Men",
+    "Fu Cheng Men Wai",
+    "Yong An Li",
+    "Yong An Xi Li",
+    "Chao Yang Men",
+    "Chao Yang Men Nei",
+    "Tuan Jie Hu",
+    "Tuan Jie Hu Bei",
+    "Jin Song",
+    "Jin Song Dong",
+    "Pan Jia Yuan",
+    "Pan Jia Yuan Nan",
+    "Shuang Jing",
+    "Shuang Jing Qiao",
+    "Da Wang Lu",
+    "Da Wang Xi Lu",
+    "Bai Zi Wan",
+    "Bai Zi Wan Nan",
+    "Guang Qu Men",
+    "Guang Qu Men Wai",
+    "Jian Guo Men",
+    "Jian Guo Men Wai",
+]
+
+
+class SpotKind(enum.Enum):
+    """What a delivery spot physically is."""
+
+    DOORSTEP = "doorstep"
+    LOCKER = "locker"
+    RECEPTION = "reception"
+
+
+@dataclass(frozen=True)
+class DeliverySpot:
+    """A physical drop-off location in meters."""
+
+    spot_id: str
+    x: float
+    y: float
+    kind: SpotKind
+    block_id: str
+
+
+@dataclass(frozen=True)
+class SynthBuilding:
+    """A building inside a complex."""
+
+    building_id: str
+    block_id: str
+    x: float
+    y: float
+    name: str
+
+
+@dataclass(frozen=True)
+class SynthAddressRecord:
+    """A generated address with its ground-truth delivery spot."""
+
+    address_id: str
+    text: str
+    building_id: str
+    spot_id: str
+    poi_category: int
+    activity: float  # relative ordering frequency (heavy-tailed)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A residential complex: buildings plus shared locker/reception."""
+
+    block_id: str
+    name: str
+    center_x: float
+    center_y: float
+    locker: DeliverySpot
+    reception: DeliverySpot
+    building_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Knobs of the synthetic city."""
+
+    n_blocks_x: int = 3
+    n_blocks_y: int = 2
+    block_size_m: float = 320.0
+    buildings_per_block: tuple[int, int] = (4, 7)
+    addresses_per_building: tuple[int, int] = (2, 5)
+    locker_preference: float = 0.15
+    reception_preference: float = 0.10
+    doorstep_offset_m: float = 12.0
+    origin: Point = field(default_factory=lambda: Point(116.40, 39.90))
+
+    def __post_init__(self) -> None:
+        if self.n_blocks_x < 1 or self.n_blocks_y < 1:
+            raise ValueError("need at least one block in each direction")
+        if self.locker_preference + self.reception_preference >= 1.0:
+            raise ValueError("locker + reception preference must leave room for doorsteps")
+
+
+class City:
+    """The generated world: blocks, buildings, spots, addresses, a station."""
+
+    def __init__(self, config: CityConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.projection = LocalProjection(config.origin)
+        self.blocks: dict[str, Block] = {}
+        self.buildings: dict[str, SynthBuilding] = {}
+        self.spots: dict[str, DeliverySpot] = {}
+        self.addresses: dict[str, SynthAddressRecord] = {}
+        #: Station (depot) the couriers start trips from, in meters.
+        self.station_xy: tuple[float, float] = (-config.block_size_m, -config.block_size_m / 2)
+        self._generate(rng)
+
+    # ------------------------------------------------------------------
+    def _generate(self, rng: np.random.Generator) -> None:
+        cfg = self.config
+        addr_counter = 0
+        for bx in range(cfg.n_blocks_x):
+            for by in range(cfg.n_blocks_y):
+                block_index = bx * cfg.n_blocks_y + by
+                block_id = f"blk{block_index:03d}"
+                name = _COMPLEX_NAMES[block_index % len(_COMPLEX_NAMES)]
+                cx = (bx + 0.5) * cfg.block_size_m
+                cy = (by + 0.5) * cfg.block_size_m
+
+                locker = DeliverySpot(
+                    spot_id=f"{block_id}-locker",
+                    x=cx + float(rng.uniform(-40, 40)),
+                    y=cy + float(rng.uniform(-40, 40)),
+                    kind=SpotKind.LOCKER,
+                    block_id=block_id,
+                )
+                reception = DeliverySpot(
+                    spot_id=f"{block_id}-reception",
+                    x=cx + float(rng.uniform(-60, 60)),
+                    y=cy + float(rng.uniform(-60, 60)),
+                    kind=SpotKind.RECEPTION,
+                    block_id=block_id,
+                )
+                self.spots[locker.spot_id] = locker
+                self.spots[reception.spot_id] = reception
+
+                n_buildings = int(rng.integers(*cfg.buildings_per_block))
+                building_ids = []
+                for b in range(n_buildings):
+                    building_id = f"{block_id}-b{b:02d}"
+                    # Scatter buildings inside the block, away from borders.
+                    margin = 0.12 * cfg.block_size_m
+                    bx_m = cx + float(rng.uniform(-0.5, 0.5)) * (cfg.block_size_m - 2 * margin)
+                    by_m = cy + float(rng.uniform(-0.5, 0.5)) * (cfg.block_size_m - 2 * margin)
+                    building = SynthBuilding(
+                        building_id=building_id,
+                        block_id=block_id,
+                        x=bx_m,
+                        y=by_m,
+                        name=f"{name} Building {b + 1}",
+                    )
+                    self.buildings[building_id] = building
+                    building_ids.append(building_id)
+
+                    doorstep = DeliverySpot(
+                        spot_id=f"{building_id}-door",
+                        x=bx_m + float(rng.uniform(-1, 1)) * cfg.doorstep_offset_m,
+                        y=by_m + float(rng.uniform(-1, 1)) * cfg.doorstep_offset_m,
+                        kind=SpotKind.DOORSTEP,
+                        block_id=block_id,
+                    )
+                    self.spots[doorstep.spot_id] = doorstep
+
+                    poi_category = int(rng.integers(N_POI_CATEGORIES))
+                    n_addresses = int(rng.integers(*cfg.addresses_per_building))
+                    for unit in range(n_addresses):
+                        spot_id = self._pick_spot(doorstep, locker, reception, rng)
+                        # Heavy-tailed ordering activity (some very active
+                        # customers, Figure 9(b)).
+                        activity = float(rng.pareto(1.5) + 0.3)
+                        record = SynthAddressRecord(
+                            address_id=f"a{addr_counter:05d}",
+                            text=f"{name} Building {b + 1} Unit {unit + 1}",
+                            building_id=building_id,
+                            spot_id=spot_id,
+                            poi_category=poi_category,
+                            activity=activity,
+                        )
+                        self.addresses[record.address_id] = record
+                        addr_counter += 1
+
+                self.blocks[block_id] = Block(
+                    block_id=block_id,
+                    name=name,
+                    center_x=cx,
+                    center_y=cy,
+                    locker=locker,
+                    reception=reception,
+                    building_ids=tuple(building_ids),
+                )
+
+    def _pick_spot(
+        self,
+        doorstep: DeliverySpot,
+        locker: DeliverySpot,
+        reception: DeliverySpot,
+        rng: np.random.Generator,
+    ) -> str:
+        roll = rng.random()
+        if roll < self.config.locker_preference:
+            return locker.spot_id
+        if roll < self.config.locker_preference + self.config.reception_preference:
+            return reception.spot_id
+        return doorstep.spot_id
+
+    # ------------------------------------------------------------------
+    def spot_of(self, address_id: str) -> DeliverySpot:
+        """The ground-truth delivery spot of an address."""
+        return self.spots[self.addresses[address_id].spot_id]
+
+    def true_location(self, address_id: str) -> Point:
+        """Ground-truth delivery location as lng/lat."""
+        spot = self.spot_of(address_id)
+        return self.projection.unproject_point(spot.x, spot.y)
+
+    def addresses_in_block(self, block_id: str) -> list[SynthAddressRecord]:
+        """All addresses whose building belongs to ``block_id``."""
+        return [
+            a
+            for a in self.addresses.values()
+            if self.buildings[a.building_id].block_id == block_id
+        ]
+
+    @property
+    def extent_m(self) -> tuple[float, float]:
+        """Width/height of the block grid in meters."""
+        return (
+            self.config.n_blocks_x * self.config.block_size_m,
+            self.config.n_blocks_y * self.config.block_size_m,
+        )

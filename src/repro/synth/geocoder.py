@@ -1,0 +1,106 @@
+"""Synthetic geocoder with the paper's three failure modes.
+
+Section V-E identifies why Geocoding is insufficient:
+
+1. *Parse confusion* — similar complex names ("San Yi Li" / "San Yi Xi Li")
+   send the address to a building in a nearby different complex.
+2. *Coarse POI database* — multiple addresses snap to the complex centroid.
+3. *Preference blindness* — even a perfect geocode is the building, not the
+   locker/reception the customer actually uses.
+
+Mode 3 needs no error injection (it falls out of the city's preference
+model); modes 1 and 2 are injected here with configurable probabilities so
+the DowBJ-like and SubBJ-like presets can differ in geocoding precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Point
+from repro.synth.city import City, SynthAddressRecord
+from repro.trajectory import Address
+
+
+@dataclass(frozen=True)
+class GeocoderConfig:
+    """Error-model knobs."""
+
+    jitter_sigma_m: float = 20.0
+    parse_confusion_prob: float = 0.04
+    coarse_poi_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma_m < 0:
+            raise ValueError("jitter_sigma_m must be non-negative")
+        if not 0 <= self.parse_confusion_prob <= 1:
+            raise ValueError("parse_confusion_prob must be a probability")
+        if not 0 <= self.coarse_poi_prob <= 1:
+            raise ValueError("coarse_poi_prob must be a probability")
+
+
+class SyntheticGeocoder:
+    """Geocodes city addresses with injected, realistic errors."""
+
+    def __init__(self, city: City, config: GeocoderConfig, rng: np.random.Generator) -> None:
+        self.city = city
+        self.config = config
+        self.rng = rng
+        # Similar-name neighbours: complexes whose names share a prefix.
+        self._similar: dict[str, list[str]] = {}
+        blocks = list(city.blocks.values())
+        for block in blocks:
+            prefix = " ".join(block.name.split()[:2])
+            self._similar[block.block_id] = [
+                other.block_id
+                for other in blocks
+                if other.block_id != block.block_id
+                and " ".join(other.name.split()[:2]) == prefix
+            ]
+
+    def geocode_xy(self, record: SynthAddressRecord) -> tuple[float, float]:
+        """Geocode an address to meter coordinates (with errors)."""
+        building = self.city.buildings[record.building_id]
+        block = self.city.blocks[building.block_id]
+        roll = self.rng.random()
+        if roll < self.config.parse_confusion_prob and self._similar[block.block_id]:
+            # Failure mode 1: land on a building of the similarly named
+            # complex (same building rank when possible).
+            other_id = self._similar[block.block_id][
+                int(self.rng.integers(len(self._similar[block.block_id])))
+            ]
+            other = self.city.blocks[other_id]
+            rank = min(
+                block.building_ids.index(building.building_id),
+                len(other.building_ids) - 1,
+            )
+            wrong = self.city.buildings[other.building_ids[rank]]
+            base_x, base_y = wrong.x, wrong.y
+        elif roll < self.config.parse_confusion_prob + self.config.coarse_poi_prob:
+            # Failure mode 2: coarse POI database -> complex centroid.
+            base_x, base_y = block.center_x, block.center_y
+        else:
+            base_x, base_y = building.x, building.y
+        jitter = self.rng.normal(0.0, self.config.jitter_sigma_m, size=2)
+        return float(base_x + jitter[0]), float(base_y + jitter[1])
+
+    def geocode(self, record: SynthAddressRecord) -> Address:
+        """Produce the waybill-facing :class:`~repro.trajectory.Address`."""
+        x, y = self.geocode_xy(record)
+        point = self.city.projection.unproject_point(x, y)
+        return Address(
+            address_id=record.address_id,
+            text=record.text,
+            building_id=record.building_id,
+            geocode=Point(point.lng, point.lat),
+            poi_category=record.poi_category,
+        )
+
+    def geocode_all(self) -> dict[str, Address]:
+        """Geocode every address in the city (deterministic given the rng)."""
+        return {
+            record.address_id: self.geocode(record)
+            for record in sorted(self.city.addresses.values(), key=lambda r: r.address_id)
+        }

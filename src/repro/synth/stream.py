@@ -1,0 +1,71 @@
+"""Raw day-stream assembly.
+
+Production GPS arrives as continuous per-courier day streams, not
+pre-segmented trips.  This module glues a courier's simulated trips into a
+day stream (with station dwells between trips), giving
+:func:`repro.trajectory.segment_trips` a realistic end-to-end consumer:
+stream -> segmentation -> the pipeline's trip inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.synth.city import City
+from repro.synth.simulate import SimulatedTrip
+from repro.trajectory import TrajPoint, Trajectory
+
+
+def build_day_streams(
+    sim_trips: list[SimulatedTrip],
+    city: City,
+    station_dwell_s: float = 1_200.0,
+    sampling_s: float = 13.5,
+    gps_sigma_m: float = 6.0,
+    rng: np.random.Generator | None = None,
+) -> dict[tuple[str, int], Trajectory]:
+    """One raw stream per (courier, day): trips plus station dwells.
+
+    The courier sits at the station for ``station_dwell_s`` before the
+    first trip and after the last one (emitting noisy fixes), so station
+    dwells are available as segmentation cut points.
+    """
+    if station_dwell_s <= 0 or sampling_s <= 0:
+        raise ValueError("station_dwell_s and sampling_s must be positive")
+    rng = rng or np.random.default_rng(0)
+    sx, sy = city.station_xy
+
+    by_day: dict[tuple[str, int], list[SimulatedTrip]] = defaultdict(list)
+    for sim in sim_trips:
+        day = int(sim.trip.t_start // 86_400.0)
+        by_day[(sim.trip.courier_id, day)].append(sim)
+
+    def station_fixes(t_from: float, t_to: float) -> list[TrajPoint]:
+        points = []
+        t = t_from
+        while t < t_to:
+            x = sx + float(rng.normal(0, gps_sigma_m))
+            y = sy + float(rng.normal(0, gps_sigma_m))
+            lng, lat = city.projection.to_lnglat(x, y)
+            points.append(TrajPoint(float(lng), float(lat), t))
+            t += sampling_s * float(rng.uniform(0.8, 1.2))
+        return points
+
+    streams: dict[tuple[str, int], Trajectory] = {}
+    for key, sims in by_day.items():
+        sims = sorted(sims, key=lambda s: s.trip.t_start)
+        points: list[TrajPoint] = []
+        first_start = sims[0].trip.trajectory.points[0].t
+        points.extend(station_fixes(first_start - station_dwell_s, first_start - 1.0))
+        for sim in sims:
+            trip_points = sim.trip.trajectory.points
+            # Guard monotonicity at the seam.
+            while points and trip_points and points[-1].t >= trip_points[0].t:
+                points.pop()
+            points.extend(trip_points)
+        last_end = points[-1].t if points else first_start
+        points.extend(station_fixes(last_end + 1.0, last_end + station_dwell_s))
+        streams[key] = Trajectory(key[0], points)
+    return streams

@@ -1,0 +1,58 @@
+"""Daily weather for the synthetic world.
+
+Section VI-C models delivery feasibility "considering time of the day, day
+of the week and meteorology".  The simulator can take a daily weather
+series: bad weather slows couriers and lengthens dwells; the availability
+model conditions its profiles on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Weather(enum.Enum):
+    """Daily weather condition."""
+
+    CLEAR = "clear"
+    RAIN = "rain"
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Weather process + its effect on courier behaviour."""
+
+    p_rain: float = 0.25
+    rain_speed_factor: float = 0.7  # couriers slower in rain
+    rain_dwell_factor: float = 1.3  # handovers take longer
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_rain <= 1.0:
+            raise ValueError("p_rain must be a probability")
+        if self.rain_speed_factor <= 0 or self.rain_dwell_factor <= 0:
+            raise ValueError("rain factors must be positive")
+
+
+def daily_weather(
+    n_days: int, config: WeatherConfig | None = None, rng: np.random.Generator | None = None
+) -> list[Weather]:
+    """Independent per-day weather draws."""
+    if n_days < 0:
+        raise ValueError("n_days must be non-negative")
+    config = config or WeatherConfig()
+    rng = rng or np.random.default_rng(0)
+    return [
+        Weather.RAIN if rng.random() < config.p_rain else Weather.CLEAR
+        for _ in range(n_days)
+    ]
+
+
+def weather_of_time(t: float, series: list[Weather]) -> Weather:
+    """Weather at an absolute timestamp (day = floor(t / 86400))."""
+    if not series:
+        return Weather.CLEAR
+    day = int(t // 86_400.0)
+    return series[min(max(day, 0), len(series) - 1)]

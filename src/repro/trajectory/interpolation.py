@@ -1,0 +1,76 @@
+"""Trajectory resampling and kinematics.
+
+Utilities the analysis stack needs on top of raw fixes: uniform-rate
+resampling (for comparing trajectories with different sampling), gap-aware
+interpolation at arbitrary timestamps (how annotated locations are
+derived), and per-fix speed estimates (courier speed profiles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo import LocalProjection, Point
+from repro.trajectory.model import TrajPoint, Trajectory
+
+
+def position_at_times(trajectory: Trajectory, times: np.ndarray) -> np.ndarray:
+    """Interpolated ``(n, 2)`` lng/lat at the given timestamps.
+
+    Linear interpolation between fixes; timestamps beyond the ends clamp
+    to the first/last fix.
+    """
+    if len(trajectory) == 0:
+        raise ValueError("cannot interpolate an empty trajectory")
+    lng, lat, t = trajectory.to_arrays()
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    out_lng = np.interp(times, t, lng)
+    out_lat = np.interp(times, t, lat)
+    return np.column_stack([out_lng, out_lat])
+
+
+def resample(trajectory: Trajectory, interval_s: float) -> Trajectory:
+    """Uniform-rate copy of the trajectory at ``interval_s`` spacing."""
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if len(trajectory) < 2:
+        return Trajectory(trajectory.courier_id, list(trajectory.points))
+    _, _, t = trajectory.to_arrays()
+    times = np.arange(t[0], t[-1] + 1e-9, interval_s)
+    coords = position_at_times(trajectory, times)
+    points = [
+        TrajPoint(float(lng), float(lat), float(ts))
+        for (lng, lat), ts in zip(coords, times)
+    ]
+    return Trajectory(trajectory.courier_id, points)
+
+
+def speeds_mps(trajectory: Trajectory) -> np.ndarray:
+    """Per-segment speeds, one value per consecutive fix pair."""
+    n = len(trajectory)
+    if n < 2:
+        return np.empty(0)
+    lng, lat, t = trajectory.to_arrays()
+    proj = LocalProjection(Point(float(lng[0]), float(lat[0])))
+    x, y = proj.to_xy(lng, lat)
+    x = np.atleast_1d(np.asarray(x))
+    y = np.atleast_1d(np.asarray(y))
+    dist = np.hypot(np.diff(x), np.diff(y))
+    dt = np.diff(t)
+    return dist / np.maximum(dt, 1e-9)
+
+
+def moving_fraction(trajectory: Trajectory, threshold_mps: float = 0.5) -> float:
+    """Share of time the courier moves faster than ``threshold_mps``.
+
+    Time-weighted: long stationary dwells count by duration, not by fix
+    count.
+    """
+    n = len(trajectory)
+    if n < 2:
+        return 0.0
+    _, _, t = trajectory.to_arrays()
+    dt = np.diff(t)
+    fast = speeds_mps(trajectory) > threshold_mps
+    total = dt.sum()
+    return float((dt[fast].sum() / total) if total > 0 else 0.0)

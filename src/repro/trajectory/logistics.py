@@ -1,0 +1,79 @@
+"""Logistics entities: addresses, waybills, delivery trips (Definitions 1, 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo import Point
+from repro.trajectory.model import Trajectory
+
+
+@dataclass(frozen=True)
+class Address:
+    """A shipping address with the attributes the paper's features need.
+
+    ``building_id`` stands in for the commercial address-segmentation tool's
+    building extraction (``B(addr)``); ``geocode`` is the (possibly wrong)
+    geocoder output; ``poi_category`` indexes one of the 21 POI categories
+    returned alongside the geocode.
+    """
+
+    address_id: str
+    text: str
+    building_id: str
+    geocode: Point
+    poi_category: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.poi_category < 21:
+            raise ValueError(f"poi_category must be in [0, 21): {self.poi_category}")
+
+
+@dataclass(frozen=True)
+class Waybill:
+    """A parcel delivery record (Definition 1).
+
+    ``t_delivered`` is the *recorded* confirmation time, which may be
+    significantly later than the actual drop-off.
+    """
+
+    waybill_id: str
+    address_id: str
+    t_received: float
+    t_delivered: float
+
+    def __post_init__(self) -> None:
+        if self.t_delivered < self.t_received:
+            raise ValueError(
+                f"waybill {self.waybill_id!r} delivered before it was received"
+            )
+
+
+@dataclass
+class DeliveryTrip:
+    """One courier tour delivering a batch of waybills (Definition 5)."""
+
+    trip_id: str
+    courier_id: str
+    t_start: float
+    t_end: float
+    trajectory: Trajectory
+    waybills: list[Waybill] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(f"trip {self.trip_id!r} ends before it starts")
+        if self.trajectory.courier_id != self.courier_id:
+            raise ValueError(
+                f"trip {self.trip_id!r} carries a trajectory of courier "
+                f"{self.trajectory.courier_id!r}, expected {self.courier_id!r}"
+            )
+
+    @property
+    def address_ids(self) -> set[str]:
+        """The distinct addresses served by this trip."""
+        return {w.address_id for w in self.waybills}
+
+    def waybills_for(self, address_id: str) -> list[Waybill]:
+        """All waybills of this trip going to ``address_id``."""
+        return [w for w in self.waybills if w.address_id == address_id]

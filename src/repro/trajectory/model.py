@@ -1,0 +1,127 @@
+"""Core trajectory types: points, trajectories, stay points.
+
+Timestamps throughout are POSIX seconds as floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geo import Point
+
+
+@dataclass(frozen=True)
+class TrajPoint:
+    """A single GPS fix: location plus timestamp."""
+
+    lng: float
+    lat: float
+    t: float
+
+    @property
+    def point(self) -> Point:
+        """The spatial component as a :class:`~repro.geo.Point`."""
+        return Point(self.lng, self.lat)
+
+
+@dataclass
+class Trajectory:
+    """A chronologically ordered GPS track of one courier.
+
+    Construction validates chronological order (Definition 3 of the paper:
+    ``p_i.t < p_j.t`` for ``i < j``); equal timestamps are rejected too.
+    """
+
+    courier_id: str
+    points: list[TrajPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for prev, cur in zip(self.points, self.points[1:]):
+            if cur.t <= prev.t:
+                raise ValueError(
+                    f"trajectory of courier {self.courier_id!r} is not "
+                    f"strictly chronological at t={cur.t}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[TrajPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, idx: int) -> TrajPoint:
+        return self.points[idx]
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed time between first and last fix (0 for < 2 points)."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].t - self.points[0].t
+
+    def slice_time(self, t_start: float, t_end: float) -> "Trajectory":
+        """The sub-trajectory with timestamps in ``[t_start, t_end]``."""
+        pts = [p for p in self.points if t_start <= p.t <= t_end]
+        return Trajectory(self.courier_id, pts)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lng, lat, t)`` arrays, one entry per fix."""
+        if not self.points:
+            empty = np.empty(0, dtype=float)
+            return empty, empty.copy(), empty.copy()
+        lng = np.array([p.lng for p in self.points], dtype=float)
+        lat = np.array([p.lat for p in self.points], dtype=float)
+        t = np.array([p.t for p in self.points], dtype=float)
+        return lng, lat, t
+
+    @classmethod
+    def from_arrays(
+        cls,
+        courier_id: str,
+        lng: Sequence[float],
+        lat: Sequence[float],
+        t: Sequence[float],
+    ) -> "Trajectory":
+        """Build a trajectory from parallel coordinate/time sequences."""
+        if not (len(lng) == len(lat) == len(t)):
+            raise ValueError("lng/lat/t must have equal lengths")
+        pts = [TrajPoint(float(a), float(b), float(c)) for a, b, c in zip(lng, lat, t)]
+        return cls(courier_id, pts)
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A detected stay: spatial centroid of a trajectory sub-sequence.
+
+    Per Definition 4, the *time* of a stay point is the midpoint of its
+    interval and its *location* is the spatial centroid of its fixes.
+    """
+
+    lng: float
+    lat: float
+    t_arrive: float
+    t_leave: float
+    courier_id: str
+    n_points: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t_leave < self.t_arrive:
+            raise ValueError("stay point leaves before it arrives")
+
+    @property
+    def t(self) -> float:
+        """Midpoint of the stay interval (the paper's stay-point time)."""
+        return (self.t_arrive + self.t_leave) / 2.0
+
+    @property
+    def duration_s(self) -> float:
+        """How long the courier stayed."""
+        return self.t_leave - self.t_arrive
+
+    @property
+    def point(self) -> Point:
+        """The centroid as a :class:`~repro.geo.Point`."""
+        return Point(self.lng, self.lat)

@@ -1,0 +1,54 @@
+"""Heuristic GPS noise filtering.
+
+Implements the standard preprocessing heuristics from trajectory data mining
+(Zheng, "Trajectory Data Mining: An Overview"): duplicate-timestamp removal
+and speed-based outlier rejection.  A fix is an outlier when the implied
+speed from the previous *kept* fix exceeds ``max_speed_mps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import haversine_m
+from repro.trajectory.model import Trajectory
+
+
+@dataclass(frozen=True)
+class NoiseFilterConfig:
+    """Tuning knobs for :func:`filter_noise`.
+
+    ``max_speed_mps`` defaults to 30 m/s — far above any courier on foot or
+    tricycle, so only true GPS jumps are rejected.
+    """
+
+    max_speed_mps: float = 30.0
+    min_dt_s: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.max_speed_mps <= 0:
+            raise ValueError("max_speed_mps must be positive")
+
+
+def filter_noise(
+    trajectory: Trajectory, config: NoiseFilterConfig | None = None
+) -> Trajectory:
+    """Return a copy of ``trajectory`` with outlier fixes removed.
+
+    The first fix is always kept; each subsequent fix is kept only when the
+    speed from the last kept fix is at most ``config.max_speed_mps``.
+    """
+    config = config or NoiseFilterConfig()
+    points = trajectory.points
+    if len(points) < 2:
+        return Trajectory(trajectory.courier_id, list(points))
+    kept = [points[0]]
+    for cur in points[1:]:
+        prev = kept[-1]
+        dt = cur.t - prev.t
+        if dt < config.min_dt_s:
+            continue
+        dist = haversine_m(prev.lng, prev.lat, cur.lng, cur.lat)
+        if dist / dt <= config.max_speed_mps:
+            kept.append(cur)
+    return Trajectory(trajectory.courier_id, kept)

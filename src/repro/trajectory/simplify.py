@@ -1,0 +1,69 @@
+"""Trajectory simplification and path measures.
+
+Standard trajectory-toolkit utilities: Douglas-Peucker simplification (for
+compact storage/transfer of raw tracks) and path length.  Simplification is
+*not* applied before stay-point detection — dropping in-dwell fixes would
+destroy the dwell signal — but the deployed platform stores simplified
+tracks for display and audit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo import LocalProjection, Point
+from repro.trajectory.model import Trajectory
+
+
+def path_length_m(trajectory: Trajectory) -> float:
+    """Total along-track distance in meters."""
+    if len(trajectory) < 2:
+        return 0.0
+    lng, lat, _ = trajectory.to_arrays()
+    proj = LocalProjection(Point(float(lng[0]), float(lat[0])))
+    x, y = proj.to_xy(lng, lat)
+    x = np.atleast_1d(np.asarray(x))
+    y = np.atleast_1d(np.asarray(y))
+    return float(np.hypot(np.diff(x), np.diff(y)).sum())
+
+
+def douglas_peucker(trajectory: Trajectory, tolerance_m: float) -> Trajectory:
+    """Simplify a trajectory, keeping deviations above ``tolerance_m``.
+
+    Classic recursive split on the point of maximum perpendicular distance
+    from the anchor-to-end chord; endpoints are always kept.  Timestamps
+    ride along with their fixes.
+    """
+    if tolerance_m <= 0:
+        raise ValueError("tolerance_m must be positive")
+    n = len(trajectory)
+    if n < 3:
+        return Trajectory(trajectory.courier_id, list(trajectory.points))
+    lng, lat, _ = trajectory.to_arrays()
+    proj = LocalProjection(Point(float(lng[0]), float(lat[0])))
+    x, y = proj.to_xy(lng, lat)
+    coords = np.column_stack([np.atleast_1d(x), np.atleast_1d(y)])
+
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        chord = coords[end] - coords[start]
+        chord_len = float(np.hypot(*chord))
+        segment = coords[start + 1 : end] - coords[start]
+        if chord_len < 1e-12:
+            dists = np.hypot(segment[:, 0], segment[:, 1])
+        else:
+            # Perpendicular distance to the chord line.
+            dists = np.abs(segment[:, 0] * chord[1] - segment[:, 1] * chord[0]) / chord_len
+        worst = int(dists.argmax())
+        if dists[worst] > tolerance_m:
+            split = start + 1 + worst
+            keep[split] = True
+            stack.append((start, split))
+            stack.append((split, end))
+    points = [p for p, k in zip(trajectory.points, keep) if k]
+    return Trajectory(trajectory.courier_id, points)

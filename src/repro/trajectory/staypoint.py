@@ -1,0 +1,77 @@
+"""Stay-point detection (Definition 4 of the paper; Li et al. 2008).
+
+A stay point is a maximal sub-sequence ``<p_i, ..., p_j>`` whose fixes all
+lie within ``d_max_m`` of the anchor ``p_i`` and which spans at least
+``t_min_s`` seconds.  The paper uses ``d_max_m = 20`` and ``t_min_s = 30``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import LocalProjection, Point
+from repro.trajectory.model import StayPoint, Trajectory
+
+
+@dataclass(frozen=True)
+class StayPointConfig:
+    """Thresholds for :func:`detect_stay_points` (paper defaults)."""
+
+    d_max_m: float = 20.0
+    t_min_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.d_max_m <= 0:
+            raise ValueError("d_max_m must be positive")
+        if self.t_min_s <= 0:
+            raise ValueError("t_min_s must be positive")
+
+
+def detect_stay_points(
+    trajectory: Trajectory, config: StayPointConfig | None = None
+) -> list[StayPoint]:
+    """Extract stay points from a single trajectory.
+
+    Uses the anchor-based algorithm: advance ``j`` while ``p_j`` stays within
+    ``d_max_m`` of ``p_i``; when the span ``[p_i, p_j]`` lasts at least
+    ``t_min_s``, emit a stay point whose location is the centroid of the
+    contained fixes, then restart the anchor after the stay.
+    """
+    config = config or StayPointConfig()
+    n = len(trajectory)
+    if n == 0:
+        return []
+    lng, lat, t = trajectory.to_arrays()
+    proj = LocalProjection(Point(float(lng[0]), float(lat[0])))
+    x, y = proj.to_xy(lng, lat)
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    y = np.atleast_1d(np.asarray(y, dtype=float))
+
+    stays: list[StayPoint] = []
+    d2_max = config.d_max_m * config.d_max_m
+    i = 0
+    while i < n - 1:
+        j = i + 1
+        while j < n and (x[j] - x[i]) ** 2 + (y[j] - y[i]) ** 2 <= d2_max:
+            j += 1
+        # fixes i .. j-1 are within d_max of the anchor
+        if t[j - 1] - t[i] >= config.t_min_s:
+            cx = float(np.mean(x[i:j]))
+            cy = float(np.mean(y[i:j]))
+            clng, clat = proj.to_lnglat(cx, cy)
+            stays.append(
+                StayPoint(
+                    lng=float(clng),
+                    lat=float(clat),
+                    t_arrive=float(t[i]),
+                    t_leave=float(t[j - 1]),
+                    courier_id=trajectory.courier_id,
+                    n_points=j - i,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stays

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.apps import DeliveryLocationService, QuerySource
+from repro.core import DLInfMAConfig
+from repro.eval import evaluate
+
+
+@pytest.fixture(scope="module")
+def service(tiny_workload):
+    svc = DeliveryLocationService(
+        tiny_workload.addresses,
+        tiny_workload.projection,
+        config=DLInfMAConfig(selector="maxtc-ilc"),  # fast, no NN training
+    )
+    svc.refresh(
+        tiny_workload.trips,
+        tiny_workload.ground_truth,
+        tiny_workload.train_ids,
+        tiny_workload.val_ids,
+    )
+    return svc
+
+
+class TestDeliveryLocationService:
+    def test_refresh_populates_store(self, service, tiny_workload):
+        assert service.last_refresh is not None
+        assert service.last_refresh.n_addresses_inferred > 0
+        assert len(service.store) > 0
+
+    def test_query_known_address(self, service, tiny_workload):
+        aid = tiny_workload.test_ids[0]
+        result = service.query_id(aid)
+        assert result.source == QuerySource.ADDRESS
+
+    def test_inference_quality_is_reasonable(self, service, tiny_workload):
+        # The heuristic selector used here is weaker than LocMatcher; just
+        # require sane, bounded errors on the tiny dataset.
+        preds = {a: service.query_id(a).location for a in tiny_workload.test_ids}
+        result = evaluate(preds, tiny_workload.ground_truth)
+        assert result.n == len(tiny_workload.test_ids)
+        assert result.mae < 120.0
+
+    def test_timings_surface_in_stats(self, service):
+        assert "training_s" in service.last_refresh.timings
+
+    def test_save_load_roundtrip(self, service, tiny_workload, tmp_path):
+        service.save(tmp_path)
+        fresh = DeliveryLocationService(
+            tiny_workload.addresses, tiny_workload.projection
+        )
+        fresh.load(tmp_path)
+        aid = tiny_workload.test_ids[0]
+        assert fresh.query_id(aid).location == service.query_id(aid).location
+        assert fresh.query_id(aid).source == QuerySource.ADDRESS
+
+    def test_unknown_address_falls_back(self, service):
+        from tests.core.helpers import make_address
+
+        # Same building as an existing address -> building tier.
+        known_building = next(iter(service.addresses.values())).building_id
+        probe = make_address("probe", known_building, (0.0, 0.0))
+        result = service.query(probe)
+        assert result.source in (QuerySource.BUILDING, QuerySource.GEOCODE)

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.apps import DeliveryLocationStore, QuerySource
+from repro.geo import Point
+from tests.core.helpers import make_address, point_at
+
+
+@pytest.fixture()
+def store():
+    addresses = {
+        "a1": make_address("a1", "b1", (0.0, 0.0)),
+        "a2": make_address("a2", "b1", (5.0, 0.0)),
+        "a3": make_address("a3", "b1", (10.0, 0.0)),
+        "a4": make_address("a4", "b2", (500.0, 0.0)),
+    }
+    locations = {
+        "a1": point_at(20.0, 0.0),
+        "a2": point_at(20.0, 0.0),
+        "a3": point_at(300.0, 0.0),  # locker preference
+    }
+    return DeliveryLocationStore(locations, addresses), addresses
+
+
+class TestQueryFallback:
+    def test_address_tier(self, store):
+        s, addresses = store
+        result = s.query(addresses["a1"])
+        assert result.source == QuerySource.ADDRESS
+        assert result.location == point_at(20.0, 0.0)
+
+    def test_building_tier_uses_most_common_location(self, store):
+        s, _ = store
+        # Unseen address in b1: the modal location (2 votes for the
+        # doorstep at 20 m) wins over the locker.
+        newcomer = make_address("new", "b1", (2.0, 2.0))
+        result = s.query(newcomer)
+        assert result.source == QuerySource.BUILDING
+        x, _ = __import__("tests.core.helpers", fromlist=["PROJ"]).PROJ.to_xy(
+            result.location.lng, result.location.lat
+        )
+        assert x == pytest.approx(20.0, abs=1.0)
+
+    def test_geocode_tier(self, store):
+        s, _ = store
+        stranger = make_address("s", "unknown-building", (42.0, 0.0))
+        result = s.query(stranger)
+        assert result.source == QuerySource.GEOCODE
+        assert result.location == stranger.geocode
+
+    def test_query_id(self, store):
+        s, _ = store
+        assert s.query_id("a1").source == QuerySource.ADDRESS
+        with pytest.raises(KeyError):
+            s.query_id("missing")
+
+    def test_update_refreshes_building_table(self, store):
+        s, _ = store
+        # Flip the b1 majority to the locker.
+        s.update({"a1": point_at(300.0, 0.0), "a2": point_at(300.0, 0.0)})
+        newcomer = make_address("new", "b1", (2.0, 2.0))
+        result = s.query(newcomer)
+        from tests.core.helpers import PROJ
+
+        x, _ = PROJ.to_xy(result.location.lng, result.location.lat)
+        assert x == pytest.approx(300.0, abs=1.0)
+
+    def test_len(self, store):
+        s, _ = store
+        assert len(s) == 3
+
+    def test_building_locations_copy(self, store):
+        s, _ = store
+        table = s.building_locations
+        table["b1"] = Point(0.0, 0.0)
+        assert s.building_locations["b1"] != Point(0.0, 0.0)

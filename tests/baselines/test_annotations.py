@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.baselines import annotated_locations, position_at
+from tests.core.helpers import PROJ, make_trip
+
+
+class TestPositionAt:
+    def test_interpolates_on_leg(self):
+        trip = make_trip("t1", "c1", stops=[(100.0, 0.0, 60.0, 120.0)], waybills=[("a1", 100.0)])
+        # At t=30 the courier is halfway from station (-200,0) to (100,0).
+        x, y = position_at(trip, 30.0, PROJ)
+        assert x == pytest.approx(-50.0, abs=12.0)
+        assert y == pytest.approx(0.0, abs=5.0)
+
+    def test_during_dwell_at_spot(self):
+        trip = make_trip("t1", "c1", stops=[(100.0, 0.0, 60.0, 120.0)], waybills=[("a1", 100.0)])
+        x, y = position_at(trip, 120.0, PROJ)
+        assert x == pytest.approx(100.0, abs=5.0)
+
+    def test_clamped_after_trip_end(self):
+        trip = make_trip("t1", "c1", stops=[(100.0, 0.0, 60.0, 120.0)], waybills=[("a1", 100.0)])
+        x_end, _ = position_at(trip, 1e9, PROJ)
+        lng, lat, _ = trip.trajectory.to_arrays()
+        x_last, _ = PROJ.to_xy(float(lng[-1]), float(lat[-1]))
+        assert x_end == pytest.approx(x_last)
+
+
+class TestAnnotatedLocations:
+    def test_immediate_confirmation_near_spot(self):
+        trip = make_trip("t1", "c1", stops=[(100.0, 0.0, 60.0, 120.0)], waybills=[("a1", 130.0)])
+        annos = annotated_locations([trip], PROJ)
+        assert set(annos) == {"a1"}
+        a = annos["a1"][0]
+        assert np.hypot(a.x - 100.0, a.y) < 10.0
+        assert a.trip_id == "t1"
+
+    def test_delayed_confirmation_away_from_spot(self):
+        """The core mis-annotation phenomenon: a late confirmation lands
+        wherever the courier is at that moment."""
+        trip = make_trip(
+            "t1", "c1",
+            stops=[(100.0, 0.0, 60.0, 120.0), (500.0, 0.0, 300.0, 120.0)],
+            waybills=[("a1", 360.0)],  # delivered at stop 1, confirmed at stop 2
+        )
+        a = annotated_locations([trip], PROJ)["a1"][0]
+        assert np.hypot(a.x - 500.0, a.y) < 10.0  # annotated at the wrong spot
+
+    def test_multiple_trips_accumulate(self):
+        trips = [
+            make_trip(f"t{i}", "c1", stops=[(100.0, 0.0, 60.0, 120.0)], waybills=[("a1", 130.0)])
+            for i in range(3)
+        ]
+        annos = annotated_locations(trips, PROJ)
+        assert len(annos["a1"]) == 3

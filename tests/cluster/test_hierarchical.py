@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, hierarchical_cluster, merge_weighted_clusters
+
+
+class TestHierarchicalCluster:
+    def test_empty(self):
+        assert hierarchical_cluster(np.empty((0, 2)), 40.0) == []
+
+    def test_single_point(self):
+        out = hierarchical_cluster(np.array([[1.0, 2.0]]), 40.0)
+        assert len(out) == 1
+        assert out[0].x == 1.0 and out[0].y == 2.0
+        assert out[0].members == [0]
+        assert out[0].weight == 1.0
+
+    def test_two_close_points_merge(self):
+        out = hierarchical_cluster(np.array([[0.0, 0.0], [10.0, 0.0]]), 40.0)
+        assert len(out) == 1
+        assert out[0].x == pytest.approx(5.0)
+        assert sorted(out[0].members) == [0, 1]
+
+    def test_two_far_points_stay_separate(self):
+        out = hierarchical_cluster(np.array([[0.0, 0.0], [100.0, 0.0]]), 40.0)
+        assert len(out) == 2
+
+    def test_threshold_is_strict(self):
+        # Exactly at the threshold: "smaller than D" means no merge.
+        out = hierarchical_cluster(np.array([[0.0, 0.0], [40.0, 0.0]]), 40.0)
+        assert len(out) == 2
+
+    def test_three_groups(self):
+        rng = np.random.default_rng(0)
+        groups = [np.array([0.0, 0.0]), np.array([500.0, 0.0]), np.array([0.0, 500.0])]
+        pts = np.vstack([g + rng.normal(0, 3, size=(10, 2)) for g in groups])
+        out = hierarchical_cluster(pts, 40.0)
+        assert len(out) == 3
+        sizes = sorted(c.size for c in out)
+        assert sizes == [10, 10, 10]
+
+    def test_closest_pair_merges_first_chain(self):
+        # Chain 0 -- 30 -- 60: 0 and 30 merge to centroid 15; centroid is 45
+        # away from 60 which is >= 40, so 60 stays separate.
+        out = hierarchical_cluster(np.array([[0.0, 0.0], [30.0, 0.0], [60.0, 0.0]]), 40.0)
+        assert len(out) == 2
+        big = max(out, key=lambda c: c.size)
+        assert sorted(big.members) == [0, 1]
+        assert big.x == pytest.approx(15.0)
+
+    def test_weighted_centroid(self):
+        out = hierarchical_cluster(
+            np.array([[0.0, 0.0], [30.0, 0.0]]), 40.0, weights=[3.0, 1.0]
+        )
+        assert len(out) == 1
+        assert out[0].x == pytest.approx(7.5)
+        assert out[0].weight == 4.0
+
+    def test_members_partition_input(self):
+        rng = np.random.default_rng(42)
+        pts = rng.uniform(0, 1000, size=(200, 2))
+        out = hierarchical_cluster(pts, 50.0)
+        all_members = sorted(m for c in out for m in c.members)
+        assert all_members == list(range(200))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((3, 3)), 40.0)
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((3, 2)), 0.0)
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((3, 2)), 40.0, weights=[1.0])
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((2, 2)), 40.0, weights=[1.0, -1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500),
+                st.floats(min_value=0, max_value=500),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.sampled_from([20.0, 40.0, 80.0]),
+    )
+    def test_final_centroids_separated_property(self, coords, threshold):
+        """The paper's stopping criterion: no two centroids within D."""
+        pts = np.array(coords, dtype=float)
+        out = hierarchical_cluster(pts, threshold)
+        centers = np.array([[c.x, c.y] for c in out])
+        for i in range(len(centers)):
+            for j in range(i + 1, len(centers)):
+                d = float(np.hypot(*(centers[i] - centers[j])))
+                assert d >= threshold - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=300),
+                st.floats(min_value=0, max_value=300),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_weight_conservation_property(self, coords):
+        pts = np.array(coords, dtype=float)
+        out = hierarchical_cluster(pts, 40.0)
+        assert sum(c.weight for c in out) == pytest.approx(len(pts))
+
+
+class TestMergeWeightedClusters:
+    def test_merge_with_empty_pool(self):
+        out = merge_weighted_clusters([], np.array([[0.0, 0.0], [5.0, 0.0]]), 40.0)
+        assert len(out) == 1
+
+    def test_existing_weight_dominates(self):
+        existing = [Cluster(x=0.0, y=0.0, weight=9.0, members=[])]
+        out = merge_weighted_clusters(existing, np.array([[10.0, 0.0]]), 40.0)
+        assert len(out) == 1
+        assert out[0].x == pytest.approx(1.0)  # (9*0 + 1*10) / 10
+        assert out[0].weight == 10.0
+
+    def test_far_new_points_create_new_candidates(self):
+        existing = [Cluster(x=0.0, y=0.0, weight=5.0, members=[])]
+        out = merge_weighted_clusters(existing, np.array([[500.0, 0.0]]), 40.0)
+        assert len(out) == 2
+
+    def test_bi_weekly_incremental_stability(self):
+        """Merging in two batches lands near a single-shot clustering."""
+        rng = np.random.default_rng(1)
+        batch1 = rng.normal([100, 100], 5, size=(20, 2))
+        batch2 = rng.normal([100, 100], 5, size=(20, 2))
+        pool = hierarchical_cluster(batch1, 40.0)
+        merged = merge_weighted_clusters(pool, batch2, 40.0)
+        single = hierarchical_cluster(np.vstack([batch1, batch2]), 40.0)
+        assert len(merged) == len(single) == 1
+        assert merged[0].x == pytest.approx(single[0].x, abs=1.0)
+        assert merged[0].y == pytest.approx(single[0].y, abs=1.0)

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans
+
+
+class TestKMeans:
+    def test_k_equals_n(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        labels, centers = kmeans(pts, k=3)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+        assert centers.shape == (3, 2)
+
+    def test_k_one(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [4.0, 0.0]])
+        labels, centers = kmeans(pts, k=1)
+        assert set(labels) == {0}
+        np.testing.assert_allclose(centers[0], [2.0, 0.0])
+
+    def test_two_blobs_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal([0, 0], 1, size=(50, 2))
+        b = rng.normal([100, 0], 1, size=(50, 2))
+        labels, centers = kmeans(np.vstack([a, b]), k=2, rng=rng)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+        got = sorted(centers[:, 0].tolist())
+        assert got[0] == pytest.approx(0.0, abs=1.0)
+        assert got[1] == pytest.approx(100.0, abs=1.0)
+
+    def test_invalid_k(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(pts, k=0)
+        with pytest.raises(ValueError):
+            kmeans(pts, k=4)
+
+    def test_deterministic_with_seeded_rng(self):
+        pts = np.random.default_rng(9).uniform(0, 100, size=(40, 2))
+        l1, c1 = kmeans(pts, k=4, rng=np.random.default_rng(1))
+        l2, c2 = kmeans(pts, k=4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_allclose(c1, c2)
+
+    def test_duplicate_points(self):
+        pts = np.zeros((10, 2))
+        labels, centers = kmeans(pts, k=2)
+        assert labels.shape == (10,)
+        np.testing.assert_allclose(centers, 0.0)

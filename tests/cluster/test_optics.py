@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.cluster import dbscan, extract_clusters, optics
+
+
+class TestOptics:
+    def test_empty(self):
+        order, reach = optics(np.empty((0, 2)), eps_m=10.0, min_pts=2)
+        assert order.shape == (0,)
+
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, size=(50, 2))
+        order, reach = optics(pts, eps_m=20.0, min_pts=3)
+        assert sorted(order.tolist()) == list(range(50))
+        assert reach.shape == (50,)
+
+    def test_two_blobs_low_reachability_within(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal([0, 0], 1.5, size=(25, 2))
+        b = rng.normal([300, 0], 1.5, size=(25, 2))
+        pts = np.vstack([a, b])
+        order, reach = optics(pts, eps_m=30.0, min_pts=3)
+        finite = reach[np.isfinite(reach)]
+        # Within-blob reachability is tiny; the cross-blob jump is inf
+        # (outside eps), so all finite values stay small.
+        assert finite.max() < 10.0
+
+    def test_extract_matches_dbscan_clusters(self):
+        """Cutting the reachability plot at eps reproduces DBSCAN's
+        partition of core-reachable points into groups."""
+        rng = np.random.default_rng(2)
+        blobs = [rng.normal([c, 0], 2.0, size=(20, 2)) for c in (0, 200, 400)]
+        pts = np.vstack(blobs)
+        order, reach = optics(pts, eps_m=25.0, min_pts=3)
+        labels_optics = extract_clusters(order, reach, eps_m=25.0)
+        labels_db = dbscan(pts, eps_m=25.0, min_pts=3)
+        # Same number of multi-point groups, and co-membership agrees.
+        assert len(set(labels_optics)) == len(set(labels_db[labels_db >= 0]))
+        for i in range(0, 60, 7):
+            for j in range(0, 60, 11):
+                same_optics = labels_optics[i] == labels_optics[j]
+                same_db = labels_db[i] == labels_db[j]
+                assert same_optics == same_db
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optics(np.zeros((2, 2)), eps_m=0.0, min_pts=1)
+        with pytest.raises(ValueError):
+            optics(np.zeros((2, 2)), eps_m=1.0, min_pts=0)
+        with pytest.raises(ValueError):
+            optics(np.zeros((2, 3)), eps_m=1.0, min_pts=1)
+
+    def test_min_pts_one_all_chainable(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        order, reach = optics(pts, eps_m=6.0, min_pts=1)
+        labels = extract_clusters(order, reach, eps_m=6.0)
+        assert len(set(labels)) == 1

@@ -1,0 +1,27 @@
+"""Shared fixtures: a tiny synthetic dataset generated once per session."""
+
+import pytest
+
+from repro.core import DLInfMAConfig, build_artifacts
+from repro.eval import Workload
+from repro.synth import generate_dataset, tiny_config
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate_dataset(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_dataset):
+    return Workload.from_dataset(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def tiny_artifacts(tiny_workload):
+    return build_artifacts(
+        tiny_workload.trips,
+        tiny_workload.addresses,
+        tiny_workload.projection,
+        DLInfMAConfig(),
+    )

@@ -1,0 +1,150 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    AddressExample,
+    FeatureConfig,
+    LocMatcherConfig,
+    LocMatcherNet,
+    LocMatcherSelector,
+    N_FEATURES,
+    COL_TC,
+    COL_DIST,
+)
+
+
+def synthetic_examples(n=60, seed=0, n_cands=(3, 8)):
+    """Examples where the labeled candidate has max TC and min distance."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        k = int(rng.integers(*n_cands))
+        feats = np.zeros((k, N_FEATURES))
+        feats[:, COL_TC] = rng.uniform(0.2, 0.8, k)
+        feats[:, COL_DIST] = rng.uniform(50, 400, k)
+        label = int(rng.integers(k))
+        feats[label, COL_TC] = 1.0
+        feats[label, COL_DIST] = rng.uniform(5, 40)
+        feats[:, 6:] = rng.dirichlet(np.ones(24), size=k)
+        out.append(
+            AddressExample(
+                address_id=f"x{i}",
+                candidate_ids=list(range(k)),
+                features=feats,
+                n_deliveries=int(rng.integers(1, 20)),
+                poi_category=int(rng.integers(21)),
+                label=label,
+            )
+        )
+    return out
+
+
+FAST = LocMatcherConfig(max_epochs=40, patience=10, lr_step=15)
+
+
+class TestLocMatcherNet:
+    def test_output_shape(self):
+        net = LocMatcherNet(n_scalar=5, hist_dim=24, config=LocMatcherConfig())
+        out = net(
+            np.zeros((2, 7, 5)), np.zeros((2, 7, 24)), np.ones((2, 7), dtype=bool),
+            np.zeros(2, dtype=int), np.zeros(2),
+        )
+        assert out.shape == (2, 7)
+
+    def test_no_hist_configuration(self):
+        net = LocMatcherNet(n_scalar=3, hist_dim=0, config=LocMatcherConfig())
+        out = net(np.zeros((1, 4, 3)), None, np.ones((1, 4), dtype=bool), np.zeros(1, dtype=int), np.zeros(1))
+        assert out.shape == (1, 4)
+
+    def test_missing_hist_rejected(self):
+        net = LocMatcherNet(n_scalar=3, hist_dim=24, config=LocMatcherConfig())
+        with pytest.raises(ValueError):
+            net(np.zeros((1, 4, 3)), None, np.ones((1, 4), dtype=bool), np.zeros(1, dtype=int), np.zeros(1))
+
+    def test_zero_features_rejected(self):
+        with pytest.raises(ValueError):
+            LocMatcherNet(n_scalar=0, hist_dim=0, config=LocMatcherConfig())
+
+    def test_no_context_variant_has_no_u(self):
+        net = LocMatcherNet(5, 24, LocMatcherConfig(), use_address_context=False)
+        assert net.u is None and net.poi_embedding is None
+        out = net(np.zeros((1, 3, 5)), np.zeros((1, 3, 24)), np.ones((1, 3), dtype=bool), np.zeros(1, dtype=int), np.zeros(1))
+        assert out.shape == (1, 3)
+
+    def test_lstm_encoder_variant(self):
+        net = LocMatcherNet(5, 24, LocMatcherConfig(encoder="lstm"))
+        out = net(np.zeros((2, 6, 5)), np.zeros((2, 6, 24)), np.ones((2, 6), dtype=bool), np.zeros(2, dtype=int), np.zeros(2))
+        assert out.shape == (2, 6)
+
+    def test_invalid_encoder(self):
+        with pytest.raises(ValueError):
+            LocMatcherConfig(encoder="gru")
+
+
+class TestLocMatcherSelector:
+    def test_learns_synthetic_rule(self):
+        train = synthetic_examples(80, seed=0)
+        test = synthetic_examples(40, seed=99)
+        selector = LocMatcherSelector(config=FAST).fit(train)
+        acc = np.mean([selector.predict_index(e) == e.label for e in test])
+        assert acc > 0.8
+
+    def test_scores_are_probabilities(self):
+        train = synthetic_examples(30, seed=1)
+        selector = LocMatcherSelector(config=FAST).fit(train)
+        scores = selector.scores(train[0])
+        assert scores.shape == (train[0].n_candidates,)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (scores >= 0).all()
+
+    def test_validation_early_stopping_records_history(self):
+        train = synthetic_examples(40, seed=2)
+        val = synthetic_examples(15, seed=3)
+        selector = LocMatcherSelector(config=FAST).fit(train, val)
+        assert len(selector.history) >= 1
+        assert {"epoch", "train_loss", "monitor"} <= set(selector.history[0])
+
+    def test_unlabeled_training_rejected(self):
+        examples = synthetic_examples(5, seed=4)
+        for e in examples:
+            e.label = None
+        with pytest.raises(ValueError):
+            LocMatcherSelector(config=FAST).fit(examples)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LocMatcherSelector().scores(synthetic_examples(1)[0])
+
+    def test_feature_ablation_trains(self):
+        train = synthetic_examples(30, seed=5)
+        cfg = FeatureConfig(use_profile=False, use_lc=False)
+        selector = LocMatcherSelector(cfg, FAST).fit(train)
+        assert selector.scores(train[0]).shape == (train[0].n_candidates,)
+
+    def test_single_candidate_example(self):
+        train = synthetic_examples(30, seed=6)
+        selector = LocMatcherSelector(config=FAST).fit(train)
+        lone = synthetic_examples(1, seed=7, n_cands=(1, 2))[0]
+        assert selector.predict_index(lone) == 0
+
+    def test_deterministic_given_seed(self):
+        train = synthetic_examples(25, seed=8)
+        s1 = LocMatcherSelector(config=FAST).fit(train)
+        s2 = LocMatcherSelector(config=FAST).fit(train)
+        np.testing.assert_allclose(s1.scores(train[0]), s2.scores(train[0]))
+
+    def test_batched_scores_match_single(self):
+        """Batched inference must be exactly per-example inference."""
+        train = synthetic_examples(30, seed=10)
+        selector = LocMatcherSelector(config=FAST).fit(train)
+        probe = synthetic_examples(23, seed=11, n_cands=(1, 9))
+        batched = selector.scores_batch(probe)
+        for example, scores in zip(probe, batched):
+            np.testing.assert_allclose(scores, selector.scores(example), rtol=1e-12)
+        indices = selector.predict_index_batch(probe)
+        assert indices == [selector.predict_index(e) for e in probe]
+
+    def test_scores_batch_empty(self):
+        train = synthetic_examples(10, seed=12)
+        selector = LocMatcherSelector(config=FAST).fit(train)
+        assert selector.scores_batch([]) == []

@@ -1,0 +1,18 @@
+import pytest
+
+from repro.core import extract_trip_stay_points
+
+
+class TestParallelExtraction:
+    def test_workers_match_serial(self, tiny_workload):
+        trips = tiny_workload.trips[:8]
+        serial = extract_trip_stay_points(trips)
+        parallel = extract_trip_stay_points(trips, workers=2)
+        assert set(serial) == set(parallel)
+        for trip_id in serial:
+            assert serial[trip_id] == parallel[trip_id]
+
+    def test_single_trip_stays_serial(self, tiny_workload):
+        trips = tiny_workload.trips[:1]
+        out = extract_trip_stay_points(trips, workers=4)
+        assert len(out) == 1

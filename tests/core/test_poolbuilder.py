@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.core import CandidatePoolBuilder, build_candidate_pool
+from repro.trajectory import StayPoint
+from tests.core.helpers import PROJ
+
+
+def sp(x, y, t=0.0):
+    lng, lat = PROJ.to_lnglat(x, y)
+    return StayPoint(float(lng), float(lat), t, t + 60.0, "c1", n_points=4)
+
+
+class TestCandidatePoolBuilder:
+    def test_empty_builder(self):
+        builder = CandidatePoolBuilder(PROJ)
+        pool = builder.build()
+        assert len(pool) == 0
+        assert builder.n_batches == 0
+
+    def test_single_batch_matches_direct_clustering(self):
+        stays = [sp(0, 0), sp(6, 2, 50), sp(400, 0, 100)]
+        builder = CandidatePoolBuilder(PROJ, 40.0)
+        builder.add_batch(stays)
+        streamed = builder.build()
+        direct = build_candidate_pool(stays, PROJ, 40.0)
+        assert len(streamed) == len(direct)
+        for a, b in zip(streamed.candidates, direct.candidates):
+            assert a.x == pytest.approx(b.x, abs=1e-9)
+            assert a.weight == b.weight
+
+    def test_incremental_validity_invariant(self):
+        """After every batch, all centroids stay >= D apart."""
+        rng = np.random.default_rng(0)
+        builder = CandidatePoolBuilder(PROJ, 40.0)
+        for batch in range(4):
+            stays = [
+                sp(float(x), float(y), t=batch * 1e5 + i)
+                for i, (x, y) in enumerate(rng.uniform(0, 600, size=(25, 2)))
+            ]
+            builder.add_batch(stays)
+            pool = builder.build()
+            coords = np.array([[c.x, c.y] for c in pool.candidates])
+            for i in range(len(coords)):
+                for j in range(i + 1, len(coords)):
+                    assert np.hypot(*(coords[i] - coords[j])) >= 40.0 - 1e-6
+        assert builder.n_batches == 4
+        assert builder.n_points == 100
+
+    def test_weight_accumulates_across_batches(self):
+        builder = CandidatePoolBuilder(PROJ, 40.0)
+        builder.add_batch([sp(0, 0), sp(3, 0, 10)])
+        builder.add_batch([sp(1, 1, 20)])
+        pool = builder.build()
+        assert len(pool) == 1
+        assert pool.candidates[0].weight == pytest.approx(3.0)
+
+    def test_empty_batch_counted_but_harmless(self):
+        builder = CandidatePoolBuilder(PROJ, 40.0)
+        builder.add_batch([])
+        builder.add_batch([sp(0, 0)])
+        assert builder.n_batches == 2
+        assert len(builder.build()) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CandidatePoolBuilder(PROJ, 0.0)

@@ -1,0 +1,151 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExtractionConfig,
+    build_candidate_pool,
+    build_profiles,
+    assign_stay_points,
+    extract_trip_stay_points,
+)
+from repro.trajectory import StayPoint
+from tests.core.helpers import PROJ, make_trip
+
+
+class TestExtractTripStayPoints:
+    def test_finds_stays_at_stops(self):
+        trip = make_trip(
+            "t1", "c1",
+            stops=[(0.0, 0.0, 40.0, 120.0), (300.0, 0.0, 220.0, 90.0)],
+            waybills=[("a1", 170.0)],
+        )
+        stays = extract_trip_stay_points([trip])["t1"]
+        assert len(stays) == 2
+        xs = [PROJ.to_xy(sp.lng, sp.lat)[0] for sp in stays]
+        assert xs[0] == pytest.approx(0.0, abs=3.0)
+        assert xs[1] == pytest.approx(300.0, abs=3.0)
+
+    def test_keyed_by_trip_id(self):
+        t1 = make_trip("t1", "c1", [(0.0, 0.0, 40.0, 120.0)], [("a1", 100.0)])
+        t2 = make_trip("t2", "c1", [(0.0, 0.0, 40.0, 120.0)], [("a1", 100.0)])
+        out = extract_trip_stay_points([t1, t2])
+        assert set(out) == {"t1", "t2"}
+
+    def test_empty_trips(self):
+        assert extract_trip_stay_points([]) == {}
+
+
+def sp(x, y, t=0.0, dur=60.0, courier="c1"):
+    lng, lat = PROJ.to_lnglat(x, y)
+    return StayPoint(float(lng), float(lat), t - dur / 2, t + dur / 2, courier, n_points=4)
+
+
+class TestBuildCandidatePool:
+    def test_empty(self):
+        pool = build_candidate_pool([], PROJ)
+        assert len(pool) == 0
+        assert pool.nearest(0.0, 0.0) is None
+
+    def test_close_stays_merge(self):
+        pool = build_candidate_pool([sp(0, 0), sp(10, 0), sp(500, 0)], PROJ, 40.0)
+        assert len(pool) == 2
+
+    def test_candidate_ids_are_dense(self):
+        pool = build_candidate_pool([sp(0, 0), sp(500, 0), sp(1000, 0)], PROJ, 40.0)
+        assert sorted(c.candidate_id for c in pool.candidates) == [0, 1, 2]
+
+    def test_pairwise_separation_invariant(self):
+        rng = np.random.default_rng(0)
+        stays = [sp(float(x), float(y), t=float(i)) for i, (x, y) in enumerate(rng.uniform(0, 800, (120, 2)))]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        coords = np.array([[c.x, c.y] for c in pool.candidates])
+        for i in range(len(coords)):
+            for j in range(i + 1, len(coords)):
+                assert np.hypot(*(coords[i] - coords[j])) >= 40.0 - 1e-6
+
+    def test_biweekly_batching_equivalent_coverage(self):
+        """Stays spread over 6 weeks go through incremental merging and
+        still yield one candidate per true location."""
+        stays = []
+        for week in range(6):
+            t = week * 7 * 86_400.0
+            stays += [sp(0, 0, t=t), sp(5, 5, t=t + 100), sp(500, 0, t=t + 200)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        assert len(pool) == 2
+
+    def test_grid_method(self):
+        pool = build_candidate_pool([sp(1, 1), sp(39, 1)], PROJ, 40.0, method="grid")
+        assert len(pool) == 1
+        pool2 = build_candidate_pool([sp(39, 1), sp(41, 1)], PROJ, 40.0, method="grid")
+        assert len(pool2) == 2  # boundary split: the documented weakness
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            build_candidate_pool([sp(0, 0)], PROJ, 40.0, method="bogus")
+
+    def test_nearest_and_within(self):
+        pool = build_candidate_pool([sp(0, 0), sp(500, 0)], PROJ, 40.0)
+        near = pool.nearest(10.0, 0.0)
+        assert near.x == pytest.approx(0.0, abs=1.0)
+        hits = pool.within(0.0, 0.0, 100.0)
+        assert len(hits) == 1
+
+    def test_lnglat_consistent_with_xy(self):
+        pool = build_candidate_pool([sp(123, 456)], PROJ, 40.0)
+        c = pool.candidates[0]
+        x, y = PROJ.to_xy(c.lng, c.lat)
+        assert x == pytest.approx(c.x, abs=1e-6)
+        assert y == pytest.approx(c.y, abs=1e-6)
+
+
+class TestProfiles:
+    def test_average_duration(self):
+        stays = [sp(0, 0, t=100, dur=60), sp(2, 0, t=200, dur=120)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        profiles = build_profiles(stays, pool)
+        assert profiles[0].avg_duration_s == pytest.approx(90.0)
+
+    def test_courier_count(self):
+        stays = [sp(0, 0, courier="c1"), sp(2, 0, t=100, courier="c2"), sp(3, 0, t=200, courier="c1")]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        profiles = build_profiles(stays, pool)
+        assert profiles[0].n_couriers == 2
+
+    def test_time_histogram(self):
+        # Visits at 08:30 and 14:30 (day seconds).
+        stays = [sp(0, 0, t=8.5 * 3600), sp(2, 0, t=14.5 * 3600 + 86_400)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        hist = build_profiles(stays, pool)[0].time_hist
+        assert hist.sum() == pytest.approx(1.0)
+        assert hist[8] == pytest.approx(0.5)
+        assert hist[14] == pytest.approx(0.5)
+
+    def test_unvisited_candidate_zero_profile(self):
+        # Profiles are defined for every pool candidate even when stay
+        # assignment leaves one empty (cannot happen from build, so check
+        # the all-candidates contract instead).
+        stays = [sp(0, 0), sp(500, 0, t=100)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        profiles = build_profiles(stays, pool)
+        assert set(profiles) == {0, 1}
+
+    def test_profile_vector_layout(self):
+        stays = [sp(0, 0, t=8.5 * 3600, dur=80)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        vec = build_profiles(stays, pool)[0].as_vector()
+        assert vec.shape == (26,)
+        assert vec[0] == pytest.approx(80.0)
+        assert vec[1] == 1.0
+
+    def test_assign_stay_points(self):
+        stays = [sp(0, 0), sp(500, 0, t=100)]
+        pool = build_candidate_pool(stays, PROJ, 40.0)
+        assignment = assign_stay_points([sp(3, 0), sp(497, 1)], pool)
+        a0 = pool.by_id[assignment[0]]
+        a1 = pool.by_id[assignment[1]]
+        assert a0.x == pytest.approx(0.0, abs=1.0)
+        assert a1.x == pytest.approx(500.0, abs=1.0)
+
+    def test_assign_empty_pool(self):
+        pool = build_candidate_pool([], PROJ)
+        assert assign_stay_points([sp(0, 0)], pool) == [None]

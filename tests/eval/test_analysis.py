@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.eval import (
+    bootstrap_ci,
+    breakdown_by,
+    compare_methods_errors,
+    error_cdf,
+    paired_permutation_pvalue,
+    paired_win_rate,
+)
+from repro.geo import Point
+
+
+def pt(dy):
+    return Point(116.4, 39.9 + dy)
+
+
+class TestErrorCDF:
+    def test_monotone(self):
+        errors = np.array([5.0, 20.0, 60.0, 150.0])
+        cdf = error_cdf(errors)
+        pcts = [p for _, p in cdf]
+        assert pcts == sorted(pcts)
+        assert cdf[0] == (10.0, 25.0)
+        assert cdf[-1] == (200.0, 100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_cdf(np.array([]))
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        errors = rng.exponential(30.0, size=200)
+        lo, hi = bootstrap_ci(errors, seed=1)
+        assert lo <= errors.mean() <= hi
+        assert hi - lo < 20.0
+
+    def test_degenerate_distribution(self):
+        errors = np.full(50, 42.0)
+        lo, hi = bootstrap_ci(errors)
+        assert lo == hi == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), alpha=1.5)
+
+
+class TestBreakdownBy:
+    def test_groups_split_metrics(self):
+        truth = {"a": pt(0), "b": pt(0), "c": pt(0)}
+        preds = {"a": pt(0), "b": pt(0.001), "c": pt(0.001)}  # ~111 m err
+        groups = {"a": "good", "b": "bad", "c": "bad"}
+        out = breakdown_by(preds, truth, groups)
+        assert out["good"].mae == pytest.approx(0.0)
+        assert out["bad"].mae > 100.0
+        assert out["bad"].n == 2
+
+    def test_missing_addresses_skipped(self):
+        out = breakdown_by({"a": pt(0)}, {"a": pt(0)}, {})
+        assert out == {}
+
+
+class TestPairedComparison:
+    def test_compare_methods_alignment(self):
+        truth = {"a": pt(0), "b": pt(0)}
+        by_method = {
+            "X": {"a": pt(0), "b": pt(0.001), "c": pt(0)},
+            "Y": {"a": pt(0.001), "b": pt(0)},
+        }
+        errors = compare_methods_errors(by_method, truth)
+        assert errors["X"].shape == errors["Y"].shape == (2,)
+
+    def test_no_common_addresses(self):
+        with pytest.raises(ValueError):
+            compare_methods_errors({"X": {"a": pt(0)}, "Y": {"b": pt(0)}}, {"a": pt(0), "b": pt(0)})
+
+    def test_paired_win_rate(self):
+        a = np.array([1.0, 1.0, 5.0, 3.0])
+        b = np.array([2.0, 2.0, 1.0, 3.0])
+        assert paired_win_rate(a, b) == pytest.approx((2 + 0.5) / 4)
+
+    def test_win_rate_validation(self):
+        with pytest.raises(ValueError):
+            paired_win_rate(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestPermutationTest:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.exponential(10.0, size=100)
+        b = a + 20.0  # B uniformly worse
+        p = paired_permutation_pvalue(a, b, n_perm=500, seed=1)
+        assert p < 0.01
+
+    def test_identical_methods_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.exponential(10.0, size=100)
+        b = a + rng.normal(0, 0.5, size=100)  # symmetric noise
+        p = paired_permutation_pvalue(a, b, n_perm=500, seed=3)
+        assert p > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_pvalue(np.array([]), np.array([]))

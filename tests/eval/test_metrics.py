@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.eval import EvalResult, beta, error_meters, evaluate, mae, p95
+from repro.geo import Point
+
+
+class TestErrorMeters:
+    def test_aligned_on_common_ids(self):
+        preds = {"a": Point(116.4, 39.9), "b": Point(116.5, 39.9)}
+        truth = {"a": Point(116.4, 39.9), "c": Point(116.6, 39.9)}
+        errors = error_meters(preds, truth)
+        assert errors.shape == (1,)
+        assert errors[0] == 0.0
+
+    def test_known_distance(self):
+        # ~111 m per 0.001 degree latitude.
+        preds = {"a": Point(116.4, 39.901)}
+        truth = {"a": Point(116.4, 39.900)}
+        assert error_meters(preds, truth)[0] == pytest.approx(111.2, abs=0.5)
+
+
+class TestAggregates:
+    def test_mae(self):
+        assert mae(np.array([10.0, 20.0, 30.0])) == 20.0
+
+    def test_p95(self):
+        errors = np.arange(100.0)
+        assert p95(errors) == pytest.approx(94.05)
+
+    def test_beta_strict_threshold(self):
+        errors = np.array([10.0, 50.0, 49.9, 80.0])
+        assert beta(errors, 50.0) == pytest.approx(50.0)
+
+    def test_empty_rejected(self):
+        for fn in (mae, p95):
+            with pytest.raises(ValueError):
+                fn(np.array([]))
+        with pytest.raises(ValueError):
+            beta(np.array([]), 50.0)
+        with pytest.raises(ValueError):
+            beta(np.array([1.0]), 0.0)
+
+    def test_evaluate_bundles_all(self):
+        preds = {"a": Point(116.4, 39.9001), "b": Point(116.4, 39.91)}
+        truth = {"a": Point(116.4, 39.9), "b": Point(116.4, 39.9)}
+        result = evaluate(preds, truth)
+        assert isinstance(result, EvalResult)
+        assert result.n == 2
+        assert result.beta50 == 50.0
+        assert result.mae > 0
+        assert result.row() == (result.mae, result.p95, result.beta50)

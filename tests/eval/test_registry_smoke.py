@@ -1,0 +1,48 @@
+"""Every Table II method must run end-to-end on a small dataset.
+
+This is the harness's strongest guarantee: all 22 registry entries fit,
+predict every test address, and produce bounded errors — so a refactor in
+any substrate cannot silently break a comparison method.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate, method_registry, run_methods
+
+
+@pytest.fixture(scope="module")
+def all_runs(tiny_workload):
+    names = list(method_registry())
+    return run_methods(tiny_workload, names, fast=True), names
+
+
+class TestFullRegistrySmoke:
+    def test_all_methods_predict_all_test_addresses(self, all_runs, tiny_workload):
+        runs, names = all_runs
+        assert set(runs) == set(names)
+        for name, run in runs.items():
+            missing = set(tiny_workload.test_ids) - set(run.predictions)
+            assert not missing, f"{name} skipped {sorted(missing)}"
+
+    def test_all_methods_produce_bounded_errors(self, all_runs, tiny_workload):
+        runs, _ = all_runs
+        for name, run in runs.items():
+            result = evaluate(run.predictions, tiny_workload.ground_truth)
+            # The city is ~1 km wide; a working method cannot average
+            # beyond it (even MaxTC stays within a few hundred meters).
+            assert result.mae < 1_000.0, f"{name} MAE {result.mae}"
+            assert np.isfinite(result.p95)
+
+    def test_predictions_inside_city_envelope(self, all_runs, tiny_workload):
+        runs, _ = all_runs
+        for name, run in runs.items():
+            for point in run.predictions.values():
+                x, y = tiny_workload.projection.to_xy(point.lng, point.lat)
+                assert -3_000 < x < 6_000 and -3_000 < y < 6_000, name
+
+    def test_fit_and_predict_times_recorded(self, all_runs):
+        runs, _ = all_runs
+        for run in runs.values():
+            assert run.fit_seconds >= 0.0
+            assert run.predict_seconds >= 0.0

@@ -1,0 +1,40 @@
+import pytest
+
+from repro.geo import BBox, Point
+
+
+class TestBBox:
+    def test_from_points(self):
+        box = BBox.from_points([Point(1.0, 2.0), Point(3.0, 0.0), Point(2.0, 5.0)])
+        assert box == BBox(1.0, 0.0, 3.0, 5.0)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            BBox.from_points([])
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(2.0, 0.0, 1.0, 1.0)
+
+    def test_zero_area_allowed(self):
+        box = BBox(1.0, 1.0, 1.0, 1.0)
+        assert box.contains(Point(1.0, 1.0))
+
+    def test_center(self):
+        assert BBox(0.0, 0.0, 2.0, 4.0).center == Point(1.0, 2.0)
+
+    def test_contains_border(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(Point(0.0, 0.0))
+        assert box.contains(Point(1.0, 1.0))
+        assert not box.contains(Point(1.0001, 0.5))
+
+    def test_intersects(self):
+        a = BBox(0.0, 0.0, 2.0, 2.0)
+        assert a.intersects(BBox(1.0, 1.0, 3.0, 3.0))
+        assert a.intersects(BBox(2.0, 2.0, 3.0, 3.0))  # corner touch
+        assert not a.intersects(BBox(2.1, 0.0, 3.0, 1.0))
+
+    def test_expanded(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0).expanded(0.5, 0.25)
+        assert box == BBox(-0.5, -0.25, 1.5, 1.25)

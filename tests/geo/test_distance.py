@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import EARTH_RADIUS_M, euclidean_m, haversine_m, haversine_m_vec
+
+lng_st = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+lat_st = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        # 1 degree of latitude is ~111.2 km everywhere.
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M / 180.0, rel=1e-6)
+
+    def test_one_degree_longitude_at_60n(self):
+        # At 60N a degree of longitude is half the equatorial value.
+        d_eq = haversine_m(0.0, 0.0, 1.0, 0.0)
+        d_60 = haversine_m(0.0, 60.0, 1.0, 60.0)
+        assert d_60 == pytest.approx(d_eq / 2.0, rel=1e-3)
+
+    def test_antipodal(self):
+        d = haversine_m(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M, rel=1e-9)
+
+    @given(lng_st, lat_st, lng_st, lat_st)
+    def test_symmetry_property(self, lng1, lat1, lng2, lat2):
+        assert haversine_m(lng1, lat1, lng2, lat2) == pytest.approx(
+            haversine_m(lng2, lat2, lng1, lat1), abs=1e-6
+        )
+
+    @given(lng_st, lat_st, lng_st, lat_st)
+    def test_non_negative_and_bounded(self, lng1, lat1, lng2, lat2):
+        d = haversine_m(lng1, lat1, lng2, lat2)
+        assert 0.0 <= d <= np.pi * EARTH_RADIUS_M + 1.0
+
+
+class TestHaversineVec:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        lng1, lng2 = rng.uniform(-180, 180, (2, 50))
+        lat1, lat2 = rng.uniform(-89, 89, (2, 50))
+        vec = haversine_m_vec(lng1, lat1, lng2, lat2)
+        for i in range(50):
+            assert vec[i] == pytest.approx(
+                haversine_m(lng1[i], lat1[i], lng2[i], lat2[i]), rel=1e-12, abs=1e-9
+            )
+
+    def test_broadcasting(self):
+        lngs = np.array([0.0, 1.0, 2.0])
+        out = haversine_m_vec(lngs, 0.0, 0.0, 0.0)
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert out[1] < out[2]
+
+
+class TestEuclidean:
+    def test_pythagoras(self):
+        assert euclidean_m(0.0, 0.0, 3.0, 4.0) == 5.0
+
+    def test_zero(self):
+        assert euclidean_m(1.0, 1.0, 1.0, 1.0) == 0.0

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import GridIndex
+
+
+class TestGridIndexBasics:
+    def test_insert_and_len(self):
+        g = GridIndex(10.0)
+        g.insert("a", 0.0, 0.0)
+        g.insert("b", 5.0, 5.0)
+        assert len(g) == 2
+        assert "a" in g and "b" in g
+
+    def test_reinsert_moves(self):
+        g = GridIndex(10.0)
+        g.insert("a", 0.0, 0.0)
+        g.insert("a", 100.0, 100.0)
+        assert len(g) == 1
+        assert g.position("a") == (100.0, 100.0)
+        assert g.query_radius(0.0, 0.0, 1.0) == []
+
+    def test_remove(self):
+        g = GridIndex(10.0)
+        g.insert("a", 0.0, 0.0)
+        g.remove("a")
+        assert len(g) == 0
+        with pytest.raises(KeyError):
+            g.remove("a")
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+
+
+class TestQueryRadius:
+    def test_exact_boundary_inclusive(self):
+        g = GridIndex(10.0)
+        g.insert("a", 10.0, 0.0)
+        assert g.query_radius(0.0, 0.0, 10.0) == ["a"]
+        assert g.query_radius(0.0, 0.0, 9.999) == []
+
+    def test_negative_radius_rejected(self):
+        g = GridIndex(10.0)
+        with pytest.raises(ValueError):
+            g.query_radius(0.0, 0.0, -1.0)
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(-200, 200, size=(300, 2))
+        g = GridIndex(25.0)
+        for i, (x, y) in enumerate(pts):
+            g.insert(i, float(x), float(y))
+        for qx, qy, r in [(0, 0, 50), (100, -100, 80), (-180, 180, 10)]:
+            expect = {
+                i
+                for i, (x, y) in enumerate(pts)
+                if (x - qx) ** 2 + (y - qy) ** 2 <= r * r
+            }
+            assert set(g.query_radius(qx, qy, r)) == expect
+
+    def test_negative_coordinates(self):
+        g = GridIndex(10.0)
+        g.insert("a", -15.0, -15.0)
+        assert g.query_radius(-14.0, -14.0, 5.0) == ["a"]
+
+
+class TestNearest:
+    def test_empty(self):
+        assert GridIndex(10.0).nearest(0.0, 0.0) is None
+
+    def test_single(self):
+        g = GridIndex(10.0)
+        g.insert("a", 500.0, 500.0)
+        assert g.nearest(0.0, 0.0) == "a"
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(-500, 500, size=(200, 2))
+        g = GridIndex(40.0)
+        for i, (x, y) in enumerate(pts):
+            g.insert(i, float(x), float(y))
+        for qx, qy in rng.uniform(-600, 600, size=(20, 2)):
+            d2 = ((pts - [qx, qy]) ** 2).sum(axis=1)
+            assert g.nearest(float(qx), float(qy)) == int(d2.argmin())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-1000, max_value=1000),
+        st.floats(min_value=-1000, max_value=1000),
+    ), min_size=1, max_size=40))
+    def test_nearest_property(self, coords):
+        g = GridIndex(33.0)
+        for i, (x, y) in enumerate(coords):
+            g.insert(i, x, y)
+        winner = g.nearest(3.0, 4.0)
+        best = min(
+            range(len(coords)),
+            key=lambda i: (g.position(i)[0] - 3.0) ** 2 + (g.position(i)[1] - 4.0) ** 2,
+        )
+        wx, wy = g.position(winner)
+        bx, by = g.position(best)
+        assert (wx - 3.0) ** 2 + (wy - 4.0) ** 2 == pytest.approx(
+            (bx - 3.0) ** 2 + (by - 4.0) ** 2
+        )
+
+    def test_to_arrays(self):
+        g = GridIndex(10.0)
+        g.insert("a", 1.0, 2.0)
+        g.insert("b", 3.0, 4.0)
+        ids, coords = g.to_arrays()
+        assert set(ids) == {"a", "b"}
+        assert coords.shape == (2, 2)

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.geo import Point
+
+
+class TestPoint:
+    def test_fields(self):
+        p = Point(116.4, 39.9)
+        assert p.lng == 116.4
+        assert p.lat == 39.9
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_frozen(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lng = 1.0
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+    @pytest.mark.parametrize("lng,lat", [(181.0, 0.0), (-181.0, 0.0), (0.0, 91.0), (0.0, -90.5)])
+    def test_out_of_range_rejected(self, lng, lat):
+        with pytest.raises(ValueError):
+            Point(lng, lat)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(116.4, 39.9)
+        assert p.distance_m(p) == 0.0
+
+    def test_distance_symmetry(self):
+        a = Point(116.40, 39.90)
+        b = Point(116.41, 39.91)
+        assert a.distance_m(b) == pytest.approx(b.distance_m(a))

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import convex_hull, point_in_polygon, polygon_area
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = np.array([[0, 0], [2, 0], [2, 2], [0, 2], [1, 1], [0.5, 1.5]])
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert {tuple(v) for v in hull} == {(0, 0), (2, 0), (2, 2), (0, 2)}
+
+    def test_ccw_orientation(self):
+        pts = np.random.default_rng(0).uniform(0, 10, size=(30, 2))
+        hull = convex_hull(pts)
+        assert polygon_area(hull) > 0  # positive shoelace = CCW
+
+    def test_collinear(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2], [3, 3]])
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+
+    def test_degenerate_inputs(self):
+        assert len(convex_hull(np.array([[1.0, 1.0]]))) == 1
+        assert len(convex_hull(np.array([[1.0, 1.0], [1.0, 1.0]]))) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    ), min_size=3, max_size=40))
+    def test_all_points_inside_hull_property(self, pts):
+        coords = np.array(pts)
+        hull = convex_hull(coords)
+        if len(hull) < 3:
+            return  # collinear input
+        for x, y in coords:
+            assert point_in_polygon(float(x), float(y), hull)
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]])
+        assert polygon_area(square) == pytest.approx(1.0)
+
+    def test_clockwise_negative(self):
+        square = np.array([[0, 0], [0, 1], [1, 1], [1, 0]])
+        assert polygon_area(square) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        tri = np.array([[0, 0], [4, 0], [0, 3]])
+        assert polygon_area(tri) == pytest.approx(6.0)
+
+    def test_degenerate(self):
+        assert polygon_area(np.array([[0, 0], [1, 1]])) == 0.0
+
+
+class TestPointInPolygon:
+    SQUARE = np.array([[0, 0], [10, 0], [10, 10], [0, 10]])
+
+    def test_inside(self):
+        assert point_in_polygon(5, 5, self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(15, 5, self.SQUARE)
+        assert not point_in_polygon(5, -1, self.SQUARE)
+
+    def test_on_edge_and_vertex(self):
+        assert point_in_polygon(5, 0, self.SQUARE)
+        assert point_in_polygon(0, 0, self.SQUARE)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        c_shape = np.array([[0, 0], [10, 0], [10, 3], [3, 3], [3, 7], [10, 7], [10, 10], [0, 10]])
+        assert point_in_polygon(1, 5, c_shape)
+        assert not point_in_polygon(7, 5, c_shape)
+
+    def test_too_few_vertices(self):
+        assert not point_in_polygon(0, 0, np.array([[0, 0], [1, 1]]))

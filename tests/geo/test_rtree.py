@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import RTree
+
+
+def random_tree(n=200, seed=0, leaf_size=8):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(-500, 500, size=(n, 2))
+    return RTree(list(range(n)), coords, leaf_size=leaf_size), coords
+
+
+class TestRTreeConstruction:
+    def test_empty(self):
+        tree = RTree([], np.empty((0, 2)))
+        assert len(tree) == 0
+        assert tree.nearest(0, 0) is None
+        assert tree.query_radius(0, 0, 100) == []
+        assert tree.query_box(-1, -1, 1, 1) == []
+
+    def test_single_point(self):
+        tree = RTree(["a"], np.array([[5.0, 5.0]]))
+        assert tree.nearest(0, 0) == "a"
+        assert tree.query_radius(5, 5, 0.0) == ["a"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTree(["a"], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            RTree(["a"], np.zeros((1, 2)), leaf_size=1)
+
+
+class TestQueries:
+    def test_box_matches_bruteforce(self):
+        tree, coords = random_tree()
+        for x0, y0, x1, y1 in [(-100, -100, 100, 100), (0, 0, 500, 500), (-600, -600, -400, -400)]:
+            expect = {
+                i for i, (x, y) in enumerate(coords)
+                if x0 <= x <= x1 and y0 <= y <= y1
+            }
+            assert set(tree.query_box(x0, y0, x1, y1)) == expect
+
+    def test_degenerate_box_rejected(self):
+        tree, _ = random_tree(20)
+        with pytest.raises(ValueError):
+            tree.query_box(1, 1, 0, 0)
+
+    def test_radius_matches_bruteforce(self):
+        tree, coords = random_tree(seed=3)
+        for qx, qy, r in [(0, 0, 150), (400, -400, 80), (-550, 550, 200)]:
+            expect = {
+                i for i, (x, y) in enumerate(coords)
+                if (x - qx) ** 2 + (y - qy) ** 2 <= r * r
+            }
+            assert set(tree.query_radius(qx, qy, r)) == expect
+
+    def test_negative_radius(self):
+        tree, _ = random_tree(10)
+        with pytest.raises(ValueError):
+            tree.query_radius(0, 0, -1)
+
+    def test_nearest_matches_bruteforce(self):
+        tree, coords = random_tree(seed=5)
+        rng = np.random.default_rng(6)
+        for qx, qy in rng.uniform(-700, 700, size=(30, 2)):
+            d2 = ((coords - [qx, qy]) ** 2).sum(axis=1)
+            best = tree.nearest(float(qx), float(qy))
+            assert d2[best] == pytest.approx(d2.min())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1000, max_value=1000),
+                st.floats(min_value=-1000, max_value=1000),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0, max_value=500),
+    )
+    def test_radius_property(self, pts, radius):
+        coords = np.array(pts)
+        tree = RTree(list(range(len(pts))), coords, leaf_size=4)
+        found = set(tree.query_radius(10.0, -10.0, radius))
+        expect = {
+            i for i, (x, y) in enumerate(pts)
+            if (x - 10.0) ** 2 + (y + 10.0) ** 2 <= radius * radius
+        }
+        assert found == expect
+
+    def test_skewed_distribution(self):
+        # Heavy cluster + far outliers: the case grids handle poorly.
+        rng = np.random.default_rng(7)
+        dense = rng.normal(0, 1, size=(500, 2))
+        sparse = rng.uniform(10_000, 20_000, size=(5, 2))
+        coords = np.vstack([dense, sparse])
+        tree = RTree(list(range(len(coords))), coords)
+        assert tree.nearest(15_000, 15_000) >= 500
+        assert len(tree.query_radius(0, 0, 5)) > 400

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+)
+
+
+def two_moons(seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(0, np.pi, n)
+    a = np.column_stack([np.cos(t), np.sin(t)]) + rng.normal(0, 0.12, (n, 2))
+    b = np.column_stack([1 - np.cos(t), 0.5 - np.sin(t)]) + rng.normal(0, 0.12, (n, 2))
+    x = np.vstack([a, b])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+class TestRandomForest:
+    def test_nonlinear_boundary(self):
+        x, y = two_moons()
+        rf = RandomForestClassifier(n_estimators=30, max_depth=6, rng=np.random.default_rng(0))
+        rf.fit(x, y)
+        assert (rf.predict(x) == y).mean() > 0.95
+
+    def test_proba_shape_and_sum(self):
+        x, y = two_moons(n=40)
+        rf = RandomForestClassifier(n_estimators=5, rng=np.random.default_rng(1)).fit(x, y)
+        proba = rf.predict_proba(x)
+        assert proba.shape == (len(x), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_more_trees_smoother(self):
+        # Forest probability estimates take many distinct values.
+        x, y = two_moons(n=60)
+        rf = RandomForestClassifier(n_estimators=25, max_depth=3, rng=np.random.default_rng(2)).fit(x, y)
+        single = RandomForestClassifier(n_estimators=1, max_depth=3, rng=np.random.default_rng(2)).fit(x, y)
+        assert len(np.unique(rf.predict_proba(x)[:, 1])) >= len(
+            np.unique(single.predict_proba(x)[:, 1])
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier(n_estimators=2).predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_deterministic_with_seed(self):
+        x, y = two_moons(n=30)
+        p1 = RandomForestClassifier(n_estimators=5, rng=np.random.default_rng(7)).fit(x, y).predict_proba(x)
+        p2 = RandomForestClassifier(n_estimators=5, rng=np.random.default_rng(7)).fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(p1, p2)
+
+
+class TestGradientBoostingClassifier:
+    def test_nonlinear_boundary(self):
+        x, y = two_moons()
+        gb = GradientBoostingClassifier(n_estimators=60, max_depth=3, rng=np.random.default_rng(0))
+        gb.fit(x, y)
+        assert (gb.predict(x) == y).mean() > 0.97
+
+    def test_boosting_improves_fit(self):
+        x, y = two_moons(n=80)
+        few = GradientBoostingClassifier(n_estimators=2, max_depth=2).fit(x, y)
+        many = GradientBoostingClassifier(n_estimators=60, max_depth=2).fit(x, y)
+        assert (many.predict(x) == y).mean() >= (few.predict(x) == y).mean()
+
+    def test_init_score_is_prior_log_odds(self):
+        x = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([1] * 80 + [0] * 20)
+        gb = GradientBoostingClassifier(n_estimators=1).fit(x, y)
+        assert gb.init_score_ == pytest.approx(np.log(0.8 / 0.2), rel=1e-6)
+
+    def test_proba_bounds(self):
+        x, y = two_moons(n=40)
+        gb = GradientBoostingClassifier(n_estimators=10).fit(x, y)
+        proba = gb.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_sample_weight_effect(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(200, 1))
+        y = (x[:, 0] > 0.85).astype(int)
+        w = np.where(y == 1, 10.0, 1.0)
+        plain = GradientBoostingClassifier(n_estimators=20).fit(x, y)
+        weighted = GradientBoostingClassifier(n_estimators=20).fit(x, y, sample_weight=w)
+        probe = np.array([[0.9]])
+        assert weighted.predict_proba(probe)[0, 1] >= plain.predict_proba(probe)[0, 1] - 1e-9
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=1).fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().decision_function(np.zeros((1, 1)))
+
+
+class TestGradientBoostingRegressor:
+    def test_fits_sine(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(300, 1))
+        y = np.sin(6 * x[:, 0])
+        gb = GradientBoostingRegressor(n_estimators=80, max_depth=3).fit(x, y)
+        mse = np.mean((gb.predict(x) - y) ** 2)
+        assert mse < 0.01
+
+    def test_single_stage_is_shrunk_tree_plus_mean(self):
+        x = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = x[:, 0] * 2.0
+        gb = GradientBoostingRegressor(n_estimators=1, learning_rate=1.0, max_depth=1).fit(x, y)
+        assert abs(gb.init_ - 1.0) < 1e-9
+        assert len(gb.trees_) == 1

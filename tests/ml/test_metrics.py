@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.ml import accuracy, confusion_matrix, precision_recall_f1, roc_auc
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 0]), np.array([0, 0]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_custom_positive_label(self):
+        p, r, _ = precision_recall_f1(np.array(["a", "b"]), np.array(["a", "a"]), positive="a")
+        assert p == 0.5 and r == 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2_000)
+        scores = rng.random(2_000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.04)
+
+    def test_inverted_is_zero(self):
+        assert roc_auc(np.array([1, 0]), np.array([0.1, 0.9])) == 0.0
+
+    def test_ties_averaged(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert roc_auc(np.array([0, 1, 0, 1]), np.zeros(4)) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([1, 1]), np.array([0.5, 0.6]))
+
+
+class TestConfusionMatrix:
+    def test_binary(self):
+        cm = confusion_matrix(np.array([1, 0, 1, 1]), np.array([1, 0, 0, 1]), labels=[0, 1])
+        np.testing.assert_array_equal(cm, [[1, 0], [1, 2]])
+
+    def test_labels_inferred(self):
+        cm = confusion_matrix(np.array(["x", "y"]), np.array(["y", "y"]))
+        assert cm.sum() == 2
+        assert cm.shape == (2, 2)

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, PairwiseRankingTree, RankNet, RankingGroup, StandardScaler
+
+
+def make_groups(seed=0, n_groups=40, d=4):
+    """Groups where the positive candidate has the highest feature-0."""
+    rng = np.random.default_rng(seed)
+    groups = []
+    for _ in range(n_groups):
+        n = rng.integers(3, 8)
+        feats = rng.normal(size=(n, d))
+        pos = int(feats[:, 0].argmax())
+        groups.append(RankingGroup(feats, pos))
+    return groups
+
+
+class TestRankingGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankingGroup(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            RankingGroup(np.zeros((3, 2)), 3)
+
+
+class TestPairwiseRankingTree:
+    def test_learns_feature_rule(self):
+        groups = make_groups()
+        ranker = PairwiseRankingTree(rng=np.random.default_rng(0)).fit(groups)
+        test_groups = make_groups(seed=99, n_groups=30)
+        hits = sum(
+            ranker.predict_best(g.features) == g.positive_index for g in test_groups
+        )
+        assert hits / len(test_groups) > 0.8
+
+    def test_single_candidate_group_scores(self):
+        groups = make_groups(n_groups=10)
+        ranker = PairwiseRankingTree(rng=np.random.default_rng(0)).fit(groups)
+        assert ranker.predict_best(np.zeros((1, 4))) == 0
+
+    def test_no_pairs_rejected(self):
+        lonely = [RankingGroup(np.zeros((1, 4)), 0)]
+        with pytest.raises(ValueError):
+            PairwiseRankingTree().fit(lonely)
+
+    def test_scores_shape(self):
+        groups = make_groups(n_groups=10)
+        ranker = PairwiseRankingTree(rng=np.random.default_rng(1)).fit(groups)
+        scores = ranker.scores(groups[0].features)
+        assert scores.shape == (len(groups[0].features),)
+
+
+class TestRankNet:
+    def test_learns_feature_rule(self):
+        groups = make_groups()
+        net = RankNet(epochs=80, rng=np.random.default_rng(0)).fit(groups)
+        test_groups = make_groups(seed=7, n_groups=30)
+        hits = sum(net.predict_best(g.features) == g.positive_index for g in test_groups)
+        assert hits / len(test_groups) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RankNet().scores(np.zeros((2, 4)))
+
+    def test_scores_monotone_in_learned_feature(self):
+        groups = make_groups(n_groups=60)
+        net = RankNet(epochs=30, rng=np.random.default_rng(1)).fit(groups)
+        base = np.zeros((2, 4))
+        base[1, 0] = 3.0  # much larger feature-0
+        s = net.scores(base)
+        assert s[1] > s[0]
+
+
+class TestMLPClassifier:
+    def test_linear_separation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        clf = MLPClassifier(epochs=60, pos_weight=1.0, rng=np.random.default_rng(1)).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_pos_weight_biases_positive(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(300, 2))
+        y = (rng.random(300) < 0.1).astype(int)  # noise labels, 10% positive
+        heavy = MLPClassifier(epochs=20, pos_weight=10.0, rng=np.random.default_rng(3)).fit(x, y)
+        light = MLPClassifier(epochs=20, pos_weight=1.0, rng=np.random.default_rng(3)).fit(x, y)
+        assert heavy.predict_proba(x)[:, 1].mean() > light.predict_proba(x)[:, 1].mean()
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=1).fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_proba_shape(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0).astype(int)
+        clf = MLPClassifier(epochs=5, rng=rng).fit(x, y)
+        proba = clf.predict_proba(x)
+        assert proba.shape == (50, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+class TestStandardScaler:
+    def test_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(2.0, 7.0, size=(30, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x, rtol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(3))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))

@@ -1,0 +1,211 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def blobs(seed=0, n=60, gap=4.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 1, size=(n, 2))
+    b = rng.normal([gap, gap], 1, size=(n, 2))
+    x = np.vstack([a, b])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+class TestDecisionTreeClassifier:
+    def test_separable_data_perfect(self):
+        x, y = blobs(gap=10.0)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert (tree.predict(x) == y).all()
+
+    def test_predict_proba_rows_sum_to_one(self):
+        x, y = blobs()
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert proba.shape == (len(x), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_class(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert (tree.predict(x) == 0).all()
+        assert tree.n_leaves() == 1
+
+    def test_max_depth_respected(self):
+        x, y = blobs(n=100, gap=1.0)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        x, y = blobs(n=30)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(x, y)
+
+        def check(node, idx):
+            if node.is_leaf:
+                assert node.n_samples >= 10
+            else:
+                check(node.left, None)
+                check(node.right, None)
+
+        check(tree.root, None)
+
+    def test_max_leaf_nodes_bounds_leaves(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(300, 4))
+        y = (x[:, 0] + x[:, 1] + rng.normal(0, 0.05, 300) > 1.0).astype(int)
+        tree = DecisionTreeClassifier(max_leaf_nodes=5).fit(x, y)
+        assert 2 <= tree.n_leaves() <= 5
+        # Unrestricted tree would be much larger.
+        big = DecisionTreeClassifier().fit(x, y)
+        assert big.n_leaves() > 5
+
+    def test_best_first_growth_accuracy(self):
+        x, y = blobs(gap=6.0)
+        tree = DecisionTreeClassifier(max_leaf_nodes=4).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.95
+
+    def test_sample_weight_shifts_decision(self):
+        # A point cloud where class 1 is rare; weighting it up changes leaves.
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(100, 1))
+        y = (x[:, 0] > 0.9).astype(int)
+        unweighted = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        w = np.where(y == 1, 50.0, 1.0)
+        weighted = DecisionTreeClassifier(max_depth=1).fit(x, y, sample_weight=w)
+        probe = np.array([[0.95]])
+        assert weighted.predict_proba(probe)[0, 1] >= unweighted.predict_proba(probe)[0, 1]
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(3)
+        centers = [(0, 0), (8, 0), (0, 8)]
+        x = np.vstack([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert (tree.predict(x) == y).mean() == 1.0
+        assert tree.predict_proba(x).shape == (90, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_leaf_nodes=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+        tree = DecisionTreeClassifier().fit(np.zeros((2, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 3)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_training_accuracy_beats_majority_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, size=(50, 3))
+        y = (x[:, 0] > 0.5).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        acc = (tree.predict(x) == y).mean()
+        majority = max(np.bincount(y)) / len(y)
+        assert acc >= majority
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        pred = tree.predict(x)
+        np.testing.assert_allclose(pred, y, atol=1e-9)
+
+    def test_constant_target(self):
+        x = np.random.default_rng(0).normal(size=(20, 2))
+        tree = DecisionTreeRegressor().fit(x, np.full(20, 7.0))
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+        assert tree.n_leaves() == 1
+
+    def test_deeper_tree_reduces_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(200, 1))
+        y = np.sin(6 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep < err_shallow
+
+    def test_apply_returns_stable_leaf_ids(self):
+        x, _ = blobs()
+        y = x[:, 0]
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        ids1 = tree.apply(x)
+        ids2 = tree.apply(x)
+        np.testing.assert_array_equal(ids1, ids2)
+        assert ids1.max() + 1 <= tree.n_leaves()
+        # Same leaf -> same prediction.
+        preds = tree.predict(x)
+        for leaf in np.unique(ids1):
+            assert len(np.unique(preds[ids1 == leaf])) == 1
+
+    def test_leaves_enumeration(self):
+        x = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (x[:, 0] * 4).astype(int).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert len(tree.leaves()) == tree.n_leaves()
+
+    def test_weighted_leaf_value(self):
+        x = np.zeros((2, 1))
+        y = np.array([0.0, 10.0])
+        tree = DecisionTreeRegressor().fit(x, y, sample_weight=np.array([3.0, 1.0]))
+        assert tree.predict(np.zeros((1, 1)))[0] == pytest.approx(2.5)
+
+
+class TestFeatureImportances:
+    def test_informative_feature_dominates(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(300, 3))
+        y = (x[:, 1] > 0.5).astype(int)  # only feature 1 matters
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        imp = tree.feature_importances_
+        assert imp.argmax() == 1
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_pure_node_zero_importance(self):
+        x = np.random.default_rng(1).normal(size=(20, 2))
+        tree = DecisionTreeClassifier().fit(x, np.zeros(20, dtype=int))
+        np.testing.assert_allclose(tree.feature_importances_, 0.0)
+
+    def test_best_first_importances(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(200, 4))
+        y = (x[:, 2] + 0.1 * x[:, 0] > 0.55).astype(int)
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        assert tree.feature_importances_.argmax() == 2
+
+    def test_regressor_importances(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(200, 2))
+        y = 5.0 * x[:, 0] + rng.normal(0, 0.05, 200)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert tree.feature_importances_.argmax() == 0
+
+    def test_ensemble_importances(self):
+        from repro.ml import GradientBoostingClassifier, RandomForestClassifier
+
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 1, size=(200, 3))
+        y = (x[:, 0] > 0.5).astype(int)
+        rf = RandomForestClassifier(n_estimators=10, max_depth=3, rng=rng).fit(x, y)
+        gb = GradientBoostingClassifier(n_estimators=10, max_depth=2).fit(x, y)
+        assert rf.feature_importances_.argmax() == 0
+        assert gb.feature_importances_.argmax() == 0

@@ -1,0 +1,42 @@
+"""Finite-difference gradient checking helpers for autograd tests."""
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f(x)
+        flat[i] = orig - eps
+        f_minus = f(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_grad(build, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6) -> None:
+    """Assert autograd and numeric gradients agree.
+
+    ``build(tensor) -> Tensor`` must produce a scalar loss from a leaf
+    tensor wrapping ``x``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    leaf = Tensor(x.copy(), requires_grad=True)
+    loss = build(leaf)
+    assert loss.size == 1, "gradcheck needs a scalar loss"
+    loss.backward()
+    analytic = leaf.grad
+
+    def f(arr):
+        return build(Tensor(arr)).item()
+
+    numeric = numeric_grad(f, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from tests.nn.gradcheck import check_grad
+
+
+def make_attn(d_model=8, n_heads=2, seed=0):
+    return MultiHeadSelfAttention(d_model, n_heads, dropout=0.0, rng=np.random.default_rng(seed))
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = make_attn()
+        out = attn(Tensor(np.random.default_rng(1).normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2)
+
+    def test_input_shape_enforced(self):
+        attn = make_attn()
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((3, 5, 9))))
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((5, 8))))
+
+    def test_mask_shape_enforced(self):
+        attn = make_attn()
+        with pytest.raises(ValueError):
+            attn(Tensor(np.zeros((2, 4, 8))), key_mask=np.ones((2, 5)))
+
+    def test_padding_does_not_change_real_outputs(self):
+        """Masked positions must not influence the unmasked ones."""
+        attn = make_attn()
+        attn.eval()
+        rng = np.random.default_rng(2)
+        x_real = rng.normal(size=(1, 4, 8))
+        out_real = attn(Tensor(x_real)).data
+
+        pad = rng.normal(size=(1, 3, 8)) * 50.0  # wild padding content
+        x_padded = np.concatenate([x_real, pad], axis=1)
+        mask = np.array([[1, 1, 1, 1, 0, 0, 0]])
+        out_padded = attn(Tensor(x_padded), key_mask=mask).data
+        np.testing.assert_allclose(out_padded[:, :4], out_real, rtol=1e-8, atol=1e-10)
+
+    def test_permutation_equivariance(self):
+        """Self-attention over a set commutes with input permutation."""
+        attn = make_attn()
+        attn.eval()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 6, 8))
+        perm = rng.permutation(6)
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out_perm, out[:, perm], rtol=1e-8, atol=1e-10)
+
+    def test_gradients_flow_to_all_projections(self):
+        attn = make_attn()
+        attn(Tensor(np.random.default_rng(4).normal(size=(2, 3, 8)))).sum().backward()
+        for p in attn.parameters():
+            assert p.grad is not None
+
+    def test_gradcheck_small(self):
+        attn = MultiHeadSelfAttention(4, 2, dropout=0.0, rng=np.random.default_rng(5))
+        x = np.random.default_rng(6).normal(size=(1, 3, 4))
+        check_grad(lambda t: (attn(t) ** 2).sum(), x, rtol=1e-3, atol=1e-6)
+
+
+class TestTransformerEncoder:
+    def test_layer_shape_preserved(self):
+        layer = TransformerEncoderLayer(8, 2, 32, dropout=0.0, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_encoder_stacks_layers(self):
+        enc = TransformerEncoder(3, 8, 2, 32, dropout=0.0, rng=np.random.default_rng(0))
+        assert len(enc.layers) == 3
+        out = enc(Tensor(np.random.default_rng(1).normal(size=(2, 4, 8))))
+        assert out.shape == (2, 4, 8)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerEncoder(0, 8, 2, 32)
+
+    def test_encoder_respects_mask(self):
+        enc = TransformerEncoder(2, 8, 2, 16, dropout=0.0, rng=np.random.default_rng(0))
+        enc.eval()
+        rng = np.random.default_rng(2)
+        x_real = rng.normal(size=(1, 3, 8))
+        out_real = enc(Tensor(x_real)).data
+        pad = rng.normal(size=(1, 2, 8)) * 10
+        x_pad = np.concatenate([x_real, pad], axis=1)
+        mask = np.array([[1, 1, 1, 0, 0]])
+        out_pad = enc(Tensor(x_pad), key_mask=mask).data
+        np.testing.assert_allclose(out_pad[:, :3], out_real, rtol=1e-8, atol=1e-9)
+
+    def test_all_parameters_trainable(self):
+        enc = TransformerEncoder(2, 8, 2, 16, dropout=0.0)
+        # Each layer: attn (4 linear = 8 tensors) + 2 ff (4) + 2 norms (4).
+        assert len(enc.parameters()) == 2 * (8 + 4 + 4)
+
+    def test_dropout_only_in_training(self):
+        enc = TransformerEncoder(1, 8, 2, 16, dropout=0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 8)))
+        enc.eval()
+        out1 = enc(x).data
+        out2 = enc(x).data
+        np.testing.assert_allclose(out1, out2)
+        enc.train()
+        out3 = enc(x).data
+        assert not np.allclose(out1, out3)

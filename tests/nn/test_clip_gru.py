@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.nn import GRU, Tensor, clip_grad_norm, clip_grad_value
+from tests.nn.gradcheck import check_grad
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [0.6, 0.8, 0.0])
+
+    def test_noop_within_bound(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_global_norm_across_params(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(a.grad, [1.5])
+        np.testing.assert_allclose(b.grad, [2.0])
+
+    def test_skips_gradless(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestClipGradValue:
+    def test_clamps(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        p.grad = np.array([-5.0, 0.5, 5.0])
+        clip_grad_value([p], max_value=1.0)
+        np.testing.assert_allclose(p.grad, [-1.0, 0.5, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_value([], max_value=-1.0)
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = GRU(4, 6, rng=np.random.default_rng(0))
+        seq, h = gru(Tensor(np.random.default_rng(1).normal(size=(3, 5, 4))))
+        assert seq.shape == (3, 5, 6)
+        assert h.shape == (3, 6)
+
+    def test_final_state_matches_last_output(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(0))
+        seq, h = gru(Tensor(np.random.default_rng(1).normal(size=(2, 4, 2))))
+        np.testing.assert_allclose(seq.data[:, -1, :], h.data)
+
+    def test_state_carry(self):
+        gru = GRU(3, 4, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(1, 2, 3))
+        b = rng.normal(size=(1, 2, 3))
+        full, _ = gru(Tensor(np.concatenate([a, b], axis=1)))
+        _, state = gru(Tensor(a))
+        partial, _ = gru(Tensor(b), state=state)
+        np.testing.assert_allclose(partial.data, full.data[:, 2:], rtol=1e-10)
+
+    def test_wrong_input_rejected(self):
+        with pytest.raises(ValueError):
+            GRU(3, 4)(Tensor(np.zeros((1, 2, 5))))
+
+    def test_parameters_and_gradients(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(0))
+        assert len(gru.parameters()) == 3
+        seq, _ = gru(Tensor(np.random.default_rng(1).normal(size=(1, 3, 2))))
+        (seq ** 2).sum().backward()
+        for p in gru.parameters():
+            assert p.grad is not None
+
+    def test_gradcheck_small(self):
+        gru = GRU(2, 2, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(1, 3, 2))
+
+        def build(t):
+            seq, _ = gru(t)
+            return (seq ** 2).sum()
+
+        check_grad(build, x, rtol=1e-3, atol=1e-6)

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, MaxPool2d, Tensor, conv2d, max_pool2d, pad2d, upsample_nearest
+from tests.nn.gradcheck import check_grad
+
+
+def naive_conv(x, w, padding=0):
+    """Reference cross-correlation in pure loops."""
+    b, c, h, wd = x.shape
+    oc, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh, ow = h + 2 * padding - kh + 1, wd + 2 * padding - kw + 1
+    out = np.zeros((b, oc, oh, ow))
+    for bi in range(b):
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    out[bi, o, i, j] = (xp[bi, :, i : i + kh, j : j + kw] * w[o]).sum()
+    return out
+
+
+class TestConv2d:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 5))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, naive_conv(x, w), rtol=1e-10)
+
+    def test_matches_naive_with_padding(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1).data
+        assert out.shape == (1, 3, 5, 5)
+        np.testing.assert_allclose(out, naive_conv(x, w, padding=1), rtol=1e-10)
+
+    def test_gradcheck_input(self):
+        rng = np.random.default_rng(2)
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        x = rng.normal(size=(1, 1, 4, 4))
+        check_grad(lambda t: (conv2d(t, w, padding=1) ** 2).sum(), x, rtol=1e-4)
+
+    def test_gradcheck_weight(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        w = rng.normal(size=(2, 2, 3, 3))
+        check_grad(lambda t: (conv2d(x, t) ** 2).sum(), w, rtol=1e-4)
+
+    def test_module_bias_and_shapes(self):
+        conv = Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((2, 3, 9, 9))))
+        assert out.shape == (2, 8, 9, 9)
+        assert len(conv.parameters()) == 2
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 2, 5, 5))), Tensor(np.zeros((3, 4, 3, 3))))
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 3, 3))))
+
+
+class TestPad2d:
+    def test_shape_and_content(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        out = pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 0.0
+        assert out.data[0, 0, 1, 1] == 1.0
+
+    def test_zero_padding_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert pad2d(x, 0) is x
+
+    def test_grad_drops_border(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        pad2d(x, 1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestMaxPool:
+    def test_basic(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_floor_semantics_odd_input(self):
+        x = np.arange(81.0).reshape(1, 1, 9, 9)
+        out = max_pool2d(Tensor(x), 2)
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_grad_routes_to_max(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0.0, 0.0], [0.0, 1.0]])
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 2, 4, 4))
+        check_grad(lambda t: (max_pool2d(t, 2) ** 2).sum(), x, rtol=1e-4)
+
+    def test_module(self):
+        pool = MaxPool2d(3)
+        assert pool(Tensor(np.zeros((1, 1, 9, 9)))).shape == (1, 1, 3, 3)
+
+
+class TestUpsample:
+    def test_integer_factor(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = upsample_nearest(x, (4, 4)).data
+        np.testing.assert_allclose(out[0, 0, :2, :2], 1.0)
+        np.testing.assert_allclose(out[0, 0, 2:, 2:], 4.0)
+
+    def test_odd_target_for_unet(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 4, 4)))
+        out = upsample_nearest(x, (9, 9))
+        assert out.shape == (1, 3, 9, 9)
+
+    def test_grad_sums_over_duplicates(self):
+        x = Tensor(np.zeros((1, 1, 2, 2)), requires_grad=True)
+        upsample_nearest(x, (4, 4)).sum().backward()
+        np.testing.assert_allclose(x.grad, 4.0 * np.ones((1, 1, 2, 2)))
+
+    def test_identity_size(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 1, 3, 3)))
+        np.testing.assert_allclose(upsample_nearest(x, (3, 3)).data, x.data)

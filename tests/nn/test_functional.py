@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    log_softmax,
+    masked_softmax,
+    mse_loss,
+    pairwise_logistic_loss,
+    softmax,
+)
+from tests.nn.gradcheck import check_grad
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        p = softmax(x).data
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+        assert (p > 0).all()
+
+    def test_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(
+            softmax(Tensor(x)).data, softmax(Tensor(x + 100.0)).data, rtol=1e-12
+        )
+
+    def test_extreme_values_stable(self):
+        p = softmax(Tensor([[1000.0, 0.0, -1000.0]])).data
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_gradcheck(self):
+        x = np.random.default_rng(1).normal(size=(2, 5))
+        check_grad(lambda t: (softmax(t) * Tensor(np.arange(10.0).reshape(2, 5))).sum(), x)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), rtol=1e-10
+        )
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_near_zero(self):
+        x = Tensor(np.zeros((1, 4)))
+        mask = np.array([[1, 1, 0, 0]])
+        p = masked_softmax(x, mask).data
+        assert p[0, 0] == pytest.approx(0.5, abs=1e-6)
+        assert p[0, 2] < 1e-12
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_mask_blocks_gradient(self):
+        x = Tensor(np.zeros((1, 3)), requires_grad=True)
+        mask = np.array([[1, 1, 0]])
+        p = masked_softmax(x, mask)
+        p[0, 0].backward()
+        assert abs(x.grad[0, 2]) < 1e-8
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        targets = np.array([0, 2])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        manual = -np.mean(
+            [
+                logits[0, 0] - np.log(np.exp(logits[0]).sum()),
+                logits[1, 2] - np.log(np.exp(logits[1]).sum()),
+            ]
+        )
+        assert loss == pytest.approx(manual)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0]])
+        assert cross_entropy(Tensor(logits), np.array([0])).item() < 1e-6
+
+    def test_mask_excludes_padded(self):
+        # With padding masked, a 2-way and padded 4-way problem agree.
+        logits2 = np.array([[1.0, -1.0]])
+        logits4 = np.array([[1.0, -1.0, 50.0, 50.0]])
+        mask = np.array([[1, 1, 0, 0]])
+        l2 = cross_entropy(Tensor(logits2), np.array([0])).item()
+        l4 = cross_entropy(Tensor(logits4), np.array([0]), mask=mask).item()
+        assert l4 == pytest.approx(l2, abs=1e-6)
+
+    def test_gradcheck(self):
+        x = np.random.default_rng(3).normal(size=(3, 5))
+        check_grad(lambda t: cross_entropy(t, np.array([1, 0, 4])), x)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+
+class TestBCE:
+    def test_balanced_known_value(self):
+        # logit 0 -> p=0.5 -> loss ln 2 for either label.
+        loss = binary_cross_entropy_with_logits(Tensor([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_pos_weight_scales_positive_term(self):
+        base = binary_cross_entropy_with_logits(Tensor([0.0]), np.array([1.0]), pos_weight=1.0)
+        weighted = binary_cross_entropy_with_logits(Tensor([0.0]), np.array([1.0]), pos_weight=4.0)
+        assert weighted.item() == pytest.approx(4.0 * base.item())
+
+    def test_gradcheck(self):
+        x = np.random.default_rng(4).normal(size=(6,))
+        targets = np.array([1.0, 0.0, 1.0, 1.0, 0.0, 0.0])
+        check_grad(lambda t: binary_cross_entropy_with_logits(t, targets, pos_weight=4.0), x)
+
+
+class TestOtherLosses:
+    def test_mse(self):
+        loss = mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_pairwise_logistic_ordering(self):
+        good = pairwise_logistic_loss(Tensor([5.0]), Tensor([0.0])).item()
+        bad = pairwise_logistic_loss(Tensor([0.0]), Tensor([5.0])).item()
+        assert good < bad
+
+    def test_pairwise_logistic_stable_extremes(self):
+        loss = pairwise_logistic_loss(Tensor([1000.0]), Tensor([-1000.0])).item()
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_pairwise_gradcheck(self):
+        x = np.random.default_rng(5).normal(size=(4,))
+        neg = Tensor(np.random.default_rng(6).normal(size=(4,)))
+        check_grad(lambda t: pairwise_logistic_loss(t, neg), x)

@@ -1,0 +1,181 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+from tests.nn.gradcheck import check_grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3)
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_batched_3d_input(self):
+        layer = Linear(4, 3)
+        out = layer(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(4, 3)(Tensor(np.zeros((2, 5))))
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_params_receive_grad(self):
+        layer = Linear(2, 2)
+        layer(Tensor(np.ones((3, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [3.0, 3.0])
+
+    def test_gradcheck_through_layer(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        check_grad(lambda t: (layer(t) ** 2).sum(), x)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([1, 5, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_grad_accumulates_on_repeats(self):
+        emb = Embedding(5, 2)
+        emb(np.array([3, 3])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[3], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_out_of_range(self):
+        emb = Embedding(5, 2)
+        with pytest.raises(ValueError):
+            emb(np.array([5]))
+        with pytest.raises(ValueError):
+            emb(np.array([-1]))
+
+    def test_2d_indices(self):
+        emb = Embedding(7, 3)
+        assert emb(np.zeros((2, 4), dtype=int)).shape == (2, 4, 3)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(6)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 10.0, size=(4, 6)))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_trainable(self):
+        ln = LayerNorm(4)
+        assert len(ln.parameters()) == 2
+        ln(Tensor(np.random.default_rng(1).normal(size=(2, 4)))).sum().backward()
+        assert ln.gamma.grad is not None
+        assert ln.beta.grad is not None
+
+    def test_gradcheck(self):
+        ln = LayerNorm(5)
+        x = np.random.default_rng(2).normal(size=(3, 5))
+        check_grad(lambda t: (ln(t) ** 2).sum(), x, rtol=1e-3)
+
+    def test_wrong_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 5))))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(np.ones((100,)))
+        np.testing.assert_allclose(d(x).data, x.data)
+
+    def test_train_mode_scales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones(10000)))
+        # Inverted dropout preserves expectation.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_p_zero_identity(self):
+        d = Dropout(0.0)
+        x = Tensor(np.ones(5))
+        assert d(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestActivationsAndSequential:
+    def test_activation_modules(self):
+        x = Tensor([-1.0, 1.0])
+        np.testing.assert_allclose(ReLU()(x).data, [0.0, 1.0])
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh([-1.0, 1.0]))
+        np.testing.assert_allclose(Sigmoid()(x).data, 1 / (1 + np.exp([1.0, -1.0])))
+
+    def test_sequential_composition(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        out = model(Tensor(np.zeros((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+        assert len(model.parameters()) == 4
+
+    def test_train_eval_propagate(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+
+class TestModuleStateDict:
+    def test_roundtrip(self):
+        m1 = Sequential(Linear(3, 4, rng=np.random.default_rng(0)), ReLU(), Linear(4, 2, rng=np.random.default_rng(1)))
+        m2 = Sequential(Linear(3, 4, rng=np.random.default_rng(2)), ReLU(), Linear(4, 2, rng=np.random.default_rng(3)))
+        x = Tensor(np.random.default_rng(4).normal(size=(2, 3)))
+        assert not np.allclose(m1(x).data, m2(x).data)
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_mismatched_keys_rejected(self):
+        m = Linear(2, 2)
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        m = Linear(2, 2)
+        state = m.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_named_parameters_unique(self):
+        m = Sequential(Linear(2, 3), Linear(3, 2))
+        names = [n for n, _ in m.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_num_parameters(self):
+        m = Linear(3, 4)
+        assert m.num_parameters() == 3 * 4 + 4

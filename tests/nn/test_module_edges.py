@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Tensor
+
+
+class DictHolder(Module):
+    def __init__(self):
+        super().__init__()
+        self.layers = {"a": Linear(2, 2), "b": Linear(2, 2)}
+
+    def forward(self, x):
+        return self.layers["b"](self.layers["a"](x))
+
+
+class SharedParam(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(3, 3)
+        self.second = Linear(3, 3)
+        self.second.weight = self.first.weight  # weight tying
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestModuleEdgeCases:
+    def test_dict_children_discovered(self):
+        holder = DictHolder()
+        assert len(holder.parameters()) == 4
+        names = [n for n, _ in holder.named_parameters()]
+        assert "layers.a.weight" in names
+        assert "layers.b.bias" in names
+
+    def test_dict_children_train_eval(self):
+        holder = DictHolder()
+        holder.eval()
+        assert not holder.layers["a"].training
+        holder.train()
+        assert holder.layers["a"].training
+
+    def test_shared_parameters_deduplicated(self):
+        tied = SharedParam()
+        params = tied.parameters()
+        # 2 biases + 1 shared weight.
+        assert len(params) == 3
+
+    def test_shared_parameter_gradient_accumulates_both_uses(self):
+        tied = SharedParam()
+        out = tied(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert tied.first.weight.grad is not None
+        # The tied weight received contributions from both layer positions;
+        # an untied copy of only one use would differ.
+        untied = Linear(3, 3)
+        untied.weight.data = tied.first.weight.data.copy()
+        untied.bias.data = tied.first.bias.data.copy()
+        single = untied(Tensor(np.ones((2, 3))))
+        single.sum().backward()
+        assert not np.allclose(tied.first.weight.grad, untied.weight.grad)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_zero_grad_clears_everything(self):
+        holder = DictHolder()
+        holder(Tensor(np.ones((1, 2)))).sum().backward()
+        assert any(p.grad is not None for p in holder.parameters())
+        holder.zero_grad()
+        assert all(p.grad is None for p in holder.parameters())
+
+    def test_state_dict_of_dict_children_roundtrip(self):
+        a = DictHolder()
+        b = DictHolder()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2)))
+        np.testing.assert_allclose(a(x).data, b(x).data)

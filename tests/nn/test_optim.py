@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, StepLR, Tensor
+
+
+def quadratic_loss(p):
+    # f(p) = sum((p - 3)^2), minimum at 3.
+    diff = p - Tensor(np.full(p.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()  # grad = 2(1-3) = -4
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.4])
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            (p * 1.0).sum().backward()  # constant grad 1
+            opt.step()
+        # v1 = 1, p = -0.1; v2 = 1.9, p = -0.29
+        np.testing.assert_allclose(p.data, [-0.29])
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([10.0, -5.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, 3.0], atol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad yet; must not crash or move
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_validation(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([10.0, -7.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, 3.0], atol=1e-4)
+
+    def test_first_step_is_lr_sized(self):
+        # Adam's bias correction makes the first step ~lr * sign(grad).
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        (p * 5.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], rtol=1e-5)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Tensor(np.array([5.0]), requires_grad=True)
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(400):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(p.data[0]) < 0.5
+
+    def test_zero_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p])
+        (p * 1.0).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestStepLR:
+    def test_halves_every_n_epochs(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=1e-4)
+        sched = StepLR(opt, step_size=5, gamma=0.5)
+        for epoch in range(1, 11):
+            sched.step()
+        assert opt.lr == pytest.approx(1e-4 * 0.25)
+        assert sched.current_lr == opt.lr
+
+    def test_no_decay_before_boundary(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        sched.step()
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, gamma=0.0)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, Tensor
+from tests.nn.gradcheck import check_grad
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(5, 7, rng=np.random.default_rng(0))
+        seq, (h, c) = lstm(Tensor(np.random.default_rng(1).normal(size=(3, 4, 5))))
+        assert seq.shape == (3, 4, 7)
+        assert h.shape == (3, 7)
+        assert c.shape == (3, 7)
+
+    def test_final_state_matches_last_output(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(0))
+        seq, (h, _) = lstm(Tensor(np.random.default_rng(1).normal(size=(2, 6, 2))))
+        np.testing.assert_allclose(seq.data[:, -1, :], h.data)
+
+    def test_state_carry_equivalence(self):
+        """Processing [a, b] equals processing a then b with carried state."""
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(2, 3, 3))
+        b = rng.normal(size=(2, 2, 3))
+        full_seq, _ = lstm(Tensor(np.concatenate([a, b], axis=1)))
+        _, state = lstm(Tensor(a))
+        part_seq, _ = lstm(Tensor(b), state=state)
+        np.testing.assert_allclose(part_seq.data, full_seq.data[:, 3:], rtol=1e-10)
+
+    def test_wrong_input_size(self):
+        lstm = LSTM(3, 4)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((2, 5, 9))))
+
+    def test_parameters(self):
+        lstm = LSTM(3, 4)
+        params = lstm.parameters()
+        assert len(params) == 3
+        shapes = sorted(p.shape for p in params)
+        assert shapes == [(3, 16), (4, 16), (16,)]
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = LSTM(2, 3)
+        np.testing.assert_allclose(lstm.bias.data[3:6], 1.0)
+
+    def test_gradients_flow_through_time(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 5, 2)), requires_grad=True)
+        seq, _ = lstm(x)
+        seq[:, -1, :].sum().backward()
+        # Early time steps must receive gradient through the recurrence.
+        assert np.abs(x.grad[0, 0]).sum() > 0
+        for p in lstm.parameters():
+            assert p.grad is not None
+
+    def test_gradcheck_small(self):
+        lstm = LSTM(2, 2, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).normal(size=(1, 3, 2))
+
+        def build(t):
+            seq, _ = lstm(t)
+            return (seq ** 2).sum()
+
+        check_grad(build, x, rtol=1e-3, atol=1e-6)

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    SGD,
+    Tensor,
+    load_optimizer,
+    load_optimizer_state,
+    optimizer_state,
+    save_optimizer,
+)
+
+
+def take_steps(model, opt, n, rng):
+    for _ in range(n):
+        opt.zero_grad()
+        x = Tensor(rng.normal(size=(8, 3)))
+        (model(x) ** 2).sum().backward()
+        opt.step()
+
+
+class TestAdamRoundtrip:
+    def test_resume_reproduces_training(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model_a = Linear(3, 2, rng=np.random.default_rng(1))
+        opt_a = Adam(model_a.parameters(), lr=1e-2)
+        take_steps(model_a, opt_a, 5, np.random.default_rng(2))
+        save_optimizer(opt_a, tmp_path / "opt.npz")
+        weights = model_a.state_dict()
+
+        # Fresh model + optimizer, restore both, continue 5 steps...
+        model_b = Linear(3, 2, rng=np.random.default_rng(3))
+        model_b.load_state_dict(weights)
+        opt_b = Adam(model_b.parameters(), lr=1e-2)
+        load_optimizer(opt_b, tmp_path / "opt.npz")
+        take_steps(model_b, opt_b, 5, np.random.default_rng(4))
+        # ...vs continuing the original.
+        take_steps(model_a, opt_a, 5, np.random.default_rng(4))
+        np.testing.assert_allclose(model_a.weight.data, model_b.weight.data, rtol=1e-12)
+
+    def test_state_contains_moments_and_step(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([p], lr=1e-3)
+        state = optimizer_state(opt)
+        assert {"lr", "t", "m::0", "v::0"} <= set(state)
+
+    def test_shape_mismatch_rejected(self):
+        p1 = Tensor(np.zeros(2), requires_grad=True)
+        p2 = Tensor(np.zeros(3), requires_grad=True)
+        opt1 = Adam([p1])
+        opt2 = Adam([p2])
+        with pytest.raises(ValueError):
+            load_optimizer_state(opt2, optimizer_state(opt1))
+
+
+class TestSGDRoundtrip:
+    def test_velocity_roundtrip(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        state = optimizer_state(opt)
+        q = Tensor(np.array([1.0]), requires_grad=True)
+        opt2 = SGD([q], lr=0.5, momentum=0.9)
+        load_optimizer_state(opt2, state)
+        assert opt2.lr == pytest.approx(0.1)
+        np.testing.assert_allclose(opt2._velocity[0], opt._velocity[0])
+
+    def test_unsupported_optimizer(self):
+        from repro.nn.optim import Optimizer
+
+        class Weird(Optimizer):
+            def step(self):
+                pass
+
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(TypeError):
+            optimizer_state(Weird([p], lr=1.0))

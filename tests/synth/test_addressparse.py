@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.synth import (
+    City,
+    CityConfig,
+    ParsedAddress,
+    building_of,
+    parse_address,
+    resolve_building,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City(CityConfig(n_blocks_x=4, n_blocks_y=3), np.random.default_rng(0))
+
+
+class TestParseAddress:
+    def test_full_form(self):
+        parsed = parse_address("San Yi Li Building 2 Unit 3")
+        assert parsed == ParsedAddress("San Yi Li", 2, 3)
+
+    def test_without_unit(self):
+        parsed = parse_address("Hua Yuan Lu Building 7")
+        assert parsed.building_no == 7
+        assert parsed.unit_no is None
+
+    def test_case_insensitive_and_whitespace(self):
+        parsed = parse_address("  san yi li  building 1 unit 2 ")
+        assert parsed.building_no == 1
+
+    @pytest.mark.parametrize("bad", ["", "Building 2", "San Yi Li", "San Yi Li Building x"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestResolveBuilding:
+    def test_every_city_address_resolves_to_its_building(self, city):
+        for record in list(city.addresses.values())[:40]:
+            resolved = building_of(record.text, city)
+            assert resolved == record.building_id
+
+    def test_unknown_complex(self, city):
+        assert resolve_building(ParsedAddress("Nowhere", 1, 1), city) is None
+
+    def test_building_number_out_of_range(self, city):
+        block = next(iter(city.blocks.values()))
+        parsed = ParsedAddress(block.name, 999, 1)
+        assert resolve_building(parsed, city) is None
+
+    def test_fuzzy_prefix_match(self, city):
+        """Mirrors geocoder failure mode 1: a prefix-only complex name can
+        resolve (possibly wrongly) when fuzzy matching is on."""
+        # "San Yi Li" and "San Yi Xi Li" share the 2-token prefix "San Yi";
+        # querying a name that exists exactly must not need fuzzy.
+        exact = resolve_building(ParsedAddress("San Yi Li", 1, 1), city)
+        assert exact is not None
+        # A misspelled variant resolves only via fuzzy when unique.
+        parsed = ParsedAddress("San Yi", 1, 1)
+        assert resolve_building(parsed, city) is None  # strict: no match
+
+    def test_building_of_malformed(self, city):
+        assert building_of("not an address", city) is None

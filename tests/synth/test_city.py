@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.synth import City, CityConfig, SpotKind
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City(CityConfig(), np.random.default_rng(0))
+
+
+class TestCityGeneration:
+    def test_block_count(self, city):
+        cfg = city.config
+        assert len(city.blocks) == cfg.n_blocks_x * cfg.n_blocks_y
+
+    def test_buildings_within_bounds(self, city):
+        for block in city.blocks.values():
+            assert len(block.building_ids) >= city.config.buildings_per_block[0]
+        width, height = city.extent_m
+        for b in city.buildings.values():
+            assert -50 <= b.x <= width + 50
+            assert -50 <= b.y <= height + 50
+
+    def test_every_block_has_locker_and_reception(self, city):
+        for block in city.blocks.values():
+            assert block.locker.kind == SpotKind.LOCKER
+            assert block.reception.kind == SpotKind.RECEPTION
+            assert block.locker.spot_id in city.spots
+            assert block.reception.spot_id in city.spots
+
+    def test_every_building_has_doorstep_spot(self, city):
+        doorsteps = [s for s in city.spots.values() if s.kind == SpotKind.DOORSTEP]
+        assert len(doorsteps) == len(city.buildings)
+
+    def test_addresses_reference_valid_entities(self, city):
+        for addr in city.addresses.values():
+            assert addr.building_id in city.buildings
+            assert addr.spot_id in city.spots
+            assert 0 <= addr.poi_category < 21
+            assert addr.activity > 0
+
+    def test_spot_preferences_respected(self, city):
+        """Spot assignment must stay within the address's own block."""
+        for addr in city.addresses.values():
+            building = city.buildings[addr.building_id]
+            spot = city.spots[addr.spot_id]
+            assert spot.block_id == building.block_id
+            if spot.kind == SpotKind.DOORSTEP:
+                assert spot.spot_id == f"{addr.building_id}-door"
+
+    def test_same_building_different_locations_exist(self):
+        """Figure 9(a): buildings with >1 distinct delivery location."""
+        city = City(
+            CityConfig(n_blocks_x=4, n_blocks_y=3, addresses_per_building=(3, 6)),
+            np.random.default_rng(1),
+        )
+        multi = 0
+        buildings: dict[str, set[str]] = {}
+        for addr in city.addresses.values():
+            buildings.setdefault(addr.building_id, set()).add(addr.spot_id)
+        multi = sum(1 for spots in buildings.values() if len(spots) > 1)
+        assert multi / len(buildings) > 0.1
+
+    def test_true_location_roundtrip(self, city):
+        addr_id = next(iter(city.addresses))
+        point = city.true_location(addr_id)
+        x, y = city.projection.project_point(point)
+        spot = city.spot_of(addr_id)
+        assert x == pytest.approx(spot.x, abs=1e-6)
+        assert y == pytest.approx(spot.y, abs=1e-6)
+
+    def test_addresses_in_block(self, city):
+        for block_id in city.blocks:
+            for addr in city.addresses_in_block(block_id):
+                assert city.buildings[addr.building_id].block_id == block_id
+
+    def test_determinism(self):
+        a = City(CityConfig(), np.random.default_rng(7))
+        b = City(CityConfig(), np.random.default_rng(7))
+        assert set(a.addresses) == set(b.addresses)
+        for k in a.addresses:
+            assert a.addresses[k] == b.addresses[k]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CityConfig(n_blocks_x=0)
+        with pytest.raises(ValueError):
+            CityConfig(locker_preference=0.6, reception_preference=0.5)
+
+    def test_station_outside_blocks(self, city):
+        sx, sy = city.station_xy
+        assert sx < 0 or sy < 0

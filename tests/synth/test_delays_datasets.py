@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.synth import (
+    City,
+    CityConfig,
+    SimulationConfig,
+    TripSimulator,
+    downbj_config,
+    generate_dataset,
+    inject_delays,
+    split_addresses_by_region,
+    subbj_config,
+    tiny_config,
+)
+
+
+@pytest.fixture(scope="module")
+def sim_trips():
+    rng = np.random.default_rng(0)
+    city = City(CityConfig(n_blocks_x=2, n_blocks_y=1), rng)
+    return TripSimulator(city, SimulationConfig(n_days=5), rng).simulate()
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(tiny_config())
+
+
+class TestInjectDelays:
+    def test_zero_probability_keeps_times_near_actual(self, sim_trips):
+        trips = inject_delays(sim_trips, p_delay=0.0, rng=np.random.default_rng(1))
+        for sim, trip in zip(sim_trips, trips):
+            for waybill in trip.waybills:
+                actual = sim.actual_delivery_time[waybill.waybill_id]
+                assert 0 <= waybill.t_delivered - actual <= 130.0
+
+    def test_full_probability_delays_everything_to_batch_times(self, sim_trips):
+        trips = inject_delays(sim_trips, p_delay=1.0, n_batches=2, rng=np.random.default_rng(2))
+        for sim, trip in zip(sim_trips, trips):
+            confirm_times = {
+                round(w.t_delivered, 6) for w in trip.waybills
+            }
+            # All waybills collapse onto at most n_batches distinct times.
+            assert len(confirm_times) <= 2
+
+    def test_delays_are_non_negative(self, sim_trips):
+        trips = inject_delays(sim_trips, p_delay=0.6, rng=np.random.default_rng(3))
+        for sim, trip in zip(sim_trips, trips):
+            for waybill in trip.waybills:
+                actual = sim.actual_delivery_time[waybill.waybill_id]
+                assert waybill.t_delivered >= actual - 1e-6
+
+    def test_higher_p_more_delayed(self, sim_trips):
+        def mean_delay(p):
+            trips = inject_delays(sim_trips, p_delay=p, rng=np.random.default_rng(4))
+            total, n = 0.0, 0
+            for sim, trip in zip(sim_trips, trips):
+                for waybill in trip.waybills:
+                    total += waybill.t_delivered - sim.actual_delivery_time[waybill.waybill_id]
+                    n += 1
+            return total / n
+
+        assert mean_delay(0.2) < mean_delay(0.6) < mean_delay(1.0)
+
+    def test_originals_untouched(self, sim_trips):
+        before = [w.t_delivered for s in sim_trips for w in s.trip.waybills]
+        inject_delays(sim_trips, p_delay=1.0, rng=np.random.default_rng(5))
+        after = [w.t_delivered for s in sim_trips for w in s.trip.waybills]
+        assert before == after
+
+    def test_validation(self, sim_trips):
+        with pytest.raises(ValueError):
+            inject_delays(sim_trips, p_delay=1.5)
+        with pytest.raises(ValueError):
+            inject_delays(sim_trips, p_delay=0.5, n_batches=0)
+
+
+class TestDatasets:
+    def test_tiny_dataset_generates(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        assert stats["trips"] > 0
+        assert stats["addresses"] > 10
+        assert stats["waybills"] >= stats["addresses"]
+        assert stats["gps_points"] > 1000
+
+    def test_ground_truth_covers_all_addresses(self, tiny_dataset):
+        assert set(tiny_dataset.ground_truth) == set(tiny_dataset.city.addresses)
+        assert set(tiny_dataset.addresses) == set(tiny_dataset.city.addresses)
+
+    def test_with_delays_resweep(self, tiny_dataset):
+        heavy = tiny_dataset.with_delays(1.0)
+        assert len(heavy) == len(tiny_dataset.trips)
+        # Heavier delays shift recorded times later on average.
+        def mean_time(trips):
+            times = [w.t_delivered for t in trips for w in t.waybills]
+            return np.mean(times)
+
+        light = tiny_dataset.with_delays(0.0)
+        assert mean_time(heavy) > mean_time(light)
+
+    def test_presets_differ_as_documented(self):
+        dow = downbj_config()
+        sub = subbj_config()
+        assert dow.geocoder.jitter_sigma_m < sub.geocoder.jitter_sigma_m
+        assert dow.geocoder.coarse_poi_prob < sub.geocoder.coarse_poi_prob
+        assert dow.sim.extra_stop_prob < sub.sim.extra_stop_prob
+
+    def test_dataset_determinism(self):
+        a = generate_dataset(tiny_config())
+        b = generate_dataset(tiny_config())
+        assert a.stats() == b.stats()
+        assert [t.trip_id for t in a.trips] == [t.trip_id for t in b.trips]
+
+    def test_split_disjoint_and_complete(self, tiny_dataset):
+        split = split_addresses_by_region(tiny_dataset)
+        train, val, test = set(split.train), set(split.val), set(split.test)
+        assert train and test
+        assert not (train & val) and not (train & test) and not (val & test)
+        assert train | val | test == set(tiny_dataset.delivered_address_ids)
+
+    def test_split_is_spatial(self, tiny_dataset):
+        """Train and test addresses live in different blocks."""
+        split = split_addresses_by_region(tiny_dataset)
+        city = tiny_dataset.city
+
+        def blocks_of(ids):
+            return {city.buildings[city.addresses[a].building_id].block_id for a in ids}
+
+        assert not (blocks_of(split.train) & blocks_of(split.test))
+
+    def test_split_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            split_addresses_by_region(tiny_dataset, train_frac=0.8, val_frac=0.3)

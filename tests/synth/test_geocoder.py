@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.geo import haversine_m
+from repro.synth import City, CityConfig, GeocoderConfig, SyntheticGeocoder
+
+
+@pytest.fixture(scope="module")
+def city():
+    # 4x3 grid so similar-name pairs ("San Yi Li"/"San Yi Xi Li") coexist.
+    return City(CityConfig(n_blocks_x=4, n_blocks_y=3), np.random.default_rng(0))
+
+
+class TestSyntheticGeocoder:
+    def test_perfect_geocoder(self, city):
+        geocoder = SyntheticGeocoder(
+            city,
+            GeocoderConfig(jitter_sigma_m=0.0, parse_confusion_prob=0.0, coarse_poi_prob=0.0),
+            np.random.default_rng(1),
+        )
+        for record in list(city.addresses.values())[:20]:
+            x, y = geocoder.geocode_xy(record)
+            building = city.buildings[record.building_id]
+            assert x == pytest.approx(building.x)
+            assert y == pytest.approx(building.y)
+
+    def test_jitter_scale(self, city):
+        geocoder = SyntheticGeocoder(
+            city,
+            GeocoderConfig(jitter_sigma_m=25.0, parse_confusion_prob=0.0, coarse_poi_prob=0.0),
+            np.random.default_rng(2),
+        )
+        record = next(iter(city.addresses.values()))
+        building = city.buildings[record.building_id]
+        errs = []
+        for _ in range(300):
+            x, y = geocoder.geocode_xy(record)
+            errs.append(np.hypot(x - building.x, y - building.y))
+        # Mean distance of a 2-D gaussian with sigma=25 is sigma*sqrt(pi/2)≈31.
+        assert 22 < np.mean(errs) < 42
+
+    def test_coarse_mode_snaps_to_block_center(self, city):
+        geocoder = SyntheticGeocoder(
+            city,
+            GeocoderConfig(jitter_sigma_m=0.0, parse_confusion_prob=0.0, coarse_poi_prob=1.0),
+            np.random.default_rng(3),
+        )
+        record = next(iter(city.addresses.values()))
+        block = city.blocks[city.buildings[record.building_id].block_id]
+        x, y = geocoder.geocode_xy(record)
+        assert x == pytest.approx(block.center_x)
+        assert y == pytest.approx(block.center_y)
+
+    def test_coarse_mode_collapses_multiple_addresses(self, city):
+        """Case study 2: many addresses -> one geocoded location."""
+        geocoder = SyntheticGeocoder(
+            city,
+            GeocoderConfig(jitter_sigma_m=0.0, parse_confusion_prob=0.0, coarse_poi_prob=1.0),
+            np.random.default_rng(4),
+        )
+        block_id = next(iter(city.blocks))
+        records = city.addresses_in_block(block_id)[:5]
+        coords = {geocoder.geocode_xy(r) for r in records}
+        assert len(coords) == 1
+
+    def test_parse_confusion_lands_in_other_block(self, city):
+        geocoder = SyntheticGeocoder(
+            city,
+            GeocoderConfig(jitter_sigma_m=0.0, parse_confusion_prob=1.0, coarse_poi_prob=0.0),
+            np.random.default_rng(5),
+        )
+        confused = 0
+        for record in city.addresses.values():
+            building = city.buildings[record.building_id]
+            if not geocoder._similar[building.block_id]:
+                continue
+            x, y = geocoder.geocode_xy(record)
+            if np.hypot(x - building.x, y - building.y) > 50:
+                confused += 1
+        assert confused > 0
+
+    def test_geocode_produces_address_entities(self, city):
+        geocoder = SyntheticGeocoder(city, GeocoderConfig(), np.random.default_rng(6))
+        addresses = geocoder.geocode_all()
+        assert set(addresses) == set(city.addresses)
+        for addr_id, address in addresses.items():
+            record = city.addresses[addr_id]
+            assert address.building_id == record.building_id
+            assert address.poi_category == record.poi_category
+            # Geocode is within a sane distance of the truth.
+            truth = city.true_location(addr_id)
+            err = haversine_m(address.geocode.lng, address.geocode.lat, truth.lng, truth.lat)
+            assert err < 2_000
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeocoderConfig(jitter_sigma_m=-1.0)
+        with pytest.raises(ValueError):
+            GeocoderConfig(parse_confusion_prob=1.5)
+        with pytest.raises(ValueError):
+            GeocoderConfig(coarse_poi_prob=-0.1)

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.apps import AvailabilityModel
+from repro.synth import (
+    City,
+    CityConfig,
+    SimulationConfig,
+    TripSimulator,
+    Weather,
+    WeatherConfig,
+    daily_weather,
+    weather_of_time,
+)
+
+
+class TestDailyWeather:
+    def test_length_and_values(self):
+        series = daily_weather(30, rng=np.random.default_rng(0))
+        assert len(series) == 30
+        assert set(series) <= {Weather.CLEAR, Weather.RAIN}
+
+    def test_rain_probability(self):
+        series = daily_weather(
+            2_000, WeatherConfig(p_rain=0.3), rng=np.random.default_rng(1)
+        )
+        frac = sum(1 for w in series if w == Weather.RAIN) / len(series)
+        assert frac == pytest.approx(0.3, abs=0.03)
+
+    def test_extremes(self):
+        assert all(w == Weather.RAIN for w in daily_weather(10, WeatherConfig(p_rain=1.0)))
+        assert all(w == Weather.CLEAR for w in daily_weather(10, WeatherConfig(p_rain=0.0)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            daily_weather(-1)
+        with pytest.raises(ValueError):
+            WeatherConfig(p_rain=1.2)
+        with pytest.raises(ValueError):
+            WeatherConfig(rain_speed_factor=0.0)
+
+    def test_weather_of_time(self):
+        series = [Weather.CLEAR, Weather.RAIN]
+        assert weather_of_time(100.0, series) == Weather.CLEAR
+        assert weather_of_time(90_000.0, series) == Weather.RAIN
+        assert weather_of_time(1e9, series) == Weather.RAIN  # clamps
+        assert weather_of_time(100.0, []) == Weather.CLEAR
+
+
+class TestWeatherInSimulation:
+    def test_rain_slows_trips(self):
+        def total_duration(series):
+            rng = np.random.default_rng(5)
+            city = City(CityConfig(n_blocks_x=2, n_blocks_y=1), rng)
+            sim = TripSimulator(
+                city, SimulationConfig(n_days=6, extra_stop_prob=0.0), rng,
+                weather=series,
+                weather_config=WeatherConfig(rain_speed_factor=0.5, rain_dwell_factor=1.5),
+            )
+            trips = sim.simulate()
+            return sum(t.trip.t_end - t.trip.t_start for t in trips)
+
+        clear = total_duration([Weather.CLEAR] * 6)
+        rainy = total_duration([Weather.RAIN] * 6)
+        assert rainy > clear * 1.2
+
+
+class TestWeatherAvailability:
+    def test_weather_conditioned_profiles(self):
+        # Rain on day 1; deliveries at hour 10 on both days.
+        weather = [Weather.CLEAR, Weather.RAIN]
+        times = {"a": [10 * 3_600.0, 86_400.0 + 10 * 3_600.0]}
+        model = AvailabilityModel().fit(times, weather=weather)
+        clear_profile = model.weather_profile("a", "clear")
+        rain_profile = model.weather_profile("a", "rain")
+        # Clear delivery was weekday 0, rain delivery weekday 1.
+        assert clear_profile.prob(0, 10) > clear_profile.prob(1, 10)
+        assert rain_profile.prob(1, 10) > rain_profile.prob(0, 10)
+
+    def test_fallback_to_overall(self):
+        model = AvailabilityModel().fit({"a": [3_600.0]}, weather=[Weather.CLEAR])
+        profile = model.weather_profile("a", "rain")  # no rainy data
+        assert profile is model.profile("a")

@@ -1,0 +1,123 @@
+"""CLI integration tests (in-process, no subprocess)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-data")
+    code = main(["generate", "--preset", "tiny", "--seed", "0", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_all_files(self, data_dir):
+        for name in ("trips.jsonl", "addresses.json", "ground_truth.json", "split.json"):
+            assert (data_dir / name).exists(), name
+
+    def test_split_file_contents(self, data_dir):
+        split = json.loads((data_dir / "split.json").read_text())
+        assert split["train"] and split["test"]
+        assert not set(split["train"]) & set(split["test"])
+
+
+class TestEvaluate:
+    def test_prints_metrics_table(self, data_dir, capsys):
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "Geocoding,MinDist,MaxTC-ILC", "--fast",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Geocoding" in out and "MaxTC-ILC" in out
+        assert "MAE" in out
+
+
+class TestInferAndQuery:
+    def test_infer_then_query(self, data_dir, capsys):
+        locations = data_dir / "locations.json"
+        code = main([
+            "infer", "--data", str(data_dir),
+            "--out", str(locations), "--selector", "maxtc-ilc",
+        ])
+        assert code == 0
+        assert locations.exists()
+        payload = json.loads(locations.read_text())
+        assert len(payload) > 0
+
+        address_id = next(iter(payload))
+        capsys.readouterr()
+        code = main([
+            "query", "--data", str(data_dir),
+            "--locations", str(locations), "--address-id", address_id,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "source    address" in out
+
+    def test_query_unknown_address(self, data_dir, tmp_path, capsys):
+        locations = tmp_path / "empty.json"
+        locations.write_text("{}")
+        code = main([
+            "query", "--data", str(data_dir),
+            "--locations", str(locations), "--address-id", "nope",
+        ])
+        assert code == 1
+
+
+class TestExportGeojson:
+    def test_exports_candidates_and_predictions(self, data_dir, tmp_path, capsys):
+        locations = data_dir / "locations-geo.json"
+        main(["infer", "--data", str(data_dir), "--out", str(locations),
+              "--selector", "mindist"])
+        out_dir = tmp_path / "geo"
+        code = main([
+            "export-geojson", "--data", str(data_dir),
+            "--out", str(out_dir), "--locations", str(locations),
+        ])
+        assert code == 0
+        candidates = json.loads((out_dir / "candidates.geojson").read_text())
+        predictions = json.loads((out_dir / "predictions.geojson").read_text())
+        assert candidates["features"]
+        kinds = {f["properties"]["kind"] for f in predictions["features"]}
+        assert "prediction" in kinds
+
+
+class TestCrossval:
+    def test_crossval_command(self, capsys):
+        code = main([
+            "crossval", "--preset", "tiny", "--folds", "2",
+            "--methods", "Geocoding,MaxTC-ILC", "--fast",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-validation" in out
+        assert "MaxTC-ILC" in out
+
+
+class TestStats:
+    def test_prints_distributions(self, data_dir, capsys):
+        code = main(["stats", "--data", str(data_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dataset statistics" in out
+        assert "Deliveries per address" in out
+        assert "Stay points per trip" in out
+        assert "Candidates per address" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.preset == "downbj"
+        assert args.scale == 1.0

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script imports cleanly and exposes main().
+
+Full example runs train models on full-size presets (seconds to minutes);
+the benchmark suite exercises those code paths.  Here we guard against
+import rot — broken imports, renamed APIs, syntax errors.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=[s.stem for s in SCRIPTS])
+def test_example_imports_and_has_main(script):
+    spec = importlib.util.spec_from_file_location(f"example_{script.stem}", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{script.name} needs a main()"
+
+
+def test_expected_examples_present():
+    names = {s.stem for s in SCRIPTS}
+    assert {"quickstart", "case_studies", "route_planning", "availability", "building_level"} <= names

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    Trajectory,
+    moving_fraction,
+    position_at_times,
+    resample,
+    speeds_mps,
+)
+from tests.trajectory.test_staypoint import traj_from_xy
+
+
+class TestPositionAtTimes:
+    def test_midpoint_interpolation(self):
+        tr = traj_from_xy([(0, 0, 0), (100, 0, 10)])
+        coords = position_at_times(tr, np.array([5.0]))
+        # Halfway in time -> halfway in space (x=50 m).
+        from repro.geo import LocalProjection, Point
+        lng0, lat0 = tr[0].lng, tr[0].lat
+        proj = LocalProjection(Point(lng0, lat0))
+        x, _ = proj.to_xy(coords[0, 0], coords[0, 1])
+        assert x == pytest.approx(50.0, abs=1.0)
+
+    def test_clamps_beyond_ends(self):
+        tr = traj_from_xy([(0, 0, 0), (100, 0, 10)])
+        before = position_at_times(tr, np.array([-100.0]))
+        after = position_at_times(tr, np.array([1e6]))
+        np.testing.assert_allclose(before[0], [tr[0].lng, tr[0].lat])
+        np.testing.assert_allclose(after[0], [tr[-1].lng, tr[-1].lat])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            position_at_times(Trajectory("c", []), np.array([0.0]))
+
+
+class TestResample:
+    def test_uniform_spacing(self):
+        tr = traj_from_xy([(0, 0, 0), (50, 0, 7), (120, 0, 23)])
+        out = resample(tr, 5.0)
+        _, _, t = out.to_arrays()
+        np.testing.assert_allclose(np.diff(t), 5.0)
+        assert t[0] == 0.0
+
+    def test_preserves_endpoints_location(self):
+        tr = traj_from_xy([(0, 0, 0), (100, 40, 20)])
+        out = resample(tr, 4.0)
+        assert out[0].lng == tr[0].lng
+        assert out[-1].t <= tr[-1].t
+
+    def test_short_input_passthrough(self):
+        tr = traj_from_xy([(0, 0, 0)])
+        assert resample(tr, 5.0).points == tr.points
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            resample(traj_from_xy([(0, 0, 0)]), 0.0)
+
+
+class TestSpeeds:
+    def test_constant_speed(self):
+        tr = traj_from_xy([(0, 0, 0), (30, 0, 10), (60, 0, 20)])
+        np.testing.assert_allclose(speeds_mps(tr), 3.0, rtol=1e-2)
+
+    def test_empty_and_single(self):
+        assert speeds_mps(Trajectory("c", [])).shape == (0,)
+        assert speeds_mps(traj_from_xy([(0, 0, 0)])).shape == (0,)
+
+    def test_moving_fraction(self):
+        # 10 s moving at 3 m/s, then 30 s parked.
+        tr = traj_from_xy([(0, 0, 0), (30, 0, 10), (30, 0, 40)])
+        assert moving_fraction(tr, threshold_mps=0.5) == pytest.approx(0.25)
+
+    def test_moving_fraction_empty(self):
+        assert moving_fraction(Trajectory("c", [])) == 0.0

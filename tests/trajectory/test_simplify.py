@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trajectory import Trajectory, douglas_peucker, path_length_m
+from tests.trajectory.test_staypoint import traj_from_xy
+
+
+class TestPathLength:
+    def test_straight_line(self):
+        tr = traj_from_xy([(0, 0, 0), (100, 0, 10), (200, 0, 20)])
+        assert path_length_m(tr) == pytest.approx(200.0, rel=1e-3)
+
+    def test_short_trajectories(self):
+        assert path_length_m(Trajectory("c", [])) == 0.0
+        assert path_length_m(traj_from_xy([(0, 0, 0)])) == 0.0
+
+    def test_zigzag_longer_than_chord(self):
+        tr = traj_from_xy([(0, 0, 0), (50, 50, 10), (100, 0, 20)])
+        assert path_length_m(tr) == pytest.approx(2 * np.hypot(50, 50), rel=1e-3)
+
+
+class TestDouglasPeucker:
+    def test_collinear_collapses_to_endpoints(self):
+        tr = traj_from_xy([(i * 10.0, 0, i * 5.0) for i in range(20)])
+        out = douglas_peucker(tr, tolerance_m=1.0)
+        assert len(out) == 2
+        assert out[0] == tr[0] and out[-1] == tr[-1]
+
+    def test_corner_preserved(self):
+        tr = traj_from_xy([(0, 0, 0), (100, 0, 10), (100, 100, 20)])
+        out = douglas_peucker(tr, tolerance_m=5.0)
+        assert len(out) == 3
+
+    def test_small_wiggles_removed_large_kept(self):
+        pts = [(0, 0, 0), (50, 2, 5), (100, 0, 10), (150, 80, 15), (200, 0, 20)]
+        out = douglas_peucker(traj_from_xy(pts), tolerance_m=10.0)
+        xs = {round(p.t) for p in out}
+        assert 15 in xs      # the 80 m excursion survives
+        assert 5 not in xs   # the 2 m wiggle is dropped
+
+    def test_short_input_passthrough(self):
+        tr = traj_from_xy([(0, 0, 0), (10, 0, 5)])
+        out = douglas_peucker(tr, tolerance_m=1.0)
+        assert out.points == tr.points
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(traj_from_xy([(0, 0, 0)]), tolerance_m=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=100), st.sampled_from([2.0, 10.0, 50.0]))
+    def test_simplified_stays_within_tolerance_property(self, seed, tol):
+        """Every dropped fix lies within ``tol`` of the kept polyline."""
+        rng = np.random.default_rng(seed)
+        pts = []
+        x = y = t = 0.0
+        for _ in range(40):
+            x += float(rng.uniform(-50, 80))
+            y += float(rng.uniform(-50, 80))
+            t += 10.0
+            pts.append((x, y, t))
+        tr = traj_from_xy(pts)
+        out = douglas_peucker(tr, tolerance_m=tol)
+        kept_times = [p.t for p in out]
+        assert kept_times[0] == tr[0].t and kept_times[-1] == tr[-1].t
+        # Endpoints of each kept segment bracket the dropped points; check
+        # distance of each dropped point to its bracketing chord.
+        from repro.geo import LocalProjection, Point
+
+        lng, lat, times = tr.to_arrays()
+        proj = LocalProjection(Point(float(lng[0]), float(lat[0])))
+        px, py = proj.to_xy(lng, lat)
+        coords = np.column_stack([np.atleast_1d(px), np.atleast_1d(py)])
+        kept_idx = [i for i, p in enumerate(tr.points) if p.t in set(kept_times)]
+        for a, b in zip(kept_idx, kept_idx[1:]):
+            chord = coords[b] - coords[a]
+            clen = np.hypot(*chord)
+            for i in range(a + 1, b):
+                seg = coords[i] - coords[a]
+                if clen < 1e-12:
+                    d = np.hypot(*seg)
+                else:
+                    d = abs(seg[0] * chord[1] - seg[1] * chord[0]) / clen
+                assert d <= tol + 1e-6

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import LocalProjection, Point, haversine_m
+from repro.trajectory import (
+    StayPointConfig,
+    TrajPoint,
+    Trajectory,
+    detect_stay_points,
+)
+
+ORIGIN = Point(116.40, 39.90)
+PROJ = LocalProjection(ORIGIN)
+
+
+def traj_from_xy(xyts, courier="c1"):
+    """Build a trajectory from (x_m, y_m, t) tuples around ORIGIN."""
+    pts = []
+    for x, y, t in xyts:
+        lng, lat = PROJ.to_lnglat(x, y)
+        pts.append(TrajPoint(float(lng), float(lat), float(t)))
+    return Trajectory(courier, pts)
+
+
+class TestDetectStayPoints:
+    def test_simple_stay(self):
+        # 60 s dwell within 5 m, then movement away.
+        xyts = [(0, 0, 0), (2, 0, 20), (0, 2, 40), (1, 1, 60), (200, 0, 80), (400, 0, 100)]
+        stays = detect_stay_points(traj_from_xy(xyts))
+        assert len(stays) == 1
+        sp = stays[0]
+        assert sp.t_arrive == 0.0
+        assert sp.t_leave == 60.0
+        assert sp.n_points == 4
+        assert sp.courier_id == "c1"
+        # Centroid near (0.75, 0.75) m from origin.
+        d = haversine_m(sp.lng, sp.lat, ORIGIN.lng, ORIGIN.lat)
+        assert d < 2.0
+
+    def test_too_short_dwell_ignored(self):
+        xyts = [(0, 0, 0), (1, 0, 10), (200, 0, 20), (400, 0, 30)]
+        assert detect_stay_points(traj_from_xy(xyts)) == []
+
+    def test_dwell_exactly_at_threshold(self):
+        xyts = [(0, 0, 0), (1, 0, 30), (200, 0, 40)]
+        stays = detect_stay_points(traj_from_xy(xyts), StayPointConfig(t_min_s=30.0))
+        assert len(stays) == 1
+
+    def test_two_separate_stays(self):
+        xyts = [
+            (0, 0, 0), (1, 0, 40),          # stay 1
+            (100, 0, 60), (200, 0, 80),     # moving
+            (300, 0, 100), (301, 0, 150),   # stay 2
+            (500, 0, 170),
+        ]
+        stays = detect_stay_points(traj_from_xy(xyts))
+        assert len(stays) == 2
+        assert stays[0].t_leave <= stays[1].t_arrive
+
+    def test_stay_at_trajectory_end(self):
+        xyts = [(0, 0, 0), (200, 0, 20), (200, 1, 60), (201, 0, 100)]
+        stays = detect_stay_points(traj_from_xy(xyts))
+        assert len(stays) == 1
+        assert stays[0].t_arrive == 20.0
+        assert stays[0].t_leave == 100.0
+
+    def test_empty_and_single_point(self):
+        assert detect_stay_points(Trajectory("c", [])) == []
+        assert detect_stay_points(traj_from_xy([(0, 0, 0)])) == []
+
+    def test_distance_threshold_respected(self):
+        # Points 30 m apart never form a stay with d_max=20, but do with 40.
+        xyts = [(0, 0, 0), (30, 0, 50), (300, 0, 70)]
+        assert detect_stay_points(traj_from_xy(xyts), StayPointConfig(d_max_m=20.0)) == []
+        stays = detect_stay_points(traj_from_xy(xyts), StayPointConfig(d_max_m=40.0))
+        assert len(stays) == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            StayPointConfig(d_max_m=0.0)
+        with pytest.raises(ValueError):
+            StayPointConfig(t_min_s=-1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_stays_are_ordered_and_disjoint_property(self, seed):
+        rng = np.random.default_rng(seed)
+        # Random walk with occasional dwells.
+        xyts, t, x, y = [], 0.0, 0.0, 0.0
+        for _ in range(60):
+            if rng.random() < 0.3:  # dwell burst
+                for _ in range(rng.integers(2, 6)):
+                    xyts.append((x + rng.normal(0, 3), y + rng.normal(0, 3), t))
+                    t += float(rng.uniform(8, 20))
+            x += float(rng.uniform(-80, 80))
+            y += float(rng.uniform(-80, 80))
+            xyts.append((x, y, t))
+            t += float(rng.uniform(8, 20))
+        stays = detect_stay_points(traj_from_xy(xyts))
+        for a, b in zip(stays, stays[1:]):
+            assert a.t_leave <= b.t_arrive
+        for sp in stays:
+            assert sp.duration_s >= 30.0
+            assert sp.n_points >= 2
