@@ -47,3 +47,19 @@ def write_result():
         return text
 
     return _write
+
+
+@pytest.fixture(scope="session")
+def write_json():
+    """Machine-readable companion to ``write_result``."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, payload) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[json written to {path}]")
+        return path
+
+    return _write

@@ -91,6 +91,12 @@ def _load_workload(data_dir: pathlib.Path) -> Workload:
     )
 
 
+def _print_stage_timings(timings: dict[str, float], indent: str = "  ") -> None:
+    for key, seconds in timings.items():
+        stage = key[:-2] if key.endswith("_s") else key
+        print(f"{indent}{stage:<24} {seconds * 1000.0:9.1f} ms")
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     workload = _load_workload(pathlib.Path(args.data))
     names = [n.strip() for n in args.methods.split(",") if n.strip()]
@@ -100,6 +106,51 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         for name, run in runs.items()
     }
     print(metrics_table(results, title=f"Evaluation on {args.data} (test addresses)", order=names))
+    if args.timings:
+        print()
+        print("Per-stage engine timings:")
+        for name in names:
+            run = runs[name]
+            if not run.stage_timings:
+                continue
+            print(f"{name}:")
+            _print_stage_timings(run.stage_timings)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    workload = _load_workload(pathlib.Path(args.data))
+    new_trips = load_trips(args.new_trips)
+    model = DLInfMA(DLInfMAConfig(selector=args.selector))
+    model.fit(
+        workload.trips,
+        workload.addresses,
+        workload.ground_truth,
+        workload.train_ids,
+        workload.val_ids,
+        projection=workload.projection,
+    )
+    fit_timings = dict(model.timings)
+    model.update(
+        new_trips, workload.ground_truth, workload.train_ids, workload.val_ids
+    )
+    update_timings = dict(model.timings)
+    delivered = sorted(model.extractor.trips_by_address)
+    locations = model.predict(delivered)
+    save_locations(locations, args.out)
+    n_new = model.counters.get("stay_point_extraction.trips", len(new_trips))
+    print(f"absorbed {n_new} new trips of {len(new_trips)} submitted "
+          f"({len(model.extractor.trips)} total) -> {args.out}")
+    print(f"refreshed {model.counters.get('feature_extraction.examples_refreshed', 0)}"
+          f" + rebuilt {model.counters.get('feature_extraction.examples_rebuilt', 0)}"
+          f" address examples "
+          f"({model.counters.get('feature_extraction.addresses_affected', 0)} affected)")
+    if args.timings:
+        print()
+        print("initial fit:")
+        _print_stage_timings(fit_timings)
+        print(f"incremental update ({n_new} trips):")
+        _print_stage_timings(update_timings)
     return 0
 
 
@@ -250,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--methods", default="Geocoding,GeoCloud,GeoRank,DLInfMA")
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--fast", action="store_true")
+    p_eval.add_argument("--timings", action="store_true",
+                        help="print per-stage engine timings per method")
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_infer = sub.add_parser("infer", help="run DLInfMA and dump locations")
@@ -257,6 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("--out", required=True)
     p_infer.add_argument("--selector", default="locmatcher")
     p_infer.set_defaults(func=_cmd_infer)
+
+    p_upd = sub.add_parser(
+        "update", help="fit on a dataset, then absorb a new trip batch incrementally"
+    )
+    p_upd.add_argument("--data", required=True)
+    p_upd.add_argument("--new-trips", required=True,
+                       help="trips.jsonl with the batch to absorb")
+    p_upd.add_argument("--out", required=True)
+    p_upd.add_argument("--selector", default="locmatcher")
+    p_upd.add_argument("--timings", action="store_true",
+                       help="print fit vs. update per-stage timings")
+    p_upd.set_defaults(func=_cmd_update)
 
     p_cv = sub.add_parser("crossval", help="spatial cross-validation on a preset")
     p_cv.add_argument("--preset", choices=sorted(PRESETS), default="downbj")

@@ -64,6 +64,14 @@ class CandidatePool:
     def __len__(self) -> int:
         return len(self.candidates)
 
+    def content_key(self) -> tuple:
+        """Stable identity for engine fingerprinting."""
+        return (
+            "CandidatePool",
+            self.projection.content_key(),
+            tuple((c.candidate_id, c.x, c.y, c.weight) for c in self.candidates),
+        )
+
     def nearest(self, x: float, y: float) -> LocationCandidate | None:
         """The candidate closest to meter coordinates (x, y)."""
         cid = self._index.nearest(x, y)
@@ -141,6 +149,26 @@ def _biweekly_hierarchical(
         else:
             pool = hierarchical_cluster(batch_coords, threshold)
     return pool
+
+
+def candidate_id_map(old_pool: CandidatePool, new_pool: CandidatePool) -> dict[int, int]:
+    """Old-id -> new-id for candidates whose centroid did not move.
+
+    Ids are reassigned west-to-east on every pool build, so incremental
+    merges invalidate raw ids even for untouched clusters; coordinates are
+    the stable identity (a merge recomputes a centroid, so any absorbed
+    cluster drops out of this map — exactly the candidates whose features
+    must be rebuilt rather than remapped).
+    """
+    by_coord = {
+        (round(c.x, 6), round(c.y, 6)): c.candidate_id for c in new_pool.candidates
+    }
+    out: dict[int, int] = {}
+    for c in old_pool.candidates:
+        new_id = by_coord.get((round(c.x, 6), round(c.y, 6)))
+        if new_id is not None:
+            out[c.candidate_id] = new_id
+    return out
 
 
 def assign_stay_points(

@@ -204,8 +204,15 @@ class LocMatcherSelector:
         self,
         train: list[AddressExample],
         val: list[AddressExample] | None = None,
+        warm_start: bool = False,
     ) -> "LocMatcherSelector":
-        """Train until the validation loss stops improving."""
+        """Train until the validation loss stops improving.
+
+        ``warm_start=True`` with a previously fitted net continues training
+        from the current weights and keeps the existing feature
+        normalization (the incremental-update path, Section VI-A); it is
+        ignored on a fresh selector.
+        """
         train = [e for e in train if e.label is not None]
         if not train:
             raise ValueError("no labeled training examples")
@@ -214,19 +221,23 @@ class LocMatcherSelector:
         rng = np.random.default_rng(cfg.seed)
 
         scalar_cols = self.feature_config.scalar_columns()
-        all_rows = np.vstack([e.features[:, scalar_cols] for e in train]) if scalar_cols else None
-        if all_rows is not None and len(all_rows):
-            self.scaler.fit(all_rows)
-        logs = np.log1p([e.n_deliveries for e in train])
-        self._deliv_mean = float(np.mean(logs))
-        self._deliv_std = float(np.std(logs)) or 1.0
+        warm = warm_start and self.net is not None
+        if not warm:
+            all_rows = (
+                np.vstack([e.features[:, scalar_cols] for e in train]) if scalar_cols else None
+            )
+            if all_rows is not None and len(all_rows):
+                self.scaler.fit(all_rows)
+            logs = np.log1p([e.n_deliveries for e in train])
+            self._deliv_mean = float(np.mean(logs))
+            self._deliv_std = float(np.std(logs)) or 1.0
 
-        self.net = LocMatcherNet(
-            n_scalar=len(scalar_cols),
-            hist_dim=len(self.feature_config.hist_columns()),
-            config=cfg,
-            use_address_context=self.feature_config.use_address,
-        )
+            self.net = LocMatcherNet(
+                n_scalar=len(scalar_cols),
+                hist_dim=len(self.feature_config.hist_columns()),
+                config=cfg,
+                use_address_context=self.feature_config.use_address,
+            )
         optimizer = Adam(self.net.parameters(), lr=cfg.lr)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step, gamma=cfg.lr_gamma)
 

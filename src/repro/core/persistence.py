@@ -17,8 +17,33 @@ import numpy as np
 from repro.core.candidates import CandidatePool, LocationCandidate, LocationProfile, TIME_BINS
 from repro.core.locmatcher import LocMatcherSelector
 from repro.geo import LocalProjection, Point
+from repro.trajectory import StayPoint
 
 PathLike = Union[str, pathlib.Path]
+
+
+def save_stay_points(stay_points_by_trip: dict[str, list[StayPoint]], path: PathLike) -> None:
+    """Write per-trip stay points as JSON (the extraction-stage artifact)."""
+    payload = {
+        trip_id: [
+            [sp.lng, sp.lat, sp.t_arrive, sp.t_leave, sp.courier_id, sp.n_points]
+            for sp in stays
+        ]
+        for trip_id, stays in stay_points_by_trip.items()
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_stay_points(path: PathLike) -> dict[str, list[StayPoint]]:
+    """Read stay points previously written by :func:`save_stay_points`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return {
+        trip_id: [
+            StayPoint(lng, lat, t_arrive, t_leave, courier_id, n_points)
+            for lng, lat, t_arrive, t_leave, courier_id, n_points in rows
+        ]
+        for trip_id, rows in payload.items()
+    }
 
 
 def save_candidate_pool(pool: CandidatePool, path: PathLike) -> None:

@@ -1,24 +1,51 @@
-"""The end-to-end DLInfMA pipeline (Figure 3).
+"""The end-to-end DLInfMA pipeline (Figure 3), expressed as engine stages.
 
-``fit`` runs the two components of the framework — location candidate
-generation (stay-point extraction, candidate-pool construction, candidate
-retrieval) and delivery location discovery (feature extraction,
-address-location matching) — and records per-stage wall-clock timings
-(Section V-F reports these).  ``predict`` maps each address to the selected
-candidate's location, falling back to the geocode for addresses with no
-candidates (the deployed system's last-resort fallback, Section VI-A).
+The two components of the framework — location candidate generation
+(stay-point extraction, candidate-pool construction, profile build,
+candidate retrieval/feature extraction) and delivery location discovery
+(selector training) — are registered :class:`~repro.engine.Stage` objects
+run by a :class:`~repro.engine.StagePlan` under a
+:class:`~repro.engine.RunContext`, which records the Section V-F per-stage
+wall-clock timings and item counters.  The expensive generation stages
+declare disk codecs (via :mod:`repro.core.persistence`), so a run with an
+:class:`~repro.engine.ArtifactCache` resumes from disk whenever config +
+inputs are unchanged.
+
+Besides the one-shot :meth:`DLInfMA.fit`, the pipeline has a first-class
+incremental path: the deployed system builds candidate pools "in a
+bi-weekly manner and then merged with existing ones" and re-runs inference
+periodically as new trips land (Sections III-B, VI-A).
+:meth:`DLInfMA.update` extracts stay points only for the new trips, merges
+them into the pool via :class:`~repro.core.poolbuilder.CandidatePoolBuilder`,
+rebuilds features only for the addresses whose candidate sets actually
+changed, and warm-starts the selector — so repeated batches cost O(new
+data), not O(all data).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.core.candidates import CandidatePool, build_candidate_pool, build_profiles
+from repro.core.candidates import (
+    CandidatePool,
+    build_candidate_pool,
+    build_profiles,
+    candidate_id_map,
+)
 from repro.core.features import AddressExample, FeatureConfig, FeatureExtractor
 from repro.core.locmatcher import LocMatcherConfig, LocMatcherSelector
+from repro.core.persistence import (
+    load_candidate_pool,
+    load_profiles,
+    load_stay_points,
+    save_candidate_pool,
+    save_profiles,
+    save_stay_points,
+)
+from repro.core.poolbuilder import CandidatePoolBuilder
 from repro.core.selectors import make_variant_selector
 from repro.core.staypoints import ExtractionConfig, extract_trip_stay_points
+from repro.engine import ArtifactCache, ArtifactCodec, RunContext, StagePlan, stage
 from repro.geo import LocalProjection, Point
 from repro.trajectory import Address, DeliveryTrip
 
@@ -49,6 +76,156 @@ class PipelineArtifacts:
     extractor: FeatureExtractor
     examples: dict[str, AddressExample]
     timings: dict[str, float]
+    stay_points_by_trip: dict[str, list] | None = None
+    context: RunContext | None = None
+
+
+# ----------------------------------------------------------------------
+# Registered stages
+# ----------------------------------------------------------------------
+_STAY_CODEC = ArtifactCodec(".json", save_stay_points, load_stay_points)
+_POOL_CODEC = ArtifactCodec(".json", save_candidate_pool, load_candidate_pool)
+_PROFILE_CODEC = ArtifactCodec(".npz", save_profiles, load_profiles)
+
+
+def _flatten(stay_points_by_trip: dict[str, list]) -> list:
+    return [sp for stays in stay_points_by_trip.values() for sp in stays]
+
+
+@stage(
+    "stay_point_extraction",
+    inputs=("trips",),
+    outputs=("stay_points_by_trip",),
+    cache_codecs={"stay_points_by_trip": _STAY_CODEC},
+    cache_inputs=("trips",),
+    # workers only changes parallelism, never the extracted stay points.
+    cache_config=lambda cfg: (cfg.extraction.noise, cfg.extraction.stay),
+)
+def _stage_extract(ctx: RunContext, trips: list[DeliveryTrip]) -> dict:
+    stays = extract_trip_stay_points(trips, ctx.config.extraction)
+    ctx.count("stay_point_extraction", "trips", len(trips))
+    ctx.count("stay_point_extraction", "stay_points", sum(len(v) for v in stays.values()))
+    return {"stay_points_by_trip": stays}
+
+
+@stage(
+    "pool_construction",
+    inputs=("stay_points_by_trip", "projection"),
+    outputs=("pool",),
+    cache_codecs={"pool": _POOL_CODEC},
+    cache_config=lambda cfg: (cfg.cluster_distance_m, cfg.pool_method),
+)
+def _stage_pool(ctx: RunContext, stay_points_by_trip: dict, projection: LocalProjection) -> dict:
+    cfg = ctx.config
+    all_stays = _flatten(stay_points_by_trip)
+    pool = build_candidate_pool(
+        all_stays,
+        projection,
+        distance_threshold_m=cfg.cluster_distance_m,
+        method=cfg.pool_method,
+    )
+    ctx.count("pool_construction", "stay_points", len(all_stays))
+    ctx.count("pool_construction", "candidates", len(pool))
+    return {"pool": pool}
+
+
+@stage(
+    "profile_build",
+    inputs=("stay_points_by_trip", "pool"),
+    outputs=("profiles",),
+    cache_codecs={"profiles": _PROFILE_CODEC},
+    cache_config=lambda cfg: None,
+)
+def _stage_profiles(ctx: RunContext, stay_points_by_trip: dict, pool: CandidatePool) -> dict:
+    profiles = build_profiles(_flatten(stay_points_by_trip), pool)
+    ctx.count("profile_build", "profiles", len(profiles))
+    return {"profiles": profiles}
+
+
+@stage(
+    "feature_extraction",
+    inputs=("trips", "stay_points_by_trip", "pool", "profiles", "addresses"),
+    outputs=("extractor", "examples"),
+)
+def _stage_features(
+    ctx: RunContext,
+    trips: list[DeliveryTrip],
+    stay_points_by_trip: dict,
+    pool: CandidatePool,
+    profiles: dict,
+    addresses: dict[str, Address],
+) -> dict:
+    extractor = FeatureExtractor(trips, stay_points_by_trip, pool, profiles, addresses)
+    delivered = sorted({a for trip in trips for a in trip.address_ids})
+    examples = extractor.build_examples(delivered)
+    ctx.count("feature_extraction", "addresses", len(delivered))
+    ctx.count("feature_extraction", "examples_built", len(examples))
+    return {"extractor": extractor, "examples": examples}
+
+
+def _labeled_examples(
+    extractor: FeatureExtractor,
+    examples: dict[str, AddressExample],
+    address_ids: list[str],
+    ground_truth: dict[str, Point],
+) -> list[AddressExample]:
+    out = []
+    for address_id in address_ids:
+        example = examples.get(address_id)
+        truth = ground_truth.get(address_id)
+        if example is None or truth is None:
+            continue
+        extractor.label_example(example, truth)
+        out.append(example)
+    return out
+
+
+def _make_selector(config: DLInfMAConfig):
+    if config.selector == "locmatcher":
+        return LocMatcherSelector(config.features, config.locmatcher)
+    return make_variant_selector(config.selector, config.features, seed=config.seed)
+
+
+@stage(
+    "training",
+    inputs=("extractor", "examples", "ground_truth", "train_ids", "val_ids", "selector"),
+    outputs=("selector",),
+)
+def _stage_training(
+    ctx: RunContext,
+    extractor: FeatureExtractor,
+    examples: dict[str, AddressExample],
+    ground_truth: dict[str, Point],
+    train_ids: list[str],
+    val_ids: list[str],
+    selector,
+) -> dict:
+    train = _labeled_examples(extractor, examples, train_ids, ground_truth)
+    val = _labeled_examples(extractor, examples, val_ids, ground_truth)
+    warm = selector is not None
+    if selector is None:
+        selector = _make_selector(ctx.config)
+    ctx.count("training", "train_examples", len(train))
+    ctx.count("training", "val_examples", len(val))
+    if warm:
+        # Warm start when the selector supports it (LocMatcher continues
+        # from its current weights); others simply refit on the union.
+        try:
+            selector.fit(train, val or None, warm_start=True)
+        except TypeError:
+            selector.fit(train, val or None)
+    else:
+        selector.fit(train, val or None)
+    return {"selector": selector}
+
+
+#: The candidate-generation component (Section III + IV-A), in order.
+GENERATION_STAGES = (
+    "stay_point_extraction",
+    "pool_construction",
+    "profile_build",
+    "feature_extraction",
+)
 
 
 def build_artifacts(
@@ -56,34 +233,27 @@ def build_artifacts(
     addresses: dict[str, Address],
     projection: LocalProjection,
     config: DLInfMAConfig | None = None,
+    context: RunContext | None = None,
+    cache_dir=None,
 ) -> PipelineArtifacts:
-    """Run the location-candidate-generation component (Section III)."""
+    """Run the location-candidate-generation component (Section III).
+
+    ``cache_dir`` enables content-fingerprint artifact caching: a rerun
+    with unchanged config + trips resumes the expensive stages from disk.
+    """
     cfg = config or DLInfMAConfig()
-    t0 = time.perf_counter()
-    stay_points_by_trip = extract_trip_stay_points(trips, cfg.extraction)
-    t1 = time.perf_counter()
-    all_stays = [sp for stays in stay_points_by_trip.values() for sp in stays]
-    pool = build_candidate_pool(
-        all_stays,
-        projection,
-        distance_threshold_m=cfg.cluster_distance_m,
-        method=cfg.pool_method,
-    )
-    profiles = build_profiles(all_stays, pool)
-    t2 = time.perf_counter()
-    extractor = FeatureExtractor(trips, stay_points_by_trip, pool, profiles, addresses)
-    delivered = sorted({a for trip in trips for a in trip.address_ids})
-    examples = extractor.build_examples(delivered)
-    t3 = time.perf_counter()
+    ctx = context or RunContext(config=cfg, label="build_artifacts")
+    if ctx.cache is None and cache_dir is not None:
+        ctx.cache = ArtifactCache(cache_dir)
+    state = {"trips": list(trips), "addresses": addresses, "projection": projection}
+    StagePlan(GENERATION_STAGES).run(ctx, state)
     return PipelineArtifacts(
-        pool=pool,
-        extractor=extractor,
-        examples=examples,
-        timings={
-            "stay_point_extraction_s": t1 - t0,
-            "pool_construction_s": t2 - t1,
-            "feature_extraction_s": t3 - t2,
-        },
+        pool=state["pool"],
+        extractor=state["extractor"],
+        examples=state["examples"],
+        timings=dict(ctx.timings),
+        stay_points_by_trip=state["stay_points_by_trip"],
+        context=ctx,
     )
 
 
@@ -97,7 +267,20 @@ class DLInfMA:
         self.selector = None
         self.examples: dict[str, AddressExample] = {}
         self.addresses: dict[str, Address] = {}
-        self.timings: dict[str, float] = {}
+        self.context: RunContext | None = None
+        self._builder: CandidatePoolBuilder | None = None
+        self._stays_by_trip: dict[str, list] = {}
+        self._projection: LocalProjection | None = None
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Per-stage wall-clock seconds of the latest engine run."""
+        return dict(self.context.timings) if self.context is not None else {}
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Per-stage item counters of the latest engine run."""
+        return dict(self.context.counters) if self.context is not None else {}
 
     # ------------------------------------------------------------------
     def fit(
@@ -109,6 +292,7 @@ class DLInfMA:
         val_ids: list[str] | None = None,
         projection: LocalProjection | None = None,
         artifacts: PipelineArtifacts | None = None,
+        cache_dir=None,
     ) -> "DLInfMA":
         """Run candidate generation (unless ``artifacts`` are supplied) and
         train the selector.
@@ -120,39 +304,156 @@ class DLInfMA:
         if projection is None:
             first = next(iter(addresses.values()))
             projection = LocalProjection(first.geocode)
+        self._projection = projection
+        ctx = RunContext(
+            config=self.config,
+            cache=ArtifactCache(cache_dir) if cache_dir is not None else None,
+            label="fit",
+        )
         if artifacts is None:
-            artifacts = build_artifacts(trips, addresses, projection, self.config)
+            artifacts = build_artifacts(trips, addresses, projection, self.config, context=ctx)
+        else:
+            # Shared artifacts were built under another context; adopt their
+            # timings so this run still reports the full per-stage picture.
+            ctx.merge_timings(artifacts.timings)
+        self.context = ctx
         self.pool = artifacts.pool
         self.extractor = artifacts.extractor
         self.examples = artifacts.examples
-        self.timings = dict(artifacts.timings)
+        self._stays_by_trip = dict(artifacts.stay_points_by_trip or {})
+        self._builder = (
+            CandidatePoolBuilder.from_pool(self.pool, self.config.cluster_distance_m)
+            if self.config.pool_method == "hierarchical"
+            else None
+        )
 
-        t3 = time.perf_counter()
-        train_examples = self._labeled(train_ids, ground_truth)
-        val_examples = self._labeled(val_ids or [], ground_truth)
-        self.selector = self._make_selector()
-        self.selector.fit(train_examples, val_examples or None)
-        self.timings["training_s"] = time.perf_counter() - t3
+        state = {
+            "extractor": self.extractor,
+            "examples": self.examples,
+            "ground_truth": ground_truth,
+            "train_ids": list(train_ids),
+            "val_ids": list(val_ids or []),
+            "selector": None,
+        }
+        StagePlan(["training"]).run(ctx, state)
+        self.selector = state["selector"]
         return self
 
-    def _labeled(
-        self, address_ids: list[str], ground_truth: dict[str, Point]
-    ) -> list[AddressExample]:
-        out = []
-        for address_id in address_ids:
-            example = self.examples.get(address_id)
-            truth = ground_truth.get(address_id)
-            if example is None or truth is None:
-                continue
-            self.extractor.label_example(example, truth)
-            out.append(example)
-        return out
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        new_trips: list[DeliveryTrip],
+        ground_truth: dict[str, Point] | None = None,
+        train_ids: list[str] | None = None,
+        val_ids: list[str] | None = None,
+    ) -> "DLInfMA":
+        """Incrementally absorb a batch of new trips (Section VI-A).
 
-    def _make_selector(self):
-        cfg = self.config
-        if cfg.selector == "locmatcher":
-            return LocMatcherSelector(cfg.features, cfg.locmatcher)
-        return make_variant_selector(cfg.selector, cfg.features, seed=cfg.seed)
+        Stay points are extracted *only* for the new trips; the candidate
+        pool is merged forward through the persistent
+        :class:`CandidatePoolBuilder` (so all centroids stay >= D apart);
+        address examples are rebuilt only where the candidate sets actually
+        changed (everything else is remapped + cheaply refreshed); and the
+        selector is warm-started on the union of labels when
+        ``ground_truth``/``train_ids`` are given (otherwise the current
+        selector keeps serving).
+
+        Trips whose ids are already known are ignored, so callers may pass
+        overlapping batches.  Pool methods without an incremental merge
+        (``grid``) fall back to a full refit on the union.
+        """
+        if self.extractor is None or self.pool is None:
+            raise RuntimeError("pipeline is not fitted; call fit() before update()")
+        known = self.extractor.trips
+        new_trips = [t for t in new_trips if t.trip_id not in known]
+        if self._builder is None:
+            # No incremental merge for this pool method: full refit on union.
+            all_trips = list(known.values()) + new_trips
+            return self.fit(
+                all_trips,
+                self.addresses,
+                ground_truth or {},
+                list(train_ids or []),
+                val_ids,
+                projection=self._projection,
+            )
+
+        ctx = RunContext(config=self.config, label="update")
+        old_pool = self.pool
+        old_extractor = self.extractor
+        old_examples = self.examples
+
+        # Stage 1 — extraction over the new trips only.
+        state = {"trips": new_trips, "addresses": self.addresses, "projection": self._projection}
+        StagePlan(["stay_point_extraction"]).run(ctx, state)
+        new_stays = state["stay_points_by_trip"]
+
+        # Stage 2 — merge the new batch into the persistent pool builder.
+        with ctx.timed("pool_construction"):
+            flat_new = _flatten(new_stays)
+            self._builder.add_batch(flat_new)
+            pool = self._builder.build()
+        ctx.count("pool_construction", "stay_points", len(flat_new))
+        ctx.count("pool_construction", "candidates", len(pool))
+        self._stays_by_trip.update(new_stays)
+
+        # Stage 3 — profiles over all stays (cheap aggregation, no GPS work).
+        with ctx.timed("profile_build"):
+            profiles = build_profiles(_flatten(self._stays_by_trip), pool)
+        ctx.count("profile_build", "profiles", len(profiles))
+
+        # Stage 4 — selective feature refresh.
+        with ctx.timed("feature_extraction"):
+            all_trips = list(known.values()) + new_trips
+            extractor = FeatureExtractor(
+                all_trips, self._stays_by_trip, pool, profiles, self.addresses
+            )
+            changed_trips = {t.trip_id for t in new_trips}
+            for trip_id in known:
+                if old_extractor.visit_signature(trip_id) != extractor.visit_signature(trip_id):
+                    changed_trips.add(trip_id)
+            affected = {
+                a for trip_id in changed_trips for a in extractor.trips[trip_id].address_ids
+            }
+            id_map = candidate_id_map(old_pool, pool)
+            delivered = sorted({a for trip in all_trips for a in trip.address_ids})
+            examples: dict[str, AddressExample] = {}
+            rebuilt = refreshed = 0
+            for address_id in delivered:
+                old_example = old_examples.get(address_id)
+                if address_id not in affected and old_example is not None:
+                    carried = extractor.refresh_example(old_example, id_map)
+                    if carried is not None:
+                        examples[address_id] = carried
+                        refreshed += 1
+                        continue
+                example = extractor.build_example(address_id)
+                if example is not None:
+                    examples[address_id] = example
+                    rebuilt += 1
+        ctx.count("feature_extraction", "addresses", len(delivered))
+        ctx.count("feature_extraction", "addresses_affected", len(affected))
+        ctx.count("feature_extraction", "examples_rebuilt", rebuilt)
+        ctx.count("feature_extraction", "examples_refreshed", refreshed)
+
+        self.context = ctx
+        self.pool = pool
+        self.extractor = extractor
+        self.examples = examples
+
+        # Stage 5 — warm-start the selector on the union of labels.
+        if ground_truth is not None and train_ids:
+            state = {
+                "extractor": extractor,
+                "examples": examples,
+                "ground_truth": ground_truth,
+                "train_ids": list(train_ids),
+                "val_ids": list(val_ids or []),
+                "selector": self.selector,
+            }
+            StagePlan(["training"]).run(ctx, state)
+            self.selector = state["selector"]
+        return self
 
     # ------------------------------------------------------------------
     def predict_one(self, address_id: str) -> Point | None:
@@ -172,7 +473,9 @@ class DLInfMA:
         """Inferred delivery locations for many addresses.
 
         Uses the selector's batched scoring when available (LocMatcher),
-        falling back to per-address prediction otherwise.
+        falling back to per-address prediction otherwise; the with/without-
+        example split is computed once and both paths return identical
+        predictions.
         """
         if self.selector is None:
             raise RuntimeError("pipeline is not fitted")
@@ -187,7 +490,12 @@ class DLInfMA:
                     example.candidate_ids[index]
                 )
         else:
-            without = list(address_ids)
+            for address_id in with_examples:
+                example = self.examples[address_id]
+                index = self.selector.predict_index(example)
+                out[address_id] = self.extractor.candidate_point(
+                    example.candidate_ids[index]
+                )
         for address_id in without:
             point = self.predict_one(address_id)
             if point is not None:

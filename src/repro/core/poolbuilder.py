@@ -31,6 +31,25 @@ class CandidatePoolBuilder:
         self._n_batches = 0
         self._n_points = 0
 
+    @classmethod
+    def from_pool(
+        cls, pool: CandidatePool, distance_threshold_m: float = 40.0
+    ) -> "CandidatePoolBuilder":
+        """Resume incremental building from a materialized pool.
+
+        Merging only ever consults centroids and weights, so a pool
+        round-tripped through :func:`~repro.core.persistence.save_candidate_pool`
+        (or produced by a previous builder) seeds a builder that behaves
+        exactly like the one that created it.
+        """
+        builder = cls(pool.projection, distance_threshold_m)
+        builder._clusters = [
+            Cluster(x=c.x, y=c.y, weight=c.weight, members=[]) for c in pool.candidates
+        ]
+        builder._n_batches = 1 if pool.candidates else 0
+        builder._n_points = int(round(sum(c.weight for c in pool.candidates)))
+        return builder
+
     @property
     def n_batches(self) -> int:
         """How many batches have been merged so far."""

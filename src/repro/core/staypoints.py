@@ -23,10 +23,15 @@ from repro.trajectory import (
 
 @dataclass(frozen=True)
 class ExtractionConfig:
-    """Noise-filter + stay-point thresholds."""
+    """Noise-filter + stay-point thresholds.
+
+    ``workers`` > 1 routes extraction through a process pool; it affects
+    only wall-clock time, never the extracted stay points.
+    """
 
     noise: NoiseFilterConfig = field(default_factory=NoiseFilterConfig)
     stay: StayPointConfig = field(default_factory=StayPointConfig)
+    workers: int | None = None
 
 
 def _extract_one(args: tuple[DeliveryTrip, ExtractionConfig]) -> tuple[str, list[StayPoint]]:
@@ -44,9 +49,13 @@ def extract_trip_stay_points(
 
     ``workers`` > 1 runs trips through a process pool (trajectory-level
     parallelization); the default is serial, which is faster at small
-    scales because of pickling overhead.
+    scales because of pickling overhead.  When ``workers`` is None the
+    value from ``config.workers`` applies, so the pipeline config reaches
+    this point without every caller re-plumbing it.
     """
     config = config or ExtractionConfig()
+    if workers is None:
+        workers = config.workers
     if workers is not None and workers > 1 and len(trips) > 1:
         with multiprocessing.Pool(workers) as pool:
             pairs = pool.map(_extract_one, [(trip, config) for trip in trips])

@@ -1,0 +1,88 @@
+"""Run-level instrumentation shared by every pipeline stage.
+
+A :class:`RunContext` travels through one engine run (a full fit or an
+incremental update): it carries the pipeline configuration, accumulates
+per-stage wall-clock timings (the Section V-F numbers), item counters
+(how much work each stage actually did — the evidence that an incremental
+run is O(new data)), and an optional :class:`~repro.engine.cache.ArtifactCache`
+for resuming runs from disk.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass
+class StageRecord:
+    """What one stage execution did: duration, volume, cache status."""
+
+    name: str
+    seconds: float
+    items_in: int | None = None
+    items_out: int | None = None
+    cached: bool = False
+
+
+class RunContext:
+    """Mutable state threaded through one engine run.
+
+    ``timings`` maps ``"<stage>_s"`` to wall-clock seconds — the key
+    convention every consumer (benchmarks, ``repro evaluate --timings``,
+    :class:`~repro.apps.service.ServiceStats`) relies on.  ``counters``
+    holds ``"<stage>.<metric>"`` item counts.
+    """
+
+    def __init__(self, config: Any = None, cache: Any = None, label: str = "run") -> None:
+        self.config = config
+        self.cache = cache
+        self.label = label
+        self.timings: dict[str, float] = {}
+        self.counters: dict[str, int] = {}
+        self.records: list[StageRecord] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time a block as stage ``name`` (accumulates on repeats)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            key = f"{name}_s"
+            self.timings[key] = self.timings.get(key, 0.0) + (time.perf_counter() - t0)
+
+    def count(self, stage: str, metric: str, n: int) -> None:
+        """Record an item counter for a stage (accumulates on repeats)."""
+        key = f"{stage}.{metric}"
+        self.counters[key] = self.counters.get(key, 0) + int(n)
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        items_in: int | None = None,
+        items_out: int | None = None,
+        cached: bool = False,
+    ) -> StageRecord:
+        """Append a :class:`StageRecord` (kept in execution order)."""
+        rec = StageRecord(name, seconds, items_in, items_out, cached)
+        self.records.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    def merge_timings(self, timings: dict[str, float]) -> None:
+        """Adopt timings produced elsewhere (e.g. shared artifacts)."""
+        for key, value in timings.items():
+            self.timings[key] = self.timings.get(key, 0.0) + float(value)
+
+    def timing_rows(self) -> list[tuple[str, float]]:
+        """``(stage, seconds)`` rows in a stable, reportable order."""
+        return [(k[: -len("_s")], v) for k, v in self.timings.items()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stages = ", ".join(f"{k}={v:.3f}" for k, v in self.timings.items())
+        return f"RunContext({self.label!r}, {stages})"

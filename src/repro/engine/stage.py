@@ -1,0 +1,170 @@
+"""The stage abstraction: typed, registered, resumable pipeline steps.
+
+A :class:`Stage` is a named function with a declared input/output contract
+over a shared state dict.  A :class:`StagePlan` executes a sequence of
+stages, enforcing the contract, timing and counting every step through the
+:class:`~repro.engine.context.RunContext`, and consulting the run's
+:class:`~repro.engine.cache.ArtifactCache` for stages that declared disk
+codecs.
+
+Stages register globally by name (:func:`register_stage` / :func:`stage`)
+so plans can be declared as name lists and later PRs can swap
+implementations (sharded, async, multi-backend) behind stable names.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.cache import ArtifactCodec, fingerprint
+from repro.engine.context import RunContext
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline step with a declared state contract.
+
+    ``fn(ctx, **inputs)`` must return a dict covering ``outputs``.
+    ``cache_codecs`` marks outputs that can round-trip through the artifact
+    cache; a stage is only ever cache-skipped when *all* of its outputs
+    have codecs.  ``cache_inputs`` optionally narrows which inputs feed the
+    cache key, and ``cache_config`` projects the run config down to the
+    fields this stage actually reads (e.g. ``workers`` changes parallelism,
+    not results, so it must not invalidate cached extractions).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    fn: Callable[..., dict[str, Any]]
+    cache_codecs: dict[str, ArtifactCodec] = field(default_factory=dict)
+    cache_inputs: tuple[str, ...] | None = None
+    cache_config: Callable[[Any], Any] | None = None
+
+    @property
+    def cacheable(self) -> bool:
+        return bool(self.cache_codecs) and set(self.cache_codecs) == set(self.outputs)
+
+    def run(self, ctx: RunContext, state: dict[str, Any]) -> dict[str, Any]:
+        """Execute against ``state``, validating the contract."""
+        missing = [k for k in self.inputs if k not in state]
+        if missing:
+            raise KeyError(f"stage {self.name!r} missing inputs: {missing}")
+        out = self.fn(ctx, **{k: state[k] for k in self.inputs})
+        if not isinstance(out, dict):
+            raise TypeError(f"stage {self.name!r} must return a dict of outputs")
+        undeclared = set(out) - set(self.outputs)
+        absent = set(self.outputs) - set(out)
+        if undeclared or absent:
+            raise ValueError(
+                f"stage {self.name!r} output mismatch: "
+                f"undeclared={sorted(undeclared)} absent={sorted(absent)}"
+            )
+        return out
+
+
+_REGISTRY: dict[str, Stage] = {}
+
+
+def register_stage(stage_obj: Stage, replace: bool = False) -> Stage:
+    """Add a stage to the global registry (name collision is an error)."""
+    if not replace and stage_obj.name in _REGISTRY:
+        raise ValueError(f"stage {stage_obj.name!r} is already registered")
+    _REGISTRY[stage_obj.name] = stage_obj
+    return stage_obj
+
+
+def stage(
+    name: str,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    cache_codecs: dict[str, ArtifactCodec] | None = None,
+    cache_inputs: Sequence[str] | None = None,
+    cache_config: Callable[[Any], Any] | None = None,
+    replace: bool = False,
+) -> Callable[[Callable[..., dict[str, Any]]], Stage]:
+    """Decorator: register ``fn`` as a stage and return the Stage object."""
+
+    def decorator(fn: Callable[..., dict[str, Any]]) -> Stage:
+        return register_stage(
+            Stage(
+                name=name,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                fn=fn,
+                cache_codecs=dict(cache_codecs or {}),
+                cache_inputs=tuple(cache_inputs) if cache_inputs is not None else None,
+                cache_config=cache_config,
+            ),
+            replace=replace,
+        )
+
+    return decorator
+
+
+def get_stage(name: str) -> Stage:
+    """Look a registered stage up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_stages() -> list[str]:
+    """Registered stage names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _maybe_len(value: Any) -> int | None:
+    try:
+        return len(value)
+    except TypeError:
+        return None
+
+
+class StagePlan:
+    """An ordered sequence of stages executed over a shared state dict."""
+
+    def __init__(self, stages: Iterable[Stage | str]) -> None:
+        self.stages: list[Stage] = [
+            get_stage(s) if isinstance(s, str) else s for s in stages
+        ]
+
+    def run(self, ctx: RunContext, state: dict[str, Any]) -> dict[str, Any]:
+        """Run every stage in order, mutating and returning ``state``.
+
+        Cacheable stages are fingerprinted over (name, config, inputs);
+        on a hit their artifacts load from disk and ``fn`` never runs.
+        """
+        for stg in self.stages:
+            key = None
+            if ctx.cache is not None and stg.cacheable:
+                key_inputs = stg.cache_inputs if stg.cache_inputs is not None else stg.inputs
+                cfg_part = (
+                    stg.cache_config(ctx.config) if stg.cache_config is not None else ctx.config
+                )
+                key = fingerprint(
+                    stg.name, cfg_part, {k: state.get(k) for k in key_inputs}
+                )
+                cached = ctx.cache.load(stg.name, key, stg.cache_codecs)
+                if cached is not None:
+                    state.update(cached)
+                    ctx.timings.setdefault(f"{stg.name}_s", 0.0)
+                    ctx.count(stg.name, "cache_hits", 1)
+                    ctx.record(stg.name, 0.0, cached=True)
+                    continue
+            t0 = time.perf_counter()
+            with ctx.timed(stg.name):
+                out = stg.run(ctx, state)
+            seconds = time.perf_counter() - t0
+            items_in = _maybe_len(state.get(stg.inputs[0])) if stg.inputs else None
+            items_out = _maybe_len(out.get(stg.outputs[0])) if stg.outputs else None
+            ctx.record(stg.name, seconds, items_in=items_in, items_out=items_out)
+            state.update(out)
+            if key is not None:
+                ctx.cache.store(stg.name, key, out, stg.cache_codecs)
+        return state

@@ -160,6 +160,7 @@ class MethodRun:
     fit_seconds: float
     predict_seconds: float
     method: object = field(repr=False, default=None)
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
 
 def run_method(
@@ -186,12 +187,14 @@ def run_method(
     t1 = time.perf_counter()
     predictions = method.predict(workload.test_ids)
     t2 = time.perf_counter()
+    stage_timings = dict(method.timings) if isinstance(method, DLInfMA) else {}
     return MethodRun(
         name=name,
         predictions=predictions,
         fit_seconds=t1 - t0,
         predict_seconds=t2 - t1,
         method=method,
+        stage_timings=stage_timings,
     )
 
 

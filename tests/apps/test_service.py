@@ -61,3 +61,50 @@ class TestDeliveryLocationService:
         probe = make_address("probe", known_building, (0.0, 0.0))
         result = service.query(probe)
         assert result.source in (QuerySource.BUILDING, QuerySource.GEOCODE)
+
+
+class TestIncrementalRefresh:
+    @pytest.fixture()
+    def split_batches(self, tiny_workload):
+        trips = sorted(tiny_workload.trips, key=lambda t: t.t_start)
+        half = len(trips) // 2
+        return trips[:half], trips[half:]
+
+    def test_second_refresh_is_incremental(self, tiny_workload, split_batches):
+        first, second = split_batches
+        svc = DeliveryLocationService(
+            tiny_workload.addresses,
+            tiny_workload.projection,
+            config=DLInfMAConfig(selector="maxtc-ilc"),
+        )
+        stats1 = svc.refresh(
+            first, tiny_workload.ground_truth, tiny_workload.train_ids
+        )
+        assert not stats1.incremental
+        assert stats1.n_new_trips == len(first)
+
+        stats2 = svc.refresh(
+            second, tiny_workload.ground_truth, tiny_workload.train_ids
+        )
+        assert stats2.incremental
+        assert stats2.n_new_trips == len(second)
+        assert stats2.n_trips == len(first) + len(second)
+        # O(new data): extraction only ran over the second batch.
+        assert stats2.counters["stay_point_extraction.trips"] == len(second)
+        assert len(svc.store) >= stats1.n_addresses_inferred
+
+    def test_overlapping_refresh_absorbs_only_new(self, tiny_workload, split_batches):
+        first, second = split_batches
+        svc = DeliveryLocationService(
+            tiny_workload.addresses,
+            tiny_workload.projection,
+            config=DLInfMAConfig(selector="maxtc-ilc"),
+        )
+        svc.refresh(first, tiny_workload.ground_truth, tiny_workload.train_ids)
+        # Resend everything: only the unseen half is new work.
+        stats = svc.refresh(
+            list(tiny_workload.trips), tiny_workload.ground_truth, tiny_workload.train_ids
+        )
+        assert stats.incremental
+        assert stats.n_new_trips == len(second)
+        assert stats.n_trips == len(tiny_workload.trips)

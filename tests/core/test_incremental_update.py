@@ -1,0 +1,165 @@
+"""Incremental :meth:`DLInfMA.update` semantics (Section VI-A).
+
+The handcrafted scenario aligns batch boundaries with the pool builder's
+bi-weekly periods, so an incremental update and a full refit on the union
+see *exactly* the same batch sequence — with a deterministic selector the
+two must agree bit-for-bit (pool, features, predictions).  The counters
+then prove the update only did O(new data) work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DLInfMA, DLInfMAConfig, LocMatcherConfig
+from repro.eval import evaluate
+from tests.core.helpers import PROJ, make_address, make_trip, point_at
+
+PERIOD = 14 * 86_400.0
+
+# Four well-separated delivery spots (>> the 40 m merge threshold).
+A, B, C, D = (0.0, 0.0), (300.0, 0.0), (600.0, 0.0), (900.0, 0.0)
+
+ADDRESSES = {
+    "a1": make_address("a1", "b1", (10.0, 0.0)),
+    "a2": make_address("a2", "b2", (290.0, 0.0)),
+    "a3": make_address("a3", "b3", (610.0, 0.0)),
+    "a4": make_address("a4", "b4", (890.0, 0.0)),
+}
+GROUND_TRUTH = {"a1": point_at(*A), "a2": point_at(*B), "a3": point_at(*C), "a4": point_at(*D)}
+TRAIN_IDS = ["a1", "a2", "a3", "a4"]
+
+
+def batch_one():
+    return [
+        make_trip("t1", "c1", stops=[(*A, 100.0, 120.0), (*B, 400.0, 120.0)],
+                  waybills=[("a1", 250.0), ("a2", 600.0)]),
+        make_trip("t2", "c2", stops=[(*A, 100.0, 120.0), (*B, 400.0, 120.0)],
+                  waybills=[("a1", 600.0), ("a2", 600.0)]),
+        make_trip("t3", "c1", stops=[(*C, 100.0, 120.0)], waybills=[("a3", 300.0)]),
+    ]
+
+
+def batch_two():
+    t0 = PERIOD  # lands exactly one bi-weekly period later
+    return [
+        make_trip("t4", "c2",
+                  stops=[(*C, t0 + 100.0, 120.0), (*D, t0 + 400.0, 120.0)],
+                  waybills=[("a3", t0 + 300.0), ("a4", t0 + 600.0)], t_start=t0),
+        make_trip("t5", "c3", stops=[(*D, t0 + 100.0, 120.0)],
+                  waybills=[("a4", t0 + 300.0)], t_start=t0),
+    ]
+
+
+def fit_model(trips, config=None):
+    model = DLInfMA(config or DLInfMAConfig(selector="maxtc"))
+    model.fit(trips, ADDRESSES, GROUND_TRUTH, TRAIN_IDS, projection=PROJ)
+    return model
+
+
+@pytest.fixture()
+def updated():
+    model = fit_model(batch_one())
+    model.update(batch_two(), GROUND_TRUTH, TRAIN_IDS)
+    return model
+
+
+@pytest.fixture()
+def refit():
+    return fit_model(batch_one() + batch_two())
+
+
+class TestUpdateEquivalence:
+    def test_pool_identical_to_full_refit(self, updated, refit):
+        ours = [(c.candidate_id, c.x, c.y, c.weight) for c in updated.pool.candidates]
+        theirs = [(c.candidate_id, c.x, c.y, c.weight) for c in refit.pool.candidates]
+        assert ours == theirs
+
+    def test_examples_identical_to_full_refit(self, updated, refit):
+        assert set(updated.examples) == set(refit.examples) == {"a1", "a2", "a3", "a4"}
+        for address_id in updated.examples:
+            ours = updated.examples[address_id]
+            theirs = refit.examples[address_id]
+            assert ours.candidate_ids == theirs.candidate_ids
+            assert np.array_equal(ours.features, theirs.features)
+
+    def test_predictions_identical_to_full_refit(self, updated, refit):
+        ids = list(ADDRESSES)
+        assert updated.predict(ids) == refit.predict(ids)
+
+    def test_second_update_still_matches(self, updated):
+        t0 = 2 * PERIOD
+        batch_three = [
+            make_trip("t6", "c1", stops=[(*B, t0 + 100.0, 120.0)],
+                      waybills=[("a2", t0 + 300.0)], t_start=t0),
+        ]
+        updated.update(batch_three, GROUND_TRUTH, TRAIN_IDS)
+        full = fit_model(batch_one() + batch_two() + batch_three)
+        assert updated.predict(list(ADDRESSES)) == full.predict(list(ADDRESSES))
+
+
+class TestUpdateIsIncremental:
+    def test_extraction_runs_only_over_new_trips(self, updated):
+        assert updated.counters["stay_point_extraction.trips"] == 2
+
+    def test_unaffected_addresses_are_refreshed_not_rebuilt(self, updated):
+        # t4/t5 touch a3 and a4; a1 and a2 are remapped + refreshed.
+        assert updated.counters["feature_extraction.addresses_affected"] == 2
+        assert updated.counters["feature_extraction.examples_refreshed"] == 2
+        assert updated.counters["feature_extraction.examples_rebuilt"] == 2
+
+    def test_update_timings_cover_all_stages(self, updated):
+        assert set(updated.timings) == {
+            "stay_point_extraction_s",
+            "pool_construction_s",
+            "profile_build_s",
+            "feature_extraction_s",
+            "training_s",
+        }
+
+    def test_known_trips_are_skipped(self):
+        model = fit_model(batch_one())
+        before = model.predict(list(ADDRESSES))
+        model.update(batch_one())  # pure overlap: nothing new
+        assert model.counters["stay_point_extraction.trips"] == 0
+        assert model.predict(list(ADDRESSES)) == before
+
+
+class TestUpdateEdgeCases:
+    def test_update_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DLInfMA().update(batch_two())
+
+    def test_update_without_labels_keeps_serving(self):
+        model = fit_model(batch_one())
+        selector = model.selector
+        model.update(batch_two())  # no ground truth: selector untouched
+        assert model.selector is selector
+        assert set(model.predict(list(ADDRESSES))) == set(ADDRESSES)
+
+    def test_grid_pool_falls_back_to_full_refit(self):
+        config = DLInfMAConfig(selector="maxtc", pool_method="grid")
+        model = fit_model(batch_one(), config)
+        model.update(batch_two(), GROUND_TRUTH, TRAIN_IDS)
+        full = fit_model(batch_one() + batch_two(), config)
+        assert model.predict(list(ADDRESSES)) == full.predict(list(ADDRESSES))
+
+
+FAST_LM = LocMatcherConfig(max_epochs=30, patience=8, lr_step=10)
+
+
+class TestWarmStart:
+    def test_locmatcher_warm_start_reuses_net(self):
+        config = DLInfMAConfig(locmatcher=FAST_LM)
+        model = fit_model(batch_one(), config)
+        net = model.selector.net
+        model.update(batch_two(), GROUND_TRUTH, TRAIN_IDS)
+        assert model.selector.net is net  # continued, not rebuilt
+
+    def test_warm_start_accuracy_close_to_refit(self):
+        config = DLInfMAConfig(locmatcher=FAST_LM)
+        model = fit_model(batch_one(), config)
+        model.update(batch_two(), GROUND_TRUTH, TRAIN_IDS)
+        full = fit_model(batch_one() + batch_two(), config)
+        ours = evaluate(model.predict(list(ADDRESSES)), GROUND_TRUTH)
+        theirs = evaluate(full.predict(list(ADDRESSES)), GROUND_TRUTH)
+        assert ours.mae <= theirs.mae + 150.0

@@ -1,6 +1,4 @@
-import pytest
-
-from repro.core import extract_trip_stay_points
+from repro.core import ExtractionConfig, extract_trip_stay_points
 
 
 class TestParallelExtraction:
@@ -11,6 +9,19 @@ class TestParallelExtraction:
         assert set(serial) == set(parallel)
         for trip_id in serial:
             assert serial[trip_id] == parallel[trip_id]
+
+    def test_workers_flow_through_config(self, tiny_workload):
+        """ExtractionConfig(workers=...) parallelizes without an explicit
+        ``workers=`` argument — the path DLInfMAConfig plumbs through."""
+        trips = tiny_workload.trips[:8]
+        serial = extract_trip_stay_points(trips)
+        via_config = extract_trip_stay_points(trips, ExtractionConfig(workers=2))
+        assert via_config == serial
+
+    def test_explicit_workers_overrides_config(self, tiny_workload):
+        trips = tiny_workload.trips[:4]
+        config = ExtractionConfig(workers=4)
+        assert extract_trip_stay_points(trips, config, workers=1) == extract_trip_stay_points(trips)
 
     def test_single_trip_stays_serial(self, tiny_workload):
         trips = tiny_workload.trips[:1]

@@ -14,10 +14,36 @@ class TestBuildArtifacts:
         assert set(tiny_artifacts.timings) == {
             "stay_point_extraction_s",
             "pool_construction_s",
+            "profile_build_s",
             "feature_extraction_s",
         }
         delivered = {a for t in tiny_workload.trips for a in t.address_ids}
         assert set(tiny_artifacts.examples) <= delivered
+
+    def test_artifact_cache_resumes_from_disk(self, tiny_workload, tmp_path):
+        from repro.core import DLInfMAConfig, build_artifacts
+
+        first = build_artifacts(
+            tiny_workload.trips,
+            tiny_workload.addresses,
+            tiny_workload.projection,
+            DLInfMAConfig(),
+            cache_dir=tmp_path,
+        )
+        assert first.context.counters.get("stay_point_extraction.cache_hits", 0) == 0
+
+        second = build_artifacts(
+            tiny_workload.trips,
+            tiny_workload.addresses,
+            tiny_workload.projection,
+            DLInfMAConfig(),
+            cache_dir=tmp_path,
+        )
+        for stage_name in ("stay_point_extraction", "pool_construction", "profile_build"):
+            assert second.context.counters[f"{stage_name}.cache_hits"] == 1
+        ours = [(c.candidate_id, c.x, c.y, c.weight) for c in second.pool.candidates]
+        theirs = [(c.candidate_id, c.x, c.y, c.weight) for c in first.pool.candidates]
+        assert ours == pytest.approx(theirs)
 
     def test_examples_have_features(self, tiny_artifacts):
         for example in tiny_artifacts.examples.values():
@@ -58,10 +84,24 @@ class TestDLInfMAPipeline:
         assert set(fitted.timings) == {
             "stay_point_extraction_s",
             "pool_construction_s",
+            "profile_build_s",
             "feature_extraction_s",
             "training_s",
         }
         assert all(v >= 0 for v in fitted.timings.values())
+
+    def test_engine_context_attached(self, fitted):
+        assert fitted.context is not None
+        assert fitted.timings == fitted.context.timings
+        assert fitted.counters.get("training.train_examples", 0) > 0
+
+    def test_batched_predict_matches_serial(self, fitted, tiny_workload):
+        # LocMatcher has predict_index_batch: the batched branch must agree
+        # with address-by-address prediction exactly.
+        ids = tiny_workload.test_ids + ["does-not-exist"]
+        batched = fitted.predict(ids)
+        serial = {a: p for a in ids if (p := fitted.predict_one(a)) is not None}
+        assert batched == serial
 
     def test_unknown_address_returns_none(self, fitted):
         assert fitted.predict_one("does-not-exist") is None
@@ -89,6 +129,27 @@ class TestDLInfMAPipeline:
             artifacts=tiny_artifacts,
         )
         assert len(m.predict(tiny_workload.test_ids)) == len(tiny_workload.test_ids)
+
+    def test_predict_without_batch_selector_matches_serial(
+        self, tiny_workload, tiny_artifacts
+    ):
+        # Heuristic selectors lack predict_index_batch; the regression here
+        # is that predict() must still return exactly what per-address
+        # prediction does (including the geocode fallback).
+        m = DLInfMA(DLInfMAConfig(selector="maxtc"))
+        m.fit(
+            tiny_workload.trips,
+            tiny_workload.addresses,
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            projection=tiny_workload.projection,
+            artifacts=tiny_artifacts,
+        )
+        assert not hasattr(m.selector, "predict_index_batch")
+        ids = list(tiny_workload.test_ids) + ["does-not-exist"]
+        batched = m.predict(ids)
+        serial = {a: p for a in ids if (p := m.predict_one(a)) is not None}
+        assert batched == serial
 
     def test_grid_pool_variant_runs(self, tiny_workload):
         m = DLInfMA(DLInfMAConfig(selector="maxtc", pool_method="grid"))

@@ -29,10 +29,11 @@ class TestCandidatePoolBuilder:
             assert a.x == pytest.approx(b.x, abs=1e-9)
             assert a.weight == b.weight
 
-    def test_incremental_validity_invariant(self):
+    @pytest.mark.parametrize("threshold", [25.0, 40.0, 60.0])
+    def test_incremental_validity_invariant(self, threshold):
         """After every batch, all centroids stay >= D apart."""
         rng = np.random.default_rng(0)
-        builder = CandidatePoolBuilder(PROJ, 40.0)
+        builder = CandidatePoolBuilder(PROJ, threshold)
         for batch in range(4):
             stays = [
                 sp(float(x), float(y), t=batch * 1e5 + i)
@@ -43,9 +44,53 @@ class TestCandidatePoolBuilder:
             coords = np.array([[c.x, c.y] for c in pool.candidates])
             for i in range(len(coords)):
                 for j in range(i + 1, len(coords)):
-                    assert np.hypot(*(coords[i] - coords[j])) >= 40.0 - 1e-6
+                    assert np.hypot(*(coords[i] - coords[j])) >= threshold - 1e-6
         assert builder.n_batches == 4
         assert builder.n_points == 100
+
+    def test_incremental_vs_one_shot_counts_close(self):
+        """Streaming the stays in batches finds about as many locations as
+        clustering them all at once (merge order only shifts boundaries)."""
+        rng = np.random.default_rng(7)
+        stays = [
+            sp(float(x), float(y), t=float(i))
+            for i, (x, y) in enumerate(rng.uniform(0, 1000, size=(200, 2)))
+        ]
+        one_shot = build_candidate_pool(stays, PROJ, 40.0)
+        builder = CandidatePoolBuilder(PROJ, 40.0)
+        for start in range(0, len(stays), 40):
+            builder.add_batch(stays[start:start + 40])
+        streamed = builder.build()
+        assert len(streamed) == pytest.approx(len(one_shot), rel=0.2)
+        # Both cover the same total mass.
+        assert sum(c.weight for c in streamed.candidates) == pytest.approx(
+            sum(c.weight for c in one_shot.candidates)
+        )
+
+    def test_from_pool_resumes_merging(self):
+        """A builder rehydrated from a built pool continues exactly where
+        the original builder left off (the DLInfMA.update path)."""
+        rng = np.random.default_rng(3)
+        first = [
+            sp(float(x), float(y), t=float(i))
+            for i, (x, y) in enumerate(rng.uniform(0, 600, size=(40, 2)))
+        ]
+        second = [
+            sp(float(x), float(y), t=1e5 + i)
+            for i, (x, y) in enumerate(rng.uniform(0, 600, size=(40, 2)))
+        ]
+        continuous = CandidatePoolBuilder(PROJ, 40.0)
+        continuous.add_batch(first)
+        checkpoint = continuous.build()
+
+        resumed = CandidatePoolBuilder.from_pool(checkpoint, 40.0)
+        assert len(resumed.build()) == len(checkpoint)
+
+        continuous.add_batch(second)
+        resumed.add_batch(second)
+        ours = [(c.x, c.y, c.weight) for c in resumed.build().candidates]
+        theirs = [(c.x, c.y, c.weight) for c in continuous.build().candidates]
+        assert ours == pytest.approx(theirs)
 
     def test_weight_accumulates_across_batches(self):
         builder = CandidatePoolBuilder(PROJ, 40.0)

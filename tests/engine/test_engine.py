@@ -1,0 +1,244 @@
+"""Engine unit tests: stage contract, plan execution, fingerprint cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    ArtifactCodec,
+    RunContext,
+    Stage,
+    StagePlan,
+    available_stages,
+    fingerprint,
+    get_stage,
+    register_stage,
+)
+
+
+def make_stage(name="double", fn=None, **kwargs):
+    def default_fn(ctx, xs):
+        ctx.count(name, "items", len(xs))
+        return {"ys": [x * 2 for x in xs]}
+
+    return Stage(
+        name=name, inputs=("xs",), outputs=("ys",), fn=fn or default_fn, **kwargs
+    )
+
+
+class TestStageContract:
+    def test_run_produces_declared_outputs(self):
+        ctx = RunContext()
+        out = make_stage().run(ctx, {"xs": [1, 2, 3]})
+        assert out == {"ys": [2, 4, 6]}
+
+    def test_missing_input_raises_keyerror(self):
+        with pytest.raises(KeyError, match="missing inputs"):
+            make_stage().run(RunContext(), {})
+
+    def test_non_dict_return_raises_typeerror(self):
+        bad = make_stage(fn=lambda ctx, xs: [1, 2])
+        with pytest.raises(TypeError, match="must return a dict"):
+            bad.run(RunContext(), {"xs": []})
+
+    def test_undeclared_output_raises_valueerror(self):
+        bad = make_stage(fn=lambda ctx, xs: {"ys": [], "zs": []})
+        with pytest.raises(ValueError, match="undeclared=\\['zs'\\]"):
+            bad.run(RunContext(), {"xs": []})
+
+    def test_absent_output_raises_valueerror(self):
+        bad = make_stage(fn=lambda ctx, xs: {})
+        with pytest.raises(ValueError, match="absent=\\['ys'\\]"):
+            bad.run(RunContext(), {"xs": []})
+
+
+class TestRegistry:
+    def test_pipeline_stages_are_registered(self):
+        # Importing repro.core registers the DLInfMA stages.
+        import repro.core  # noqa: F401
+
+        names = available_stages()
+        for expected in (
+            "stay_point_extraction",
+            "pool_construction",
+            "profile_build",
+            "feature_extraction",
+            "training",
+        ):
+            assert expected in names
+            assert get_stage(expected).name == expected
+
+    def test_duplicate_registration_rejected(self):
+        stage_obj = make_stage(name="test_engine_dup")
+        register_stage(stage_obj)
+        with pytest.raises(ValueError, match="already registered"):
+            register_stage(make_stage(name="test_engine_dup"))
+        register_stage(stage_obj, replace=True)  # explicit replace is fine
+
+    def test_unknown_stage_lookup(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            get_stage("no-such-stage")
+
+
+class TestStagePlan:
+    def test_plan_runs_stages_in_order_with_instrumentation(self):
+        first = make_stage(name="plan_first")
+
+        def second_fn(ctx, ys):
+            return {"total": sum(ys)}
+
+        second = Stage(name="plan_second", inputs=("ys",), outputs=("total",), fn=second_fn)
+        ctx = RunContext()
+        state = StagePlan([first, second]).run(ctx, {"xs": [1, 2, 3]})
+        assert state["total"] == 12
+        assert set(ctx.timings) == {"plan_first_s", "plan_second_s"}
+        assert ctx.counters["plan_first.items"] == 3
+        assert [r.name for r in ctx.records] == ["plan_first", "plan_second"]
+        assert ctx.records[0].items_in == 3
+        assert ctx.records[0].items_out == 3
+
+    def test_timed_accumulates_over_repeated_runs(self):
+        stage_obj = make_stage(name="plan_repeat")
+        ctx = RunContext()
+        plan = StagePlan([stage_obj])
+        plan.run(ctx, {"xs": [1]})
+        t1 = ctx.timings["plan_repeat_s"]
+        plan.run(ctx, {"xs": [1]})
+        assert ctx.timings["plan_repeat_s"] >= t1
+        assert ctx.counters["plan_repeat.items"] == 2
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = fingerprint({"x": [1, 2.5, "s"], "y": np.arange(4)})
+        b = fingerprint({"y": np.arange(4), "x": [1, 2.5, "s"]})
+        assert a == b  # dict ordering must not matter
+
+    def test_sensitive_to_content(self):
+        assert fingerprint([1, 2, 3]) != fingerprint([1, 2, 4])
+        assert fingerprint(np.zeros(3)) != fingerprint(np.zeros(4))
+        # type distinctions matter: 1 vs "1" vs 1.0 vs True
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(1) != fingerprint(1.0)
+
+    def test_content_key_protocol(self):
+        class Blob:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def content_key(self):
+                return ("Blob", self.payload)
+
+        assert fingerprint(Blob("a")) == fingerprint(Blob("a"))
+        assert fingerprint(Blob("a")) != fingerprint(Blob("b"))
+
+    def test_unfingerprintable_raises(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(object())
+
+
+JSON_CODEC = ArtifactCodec(
+    ".json",
+    lambda obj, path: path.write_text(json.dumps(obj)),
+    lambda path: json.loads(path.read_text()),
+)
+
+
+class TestArtifactCache:
+    def test_cache_hit_skips_stage_fn(self, tmp_path):
+        calls = []
+
+        def fn(ctx, xs):
+            calls.append(list(xs))
+            return {"ys": [x * 2 for x in xs]}
+
+        stage_obj = Stage(
+            name="cache_double",
+            inputs=("xs",),
+            outputs=("ys",),
+            fn=fn,
+            cache_codecs={"ys": JSON_CODEC},
+        )
+        assert stage_obj.cacheable
+        plan = StagePlan([stage_obj])
+
+        ctx1 = RunContext(cache=ArtifactCache(tmp_path))
+        s1 = plan.run(ctx1, {"xs": [1, 2]})
+        assert s1["ys"] == [2, 4] and calls == [[1, 2]]
+
+        ctx2 = RunContext(cache=ArtifactCache(tmp_path))
+        s2 = plan.run(ctx2, {"xs": [1, 2]})
+        assert s2["ys"] == [2, 4]
+        assert calls == [[1, 2]]  # fn did NOT run again
+        assert ctx2.counters["cache_double.cache_hits"] == 1
+        assert ctx2.records[0].cached is True
+        assert ctx2.timings["cache_double_s"] == 0.0
+
+    def test_changed_input_misses_cache(self, tmp_path):
+        calls = []
+
+        def fn(ctx, xs):
+            calls.append(list(xs))
+            return {"ys": [x * 2 for x in xs]}
+
+        stage_obj = Stage(
+            name="cache_miss",
+            inputs=("xs",),
+            outputs=("ys",),
+            fn=fn,
+            cache_codecs={"ys": JSON_CODEC},
+        )
+        plan = StagePlan([stage_obj])
+        plan.run(RunContext(cache=ArtifactCache(tmp_path)), {"xs": [1]})
+        plan.run(RunContext(cache=ArtifactCache(tmp_path)), {"xs": [2]})
+        assert calls == [[1], [2]]
+
+    def test_cache_config_projection_controls_key(self, tmp_path):
+        calls = []
+
+        def fn(ctx, xs):
+            calls.append(1)
+            return {"ys": list(xs)}
+
+        stage_obj = Stage(
+            name="cache_cfgproj",
+            inputs=("xs",),
+            outputs=("ys",),
+            fn=fn,
+            cache_codecs={"ys": JSON_CODEC},
+            cache_config=lambda cfg: cfg["relevant"],
+        )
+        plan = StagePlan([stage_obj])
+        cache = ArtifactCache(tmp_path)
+        plan.run(RunContext(config={"relevant": 1, "noise": "a"}, cache=cache), {"xs": [1]})
+        # Different irrelevant field -> same key -> hit.
+        plan.run(RunContext(config={"relevant": 1, "noise": "b"}, cache=cache), {"xs": [1]})
+        assert len(calls) == 1
+        # Different relevant field -> miss.
+        plan.run(RunContext(config={"relevant": 2, "noise": "a"}, cache=cache), {"xs": [1]})
+        assert len(calls) == 2
+
+    def test_partial_codecs_not_cacheable(self):
+        stage_obj = Stage(
+            name="cache_partial",
+            inputs=("xs",),
+            outputs=("ys", "zs"),
+            fn=lambda ctx, xs: {"ys": [], "zs": []},
+            cache_codecs={"ys": JSON_CODEC},
+        )
+        assert not stage_obj.cacheable
+
+
+class TestRunContext:
+    def test_merge_timings_accumulates(self):
+        ctx = RunContext()
+        ctx.merge_timings({"a_s": 1.0})
+        ctx.merge_timings({"a_s": 0.5, "b_s": 2.0})
+        assert ctx.timings == {"a_s": 1.5, "b_s": 2.0}
+
+    def test_timing_rows_strip_suffix(self):
+        ctx = RunContext()
+        ctx.merge_timings({"stay_point_extraction_s": 1.25})
+        assert ctx.timing_rows() == [("stay_point_extraction", 1.25)]

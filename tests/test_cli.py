@@ -38,6 +38,50 @@ class TestEvaluate:
         assert "Geocoding" in out and "MaxTC-ILC" in out
         assert "MAE" in out
 
+    def test_timings_flag_prints_engine_stages(self, data_dir, capsys):
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "Geocoding,MaxTC-ILC", "--fast", "--timings",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-stage engine timings" in out
+        # Only the DLInfMA-family method has engine stages.
+        assert "MaxTC-ILC:" in out
+        assert "Geocoding:" not in out
+        for stage_name in ("stay_point_extraction", "pool_construction",
+                           "profile_build", "feature_extraction", "training"):
+            assert stage_name in out
+
+
+class TestUpdate:
+    def test_update_absorbs_new_batch(self, data_dir, tmp_path, capsys):
+        from repro.synth.io import load_trips, save_trips
+
+        trips = sorted(load_trips(data_dir / "trips.jsonl"), key=lambda t: t.t_start)
+        half = len(trips) // 2
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in ("addresses.json", "ground_truth.json", "split.json"):
+            (base / name).write_text((data_dir / name).read_text())
+        save_trips(trips[:half], base / "trips.jsonl")
+        new_trips = tmp_path / "new_trips.jsonl"
+        save_trips(trips[half:], new_trips)
+
+        locations = tmp_path / "locations.json"
+        code = main([
+            "update", "--data", str(base), "--new-trips", str(new_trips),
+            "--out", str(locations), "--selector", "maxtc-ilc", "--timings",
+        ])
+        assert code == 0
+        assert len(json.loads(locations.read_text())) > 0
+        out = capsys.readouterr().out
+        assert f"absorbed {len(trips) - half} new trips" in out
+        assert f"of {len(trips) - half} submitted ({len(trips)} total)" in out
+        assert "initial fit:" in out
+        assert "incremental update" in out
+        assert "stay_point_extraction" in out
+
 
 class TestInferAndQuery:
     def test_infer_then_query(self, data_dir, capsys):
