@@ -51,12 +51,21 @@ def write_result():
 
 @pytest.fixture(scope="session")
 def write_json():
-    """Machine-readable companion to ``write_result``."""
+    """Machine-readable companion to ``write_result``.
+
+    Dict payloads are stamped with a ``run_meta`` provenance block (git
+    sha, timestamp, config fingerprint of the payload itself) so saved
+    artifacts can be matched to the code + config that produced them.
+    """
     import json
+
+    from repro.obs import run_metadata
 
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _write(name: str, payload) -> pathlib.Path:
+        if isinstance(payload, dict) and "run_meta" not in payload:
+            payload = {"run_meta": run_metadata({"benchmark": name}), **payload}
         path = RESULTS_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"[json written to {path}]")

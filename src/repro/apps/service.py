@@ -12,11 +12,14 @@ fallback chain.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.apps.store import DeliveryLocationStore, QueryResult
 from repro.core import DLInfMA, DLInfMAConfig
 from repro.geo import LocalProjection, Point
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
 from repro.trajectory import Address, DeliveryTrip
 
 
@@ -62,29 +65,53 @@ class DeliveryLocationService:
         run the incremental update (already-known trip ids are skipped, so
         overlapping batches are safe).
         """
-        if self.pipeline is None:
-            pipeline = DLInfMA(self.config)
-            pipeline.fit(
-                trips,
-                self.addresses,
-                ground_truth,
-                train_ids,
-                val_ids,
-                projection=self.projection,
-            )
-            self.pipeline = pipeline
-            incremental = False
-            n_new = len(trips)
-        else:
-            pipeline = self.pipeline
-            known = pipeline.extractor.trips
-            n_new = sum(1 for t in trips if t.trip_id not in known)
-            pipeline.update(trips, ground_truth, train_ids, val_ids)
-            incremental = True
+        with obs_span("service.refresh", n_trips=len(trips)) as sp:
+            if self.pipeline is None:
+                pipeline = DLInfMA(self.config)
+                pipeline.fit(
+                    trips,
+                    self.addresses,
+                    ground_truth,
+                    train_ids,
+                    val_ids,
+                    projection=self.projection,
+                )
+                self.pipeline = pipeline
+                incremental = False
+                n_new = len(trips)
+            else:
+                pipeline = self.pipeline
+                known = pipeline.extractor.trips
+                n_new = sum(1 for t in trips if t.trip_id not in known)
+                pipeline.update(trips, ground_truth, train_ids, val_ids)
+                incremental = True
 
-        delivered = sorted(pipeline.extractor.trips_by_address)
-        inferred = pipeline.predict(delivered)
-        self.store.update(inferred)
+            delivered = sorted(pipeline.extractor.trips_by_address)
+            inferred = pipeline.predict(delivered)
+            self.store.update(inferred)
+            if sp is not None:
+                sp.set("incremental", incremental)
+                sp.set("n_new_trips", n_new)
+                sp.set("n_addresses_inferred", len(inferred))
+
+        registry = get_registry()
+        registry.counter(
+            "service_refreshes_total", "Refresh batches absorbed, by kind"
+        ).inc(kind="incremental" if incremental else "full")
+        registry.gauge(
+            "service_store_size", "Address-keyed locations currently served"
+        ).set(len(self.store))
+        registry.gauge(
+            "service_pool_size", "Candidate locations in the current pool"
+        ).set(len(pipeline.pool) if pipeline.pool is not None else 0)
+        registry.gauge(
+            "service_trips_absorbed", "Total trips the pipeline has absorbed"
+        ).set(len(pipeline.extractor.trips))
+        event(
+            "service.refresh.complete", component="service",
+            incremental=incremental, n_new_trips=n_new,
+            n_addresses_inferred=len(inferred), store_size=len(self.store),
+        )
         self.last_refresh = ServiceStats(
             n_trips=len(pipeline.extractor.trips),
             n_addresses_inferred=len(inferred),
@@ -95,13 +122,25 @@ class DeliveryLocationService:
         )
         return self.last_refresh
 
+    def _observe_query(self, seconds: float, result: QueryResult) -> None:
+        get_registry().histogram(
+            "service_query_latency_seconds",
+            "Online store lookup latency, labeled by answering tier",
+        ).observe(seconds, source=result.source.value)
+
     def query(self, address: Address) -> QueryResult:
         """Online lookup with the three-tier fallback."""
-        return self.store.query(address)
+        t0 = time.perf_counter()
+        result = self.store.query(address)
+        self._observe_query(time.perf_counter() - t0, result)
+        return result
 
     def query_id(self, address_id: str) -> QueryResult:
         """Online lookup by known address id."""
-        return self.store.query_id(address_id)
+        t0 = time.perf_counter()
+        result = self.store.query_id(address_id)
+        self._observe_query(time.perf_counter() - t0, result)
+        return result
 
     def save(self, directory) -> None:
         """Persist the serving payload (location table) to a directory."""

@@ -14,6 +14,12 @@ Workflow:
 reproduces a Table II-style comparison on them; ``infer`` runs the full
 DLInfMA pipeline and dumps the address→location table; ``query`` answers a
 single lookup through the deployed store's fallback chain.
+
+Observability: ``evaluate`` and ``update`` accept ``--trace PATH`` (write a
+JSON-lines span trace), ``--metrics-out PATH`` (export the metrics registry
+as JSON, or Prometheus text for ``.prom``/``.txt`` suffixes), and
+``--json`` (machine-readable report on stdout); ``repro metrics PATH``
+renders a saved metrics file as a table.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import pathlib
 import sys
 
+from repro import obs
 from repro.apps import DeliveryLocationStore
 from repro.core import DLInfMA, DLInfMAConfig
 from repro.core.persistence import load_locations, save_locations
@@ -91,13 +98,35 @@ def _load_workload(data_dir: pathlib.Path) -> Workload:
     )
 
 
-def _print_stage_timings(timings: dict[str, float], indent: str = "  ") -> None:
-    for key, seconds in timings.items():
-        stage = key[:-2] if key.endswith("_s") else key
+def _print_stage_timings(rows, indent: str = "  ") -> None:
+    """Print ``(stage, seconds)`` rows; accepts a legacy timings dict too."""
+    if isinstance(rows, dict):
+        rows = [
+            (key[:-2] if key.endswith("_s") else key, seconds)
+            for key, seconds in rows.items()
+        ]
+    for stage, seconds in rows:
         print(f"{indent}{stage:<24} {seconds * 1000.0:9.1f} ms")
 
 
+def _begin_observability(args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None):
+        obs.configure_tracing(args.trace)
+
+
+def _end_observability(args: argparse.Namespace, config=None) -> None:
+    if getattr(args, "metrics_out", None):
+        obs.export_metrics(args.metrics_out, meta=obs.run_metadata(config))
+        if not getattr(args, "json", False):
+            print(f"metrics -> {args.metrics_out}")
+    if getattr(args, "trace", None):
+        obs.disable_tracing()
+        if not getattr(args, "json", False):
+            print(f"trace -> {args.trace}")
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _begin_observability(args)
     workload = _load_workload(pathlib.Path(args.data))
     names = [n.strip() for n in args.methods.split(",") if n.strip()]
     runs = run_methods(workload, names, seed=args.seed, fast=args.fast)
@@ -105,20 +134,49 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         name: evaluate(run.predictions, workload.ground_truth)
         for name, run in runs.items()
     }
-    print(metrics_table(results, title=f"Evaluation on {args.data} (test addresses)", order=names))
-    if args.timings:
-        print()
-        print("Per-stage engine timings:")
-        for name in names:
-            run = runs[name]
-            if not run.stage_timings:
-                continue
-            print(f"{name}:")
-            _print_stage_timings(run.stage_timings)
+    if args.json:
+        payload = {
+            "data": args.data,
+            "seed": args.seed,
+            "fast": args.fast,
+            "methods": {
+                name: {
+                    "mae_m": results[name].mae,
+                    "p95_m": results[name].p95,
+                    "beta50_pct": results[name].beta50,
+                    "n": results[name].n,
+                    "fit_seconds": runs[name].fit_seconds,
+                    "predict_seconds": runs[name].predict_seconds,
+                    "stage_timings_s": [
+                        [stage, seconds] for stage, seconds in runs[name].stage_rows
+                    ],
+                }
+                for name in names
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(metrics_table(
+            results, title=f"Evaluation on {args.data} (test addresses)", order=names
+        ))
+        if args.timings:
+            print()
+            print("Per-stage engine timings:")
+            for name in names:
+                run = runs[name]
+                if not run.stage_rows:
+                    continue
+                print(f"{name}:")
+                _print_stage_timings(run.stage_rows)
+    _end_observability(
+        args, config={"command": "evaluate", "methods": names, "seed": args.seed,
+                      "fast": args.fast}
+    )
     return 0
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
+    _begin_observability(args)
     workload = _load_workload(pathlib.Path(args.data))
     new_trips = load_trips(args.new_trips)
     model = DLInfMA(DLInfMAConfig(selector=args.selector))
@@ -130,27 +188,61 @@ def _cmd_update(args: argparse.Namespace) -> int:
         workload.val_ids,
         projection=workload.projection,
     )
-    fit_timings = dict(model.timings)
+    fit_rows = model.context.timing_rows()
     model.update(
         new_trips, workload.ground_truth, workload.train_ids, workload.val_ids
     )
-    update_timings = dict(model.timings)
+    update_rows = model.context.timing_rows()
     delivered = sorted(model.extractor.trips_by_address)
     locations = model.predict(delivered)
     save_locations(locations, args.out)
     n_new = model.counters.get("stay_point_extraction.trips", len(new_trips))
-    print(f"absorbed {n_new} new trips of {len(new_trips)} submitted "
-          f"({len(model.extractor.trips)} total) -> {args.out}")
-    print(f"refreshed {model.counters.get('feature_extraction.examples_refreshed', 0)}"
-          f" + rebuilt {model.counters.get('feature_extraction.examples_rebuilt', 0)}"
-          f" address examples "
-          f"({model.counters.get('feature_extraction.addresses_affected', 0)} affected)")
-    if args.timings:
-        print()
-        print("initial fit:")
-        _print_stage_timings(fit_timings)
-        print(f"incremental update ({n_new} trips):")
-        _print_stage_timings(update_timings)
+    counters = model.counters
+    if args.json:
+        payload = {
+            "submitted": len(new_trips),
+            "absorbed": n_new,
+            "total_trips": len(model.extractor.trips),
+            "locations_out": str(args.out),
+            "n_locations": len(locations),
+            "examples_refreshed": counters.get("feature_extraction.examples_refreshed", 0),
+            "examples_rebuilt": counters.get("feature_extraction.examples_rebuilt", 0),
+            "addresses_affected": counters.get("feature_extraction.addresses_affected", 0),
+            "fit_stage_timings_s": [[s, t] for s, t in fit_rows],
+            "update_stage_timings_s": [[s, t] for s, t in update_rows],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"absorbed {n_new} new trips of {len(new_trips)} submitted "
+              f"({len(model.extractor.trips)} total) -> {args.out}")
+        print(f"refreshed {counters.get('feature_extraction.examples_refreshed', 0)}"
+              f" + rebuilt {counters.get('feature_extraction.examples_rebuilt', 0)}"
+              f" address examples "
+              f"({counters.get('feature_extraction.addresses_affected', 0)} affected)")
+        if args.timings:
+            print()
+            print("initial fit:")
+            _print_stage_timings(fit_rows)
+            print(f"incremental update ({n_new} trips):")
+            _print_stage_timings(update_rows)
+    _end_observability(
+        args, config={"command": "update", "selector": args.selector}
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"no such metrics file: {path}", file=sys.stderr)
+        return 1
+    try:
+        payload = obs.load_metrics(path)
+    except json.JSONDecodeError:
+        print(f"not a JSON metrics file: {path} "
+              "(Prometheus text exports are already human-readable)", file=sys.stderr)
+        return 1
+    print(obs.render_metrics(payload))
     return 0
 
 
@@ -303,6 +395,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--fast", action="store_true")
     p_eval.add_argument("--timings", action="store_true",
                         help="print per-stage engine timings per method")
+    p_eval.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report on stdout")
+    p_eval.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSON-lines span trace to PATH")
+    p_eval.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="export metrics to PATH (.json, or .prom/.txt "
+                             "for Prometheus text format)")
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_infer = sub.add_parser("infer", help="run DLInfMA and dump locations")
@@ -321,7 +420,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_upd.add_argument("--selector", default="locmatcher")
     p_upd.add_argument("--timings", action="store_true",
                        help="print fit vs. update per-stage timings")
+    p_upd.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON report on stdout")
+    p_upd.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSON-lines span trace to PATH")
+    p_upd.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="export metrics to PATH (.json, or .prom/.txt "
+                            "for Prometheus text format)")
     p_upd.set_defaults(func=_cmd_update)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="render an exported metrics JSON file as a table"
+    )
+    p_metrics.add_argument("path", help="metrics file written by --metrics-out")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_cv = sub.add_parser("crossval", help="spatial cross-validation on a preset")
     p_cv.add_argument("--preset", choices=sorted(PRESETS), default="downbj")

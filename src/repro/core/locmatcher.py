@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.core.features import AddressExample, FeatureConfig
 from repro.ml import StandardScaler
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
 from repro.nn import (
     Adam,
     Dropout,
@@ -36,6 +38,9 @@ from repro.nn import (
 )
 from repro.nn.functional import cross_entropy, masked_softmax
 from repro.synth.city import N_POI_CATEGORIES
+
+#: Gradient L2 norms are unitless and span decades; log-ish bucket bounds.
+GRAD_NORM_BUCKETS = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
 
 
 @dataclass(frozen=True)
@@ -241,40 +246,87 @@ class LocMatcherSelector:
         optimizer = Adam(self.net.parameters(), lr=cfg.lr)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step, gamma=cfg.lr_gamma)
 
+        registry = get_registry()
+        loss_gauge = registry.gauge(
+            "locmatcher_train_loss", "Mean training cross-entropy of the last epoch"
+        )
+        monitor_gauge = registry.gauge(
+            "locmatcher_monitor_loss", "Early-stopping monitor loss of the last epoch"
+        )
+        acc_gauge = registry.gauge(
+            "locmatcher_train_accuracy", "Training top-1 accuracy of the last epoch"
+        )
+        epoch_gauge = registry.gauge(
+            "locmatcher_epochs_run", "Epochs completed by the last fit call"
+        )
+        grad_hist = registry.histogram(
+            "locmatcher_grad_norm",
+            "Pre-clipping global gradient L2 norm per optimizer step",
+            buckets=GRAD_NORM_BUCKETS,
+        )
+
         best_loss = np.inf
         best_state = self.net.state_dict()
         bad_epochs = 0
+        epochs_run = 0
         order = np.arange(len(train))
-        for epoch in range(cfg.max_epochs):
-            self.net.train()
-            rng.shuffle(order)
-            train_loss = 0.0
-            n_batches = 0
-            for start in range(0, len(order), cfg.batch_size):
-                batch = [train[i] for i in order[start : start + cfg.batch_size]]
-                scalars, hist, mask, poi, deliveries, labels = self._make_batch(batch)
-                optimizer.zero_grad()
-                logits = self.net(scalars, hist, mask, poi, deliveries)
-                loss = cross_entropy(logits, labels, mask=mask)
-                loss.backward()
-                if cfg.grad_clip_norm is not None:
-                    clip_grad_norm(optimizer.params, cfg.grad_clip_norm)
-                optimizer.step()
-                train_loss += loss.item()
-                n_batches += 1
-            scheduler.step()
-            monitor = self._evaluate_loss(val) if val else train_loss / max(1, n_batches)
-            self.history.append(
-                {"epoch": epoch, "train_loss": train_loss / max(1, n_batches), "monitor": monitor}
-            )
-            if monitor < best_loss - 1e-5:
-                best_loss = monitor
-                best_state = self.net.state_dict()
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-                if bad_epochs >= cfg.patience:
-                    break
+        with obs_span(
+            "locmatcher.fit", n_train=len(train), n_val=len(val), warm_start=warm
+        ) as sp:
+            for epoch in range(cfg.max_epochs):
+                self.net.train()
+                rng.shuffle(order)
+                train_loss = 0.0
+                n_batches = 0
+                n_correct = 0
+                for start in range(0, len(order), cfg.batch_size):
+                    batch = [train[i] for i in order[start : start + cfg.batch_size]]
+                    scalars, hist, mask, poi, deliveries, labels = self._make_batch(batch)
+                    optimizer.zero_grad()
+                    logits = self.net(scalars, hist, mask, poi, deliveries)
+                    loss = cross_entropy(logits, labels, mask=mask)
+                    loss.backward()
+                    if cfg.grad_clip_norm is not None:
+                        norm = clip_grad_norm(optimizer.params, cfg.grad_clip_norm)
+                        grad_hist.observe(norm)
+                    optimizer.step()
+                    masked = np.where(mask, logits.data, -np.inf)
+                    n_correct += int((masked.argmax(axis=1) == labels).sum())
+                    train_loss += loss.item()
+                    n_batches += 1
+                scheduler.step()
+                epochs_run = epoch + 1
+                mean_loss = train_loss / max(1, n_batches)
+                accuracy = n_correct / max(1, len(train))
+                monitor = self._evaluate_loss(val) if val else mean_loss
+                loss_gauge.set(mean_loss)
+                monitor_gauge.set(monitor)
+                acc_gauge.set(accuracy)
+                epoch_gauge.set(epochs_run)
+                self.history.append(
+                    {
+                        "epoch": epoch,
+                        "train_loss": mean_loss,
+                        "monitor": monitor,
+                        "accuracy": accuracy,
+                    }
+                )
+                if monitor < best_loss - 1e-5:
+                    best_loss = monitor
+                    best_state = self.net.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if bad_epochs >= cfg.patience:
+                        break
+            if sp is not None:
+                sp.set("epochs_run", epochs_run)
+                sp.set("best_loss", float(best_loss))
+        event(
+            "locmatcher.fit.complete", component="locmatcher",
+            epochs=epochs_run, best_loss=float(best_loss),
+            n_train=len(train), n_val=len(val), warm_start=warm,
+        )
         self.net.load_state_dict(best_state)
         self.net.eval()
         return self

@@ -47,6 +47,8 @@ from repro.core.selectors import make_variant_selector
 from repro.core.staypoints import ExtractionConfig, extract_trip_stay_points
 from repro.engine import ArtifactCache, ArtifactCodec, RunContext, StagePlan, stage
 from repro.geo import LocalProjection, Point
+from repro.obs import event
+from repro.obs import span as obs_span
 from repro.trajectory import Address, DeliveryTrip
 
 
@@ -246,7 +248,10 @@ def build_artifacts(
     if ctx.cache is None and cache_dir is not None:
         ctx.cache = ArtifactCache(cache_dir)
     state = {"trips": list(trips), "addresses": addresses, "projection": projection}
-    StagePlan(GENERATION_STAGES).run(ctx, state)
+    with obs_span(
+        "dlinfma.build_artifacts", n_trips=len(state["trips"]), run=ctx.label
+    ):
+        StagePlan(GENERATION_STAGES).run(ctx, state)
     return PipelineArtifacts(
         pool=state["pool"],
         extractor=state["extractor"],
@@ -310,33 +315,48 @@ class DLInfMA:
             cache=ArtifactCache(cache_dir) if cache_dir is not None else None,
             label="fit",
         )
-        if artifacts is None:
-            artifacts = build_artifacts(trips, addresses, projection, self.config, context=ctx)
-        else:
-            # Shared artifacts were built under another context; adopt their
-            # timings so this run still reports the full per-stage picture.
-            ctx.merge_timings(artifacts.timings)
-        self.context = ctx
-        self.pool = artifacts.pool
-        self.extractor = artifacts.extractor
-        self.examples = artifacts.examples
-        self._stays_by_trip = dict(artifacts.stay_points_by_trip or {})
-        self._builder = (
-            CandidatePoolBuilder.from_pool(self.pool, self.config.cluster_distance_m)
-            if self.config.pool_method == "hierarchical"
-            else None
-        )
+        with obs_span(
+            "dlinfma.fit", selector=self.config.selector, n_trips=len(trips)
+        ):
+            if artifacts is None:
+                artifacts = build_artifacts(
+                    trips, addresses, projection, self.config, context=ctx
+                )
+            else:
+                # Shared artifacts were built under another context; adopt
+                # their timings (and stage records, preserving execution
+                # order) so this run reports the full per-stage picture.
+                ctx.merge_timings(
+                    artifacts.timings,
+                    artifacts.context.records if artifacts.context is not None else (),
+                )
+            self.context = ctx
+            self.pool = artifacts.pool
+            self.extractor = artifacts.extractor
+            self.examples = artifacts.examples
+            self._stays_by_trip = dict(artifacts.stay_points_by_trip or {})
+            self._builder = (
+                CandidatePoolBuilder.from_pool(self.pool, self.config.cluster_distance_m)
+                if self.config.pool_method == "hierarchical"
+                else None
+            )
 
-        state = {
-            "extractor": self.extractor,
-            "examples": self.examples,
-            "ground_truth": ground_truth,
-            "train_ids": list(train_ids),
-            "val_ids": list(val_ids or []),
-            "selector": None,
-        }
-        StagePlan(["training"]).run(ctx, state)
-        self.selector = state["selector"]
+            state = {
+                "extractor": self.extractor,
+                "examples": self.examples,
+                "ground_truth": ground_truth,
+                "train_ids": list(train_ids),
+                "val_ids": list(val_ids or []),
+                "selector": None,
+            }
+            StagePlan(["training"]).run(ctx, state)
+            self.selector = state["selector"]
+        event(
+            "dlinfma.fit.complete", component="pipeline",
+            selector=self.config.selector, n_trips=len(trips),
+            n_candidates=len(self.pool) if self.pool is not None else 0,
+            n_examples=len(self.examples),
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -383,76 +403,102 @@ class DLInfMA:
         old_extractor = self.extractor
         old_examples = self.examples
 
-        # Stage 1 — extraction over the new trips only.
-        state = {"trips": new_trips, "addresses": self.addresses, "projection": self._projection}
-        StagePlan(["stay_point_extraction"]).run(ctx, state)
-        new_stays = state["stay_points_by_trip"]
-
-        # Stage 2 — merge the new batch into the persistent pool builder.
-        with ctx.timed("pool_construction"):
-            flat_new = _flatten(new_stays)
-            self._builder.add_batch(flat_new)
-            pool = self._builder.build()
-        ctx.count("pool_construction", "stay_points", len(flat_new))
-        ctx.count("pool_construction", "candidates", len(pool))
-        self._stays_by_trip.update(new_stays)
-
-        # Stage 3 — profiles over all stays (cheap aggregation, no GPS work).
-        with ctx.timed("profile_build"):
-            profiles = build_profiles(_flatten(self._stays_by_trip), pool)
-        ctx.count("profile_build", "profiles", len(profiles))
-
-        # Stage 4 — selective feature refresh.
-        with ctx.timed("feature_extraction"):
-            all_trips = list(known.values()) + new_trips
-            extractor = FeatureExtractor(
-                all_trips, self._stays_by_trip, pool, profiles, self.addresses
-            )
-            changed_trips = {t.trip_id for t in new_trips}
-            for trip_id in known:
-                if old_extractor.visit_signature(trip_id) != extractor.visit_signature(trip_id):
-                    changed_trips.add(trip_id)
-            affected = {
-                a for trip_id in changed_trips for a in extractor.trips[trip_id].address_ids
-            }
-            id_map = candidate_id_map(old_pool, pool)
-            delivered = sorted({a for trip in all_trips for a in trip.address_ids})
-            examples: dict[str, AddressExample] = {}
-            rebuilt = refreshed = 0
-            for address_id in delivered:
-                old_example = old_examples.get(address_id)
-                if address_id not in affected and old_example is not None:
-                    carried = extractor.refresh_example(old_example, id_map)
-                    if carried is not None:
-                        examples[address_id] = carried
-                        refreshed += 1
-                        continue
-                example = extractor.build_example(address_id)
-                if example is not None:
-                    examples[address_id] = example
-                    rebuilt += 1
-        ctx.count("feature_extraction", "addresses", len(delivered))
-        ctx.count("feature_extraction", "addresses_affected", len(affected))
-        ctx.count("feature_extraction", "examples_rebuilt", rebuilt)
-        ctx.count("feature_extraction", "examples_refreshed", refreshed)
-
-        self.context = ctx
-        self.pool = pool
-        self.extractor = extractor
-        self.examples = examples
-
-        # Stage 5 — warm-start the selector on the union of labels.
-        if ground_truth is not None and train_ids:
+        with obs_span("dlinfma.update", n_new_trips=len(new_trips)):
+            # Stage 1 — extraction over the new trips only.
             state = {
-                "extractor": extractor,
-                "examples": examples,
-                "ground_truth": ground_truth,
-                "train_ids": list(train_ids),
-                "val_ids": list(val_ids or []),
-                "selector": self.selector,
+                "trips": new_trips,
+                "addresses": self.addresses,
+                "projection": self._projection,
             }
-            StagePlan(["training"]).run(ctx, state)
-            self.selector = state["selector"]
+            StagePlan(["stay_point_extraction"]).run(ctx, state)
+            new_stays = state["stay_points_by_trip"]
+
+            # Stage 2 — merge the new batch into the persistent pool builder.
+            with ctx.timed("pool_construction"):
+                flat_new = _flatten(new_stays)
+                self._builder.add_batch(flat_new)
+                pool = self._builder.build()
+            ctx.count("pool_construction", "stay_points", len(flat_new))
+            ctx.count("pool_construction", "candidates", len(pool))
+            ctx.record(
+                "pool_construction", ctx.timings["pool_construction_s"],
+                items_in=len(flat_new), items_out=len(pool),
+            )
+            self._stays_by_trip.update(new_stays)
+
+            # Stage 3 — profiles over all stays (cheap aggregation, no GPS work).
+            with ctx.timed("profile_build"):
+                profiles = build_profiles(_flatten(self._stays_by_trip), pool)
+            ctx.count("profile_build", "profiles", len(profiles))
+            ctx.record(
+                "profile_build", ctx.timings["profile_build_s"],
+                items_out=len(profiles),
+            )
+
+            # Stage 4 — selective feature refresh.
+            with ctx.timed("feature_extraction"):
+                all_trips = list(known.values()) + new_trips
+                extractor = FeatureExtractor(
+                    all_trips, self._stays_by_trip, pool, profiles, self.addresses
+                )
+                changed_trips = {t.trip_id for t in new_trips}
+                for trip_id in known:
+                    if old_extractor.visit_signature(trip_id) != extractor.visit_signature(
+                        trip_id
+                    ):
+                        changed_trips.add(trip_id)
+                affected = {
+                    a
+                    for trip_id in changed_trips
+                    for a in extractor.trips[trip_id].address_ids
+                }
+                id_map = candidate_id_map(old_pool, pool)
+                delivered = sorted({a for trip in all_trips for a in trip.address_ids})
+                examples: dict[str, AddressExample] = {}
+                rebuilt = refreshed = 0
+                for address_id in delivered:
+                    old_example = old_examples.get(address_id)
+                    if address_id not in affected and old_example is not None:
+                        carried = extractor.refresh_example(old_example, id_map)
+                        if carried is not None:
+                            examples[address_id] = carried
+                            refreshed += 1
+                            continue
+                    example = extractor.build_example(address_id)
+                    if example is not None:
+                        examples[address_id] = example
+                        rebuilt += 1
+            ctx.count("feature_extraction", "addresses", len(delivered))
+            ctx.count("feature_extraction", "addresses_affected", len(affected))
+            ctx.count("feature_extraction", "examples_rebuilt", rebuilt)
+            ctx.count("feature_extraction", "examples_refreshed", refreshed)
+            ctx.record(
+                "feature_extraction", ctx.timings["feature_extraction_s"],
+                items_in=len(delivered), items_out=len(examples),
+            )
+
+            self.context = ctx
+            self.pool = pool
+            self.extractor = extractor
+            self.examples = examples
+
+            # Stage 5 — warm-start the selector on the union of labels.
+            if ground_truth is not None and train_ids:
+                state = {
+                    "extractor": extractor,
+                    "examples": examples,
+                    "ground_truth": ground_truth,
+                    "train_ids": list(train_ids),
+                    "val_ids": list(val_ids or []),
+                    "selector": self.selector,
+                }
+                StagePlan(["training"]).run(ctx, state)
+                self.selector = state["selector"]
+        event(
+            "dlinfma.update.complete", component="pipeline",
+            n_new_trips=len(new_trips), examples_rebuilt=rebuilt,
+            examples_refreshed=refreshed, n_candidates=len(pool),
+        )
         return self
 
     # ------------------------------------------------------------------

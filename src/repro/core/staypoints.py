@@ -9,8 +9,12 @@ this stage with trajectory-level parallelization (Section V-F); pass
 from __future__ import annotations
 
 import multiprocessing
+import os
+from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
 from repro.trajectory import (
     DeliveryTrip,
     NoiseFilterConfig,
@@ -40,6 +44,30 @@ def _extract_one(args: tuple[DeliveryTrip, ExtractionConfig]) -> tuple[str, list
     return trip.trip_id, detect_stay_points(cleaned, config.stay)
 
 
+def _extract_one_tagged(
+    args: tuple[DeliveryTrip, ExtractionConfig],
+) -> tuple[int, str, list[StayPoint]]:
+    """Pool-worker variant: tags the result with the worker's pid so the
+    parent can attribute per-worker item counts."""
+    trip_id, stays = _extract_one(args)
+    return os.getpid(), trip_id, stays
+
+
+def _count_worker_items(per_worker: Counter, per_worker_stays: Counter) -> None:
+    registry = get_registry()
+    trips_counter = registry.counter(
+        "staypoint_extraction_trips_total",
+        "Trips processed by stay-point extraction, labeled by worker",
+    )
+    stays_counter = registry.counter(
+        "staypoint_extraction_stay_points_total",
+        "Stay points extracted, labeled by worker",
+    )
+    for worker, n in per_worker.items():
+        trips_counter.inc(n, worker=worker)
+        stays_counter.inc(per_worker_stays[worker], worker=worker)
+
+
 def extract_trip_stay_points(
     trips: list[DeliveryTrip],
     config: ExtractionConfig | None = None,
@@ -52,12 +80,36 @@ def extract_trip_stay_points(
     scales because of pickling overhead.  When ``workers`` is None the
     value from ``config.workers`` applies, so the pipeline config reaches
     this point without every caller re-plumbing it.
+
+    Per-worker trip/stay-point counts land in the metrics registry
+    (``staypoint_extraction_*_total{worker=...}``) for both the serial
+    path (worker ``"serial"``) and the fan-out path (worker = pool pid).
     """
     config = config or ExtractionConfig()
     if workers is None:
         workers = config.workers
-    if workers is not None and workers > 1 and len(trips) > 1:
-        with multiprocessing.Pool(workers) as pool:
-            pairs = pool.map(_extract_one, [(trip, config) for trip in trips])
-        return dict(pairs)
-    return dict(_extract_one((trip, config)) for trip in trips)
+    parallel = workers is not None and workers > 1 and len(trips) > 1
+    with obs_span(
+        "staypoint.extract", n_trips=len(trips), workers=workers if parallel else 1
+    ):
+        per_worker: Counter = Counter()
+        per_worker_stays: Counter = Counter()
+        if parallel:
+            with multiprocessing.Pool(workers) as pool:
+                tagged = pool.map(_extract_one_tagged, [(trip, config) for trip in trips])
+            out = {}
+            for pid, trip_id, stays in tagged:
+                out[trip_id] = stays
+                per_worker[str(pid)] += 1
+                per_worker_stays[str(pid)] += len(stays)
+        else:
+            out = dict(_extract_one((trip, config)) for trip in trips)
+            per_worker["serial"] = len(trips)
+            per_worker_stays["serial"] = sum(len(v) for v in out.values())
+        _count_worker_items(per_worker, per_worker_stays)
+    event(
+        "staypoint.extraction.complete", level="debug", component="staypoints",
+        n_trips=len(trips), n_workers=len(per_worker),
+        n_stay_points=sum(per_worker_stays.values()),
+    )
+    return out

@@ -22,6 +22,8 @@ from typing import Any, Callable, Union
 
 import numpy as np
 
+from repro.obs import get_registry
+
 PathLike = Union[str, pathlib.Path]
 
 
@@ -111,7 +113,24 @@ class ArtifactCache:
     def load(
         self, stage_name: str, key: str, codecs: dict[str, ArtifactCodec]
     ) -> dict[str, Any] | None:
-        """All cached outputs for (stage, key), or None on any miss."""
+        """All cached outputs for (stage, key), or None on any miss.
+
+        Every lookup increments ``artifact_cache_hits_total`` /
+        ``artifact_cache_misses_total`` (labeled by stage) in the global
+        metrics registry.
+        """
+        out = self._load(stage_name, key, codecs)
+        name = (
+            "artifact_cache_hits_total" if out is not None else "artifact_cache_misses_total"
+        )
+        get_registry().counter(
+            name, "Artifact cache lookups by outcome, labeled by stage"
+        ).inc(stage=stage_name)
+        return out
+
+    def _load(
+        self, stage_name: str, key: str, codecs: dict[str, ArtifactCodec]
+    ) -> dict[str, Any] | None:
         manifest_path = self._manifest_path(stage_name, key)
         if not manifest_path.exists():
             return None
@@ -137,6 +156,9 @@ class ArtifactCache:
         codecs: dict[str, ArtifactCodec],
     ) -> None:
         """Persist the cacheable outputs of one stage execution."""
+        get_registry().counter(
+            "artifact_cache_stores_total", "Artifact cache writes, labeled by stage"
+        ).inc(stage=stage_name)
         for output, codec in codecs.items():
             path = self._artifact_path(stage_name, key, output, codec.suffix)
             codec.save(outputs[output], path)

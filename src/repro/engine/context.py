@@ -6,6 +6,11 @@ per-stage wall-clock timings (the Section V-F numbers), item counters
 (how much work each stage actually did — the evidence that an incremental
 run is O(new data)), and an optional :class:`~repro.engine.cache.ArtifactCache`
 for resuming runs from disk.
+
+Timing is a thin consumer of the :mod:`repro.obs` span API: every
+:meth:`RunContext.timed` block opens a tracing span (a no-op unless
+tracing is configured), so the ``timings`` dict, the trace file, and the
+metrics registry all describe the same measured intervals.
 """
 
 from __future__ import annotations
@@ -13,7 +18,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+from repro.obs import span as obs_span
+from repro.obs.trace import Span
 
 
 @dataclass
@@ -33,7 +41,9 @@ class RunContext:
     ``timings`` maps ``"<stage>_s"`` to wall-clock seconds — the key
     convention every consumer (benchmarks, ``repro evaluate --timings``,
     :class:`~repro.apps.service.ServiceStats`) relies on.  ``counters``
-    holds ``"<stage>.<metric>"`` item counts.
+    holds ``"<stage>.<metric>"`` item counts.  ``records`` keeps one
+    :class:`StageRecord` per stage *execution*, in execution order — the
+    authoritative ordering for reports.
     """
 
     def __init__(self, config: Any = None, cache: Any = None, label: str = "run") -> None:
@@ -46,14 +56,20 @@ class RunContext:
 
     # ------------------------------------------------------------------
     @contextmanager
-    def timed(self, name: str) -> Iterator[None]:
-        """Time a block as stage ``name`` (accumulates on repeats)."""
+    def timed(self, name: str, **attributes: Any) -> Iterator[Span | None]:
+        """Time a block as stage ``name`` (accumulates on repeats).
+
+        Opens a tracing span of the same name (yielded so callers can
+        attach attributes mid-flight; ``None`` when tracing is off), so
+        trace durations and ``timings`` agree.
+        """
         t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            key = f"{name}_s"
-            self.timings[key] = self.timings.get(key, 0.0) + (time.perf_counter() - t0)
+        with obs_span(name, run=self.label, **attributes) as sp:
+            try:
+                yield sp
+            finally:
+                key = f"{name}_s"
+                self.timings[key] = self.timings.get(key, 0.0) + (time.perf_counter() - t0)
 
     def count(self, stage: str, metric: str, n: int) -> None:
         """Record an item counter for a stage (accumulates on repeats)."""
@@ -74,14 +90,43 @@ class RunContext:
         return rec
 
     # ------------------------------------------------------------------
-    def merge_timings(self, timings: dict[str, float]) -> None:
-        """Adopt timings produced elsewhere (e.g. shared artifacts)."""
+    def merge_timings(
+        self,
+        timings: dict[str, float],
+        records: Iterable[StageRecord] = (),
+    ) -> None:
+        """Adopt timings produced elsewhere (e.g. shared artifacts).
+
+        Pass the producing context's ``records`` too so the adopted stages
+        keep their execution order in :meth:`timing_rows` instead of
+        appearing after locally-run stages.
+        """
+        merged = list(records)
+        if merged:
+            self.records = merged + self.records
         for key, value in timings.items():
             self.timings[key] = self.timings.get(key, 0.0) + float(value)
 
     def timing_rows(self) -> list[tuple[str, float]]:
-        """``(stage, seconds)`` rows in a stable, reportable order."""
-        return [(k[: -len("_s")], v) for k, v in self.timings.items()]
+        """``(stage, seconds)`` rows in execution order.
+
+        Ordering follows ``records`` (first execution wins); timings with
+        no record — e.g. merged from artifacts built elsewhere without
+        records — are appended afterwards in insertion order.
+        """
+        rows: list[tuple[str, float]] = []
+        seen: set[str] = set()
+        for rec in self.records:
+            if rec.name in seen:
+                continue
+            seen.add(rec.name)
+            rows.append((rec.name, self.timings.get(f"{rec.name}_s", rec.seconds)))
+        for key, value in self.timings.items():
+            name = key[: -len("_s")] if key.endswith("_s") else key
+            if name not in seen:
+                seen.add(name)
+                rows.append((name, value))
+        return rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stages = ", ".join(f"{k}={v:.3f}" for k, v in self.timings.items())

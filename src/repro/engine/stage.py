@@ -20,6 +20,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.cache import ArtifactCodec, fingerprint
 from repro.engine.context import RunContext
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -140,6 +142,9 @@ class StagePlan:
         Cacheable stages are fingerprinted over (name, config, inputs);
         on a hit their artifacts load from disk and ``fn`` never runs.
         """
+        stage_hist = get_registry().histogram(
+            "engine_stage_seconds", "Wall-clock seconds per engine stage execution"
+        )
         for stg in self.stages:
             key = None
             if ctx.cache is not None and stg.cacheable:
@@ -152,19 +157,33 @@ class StagePlan:
                 )
                 cached = ctx.cache.load(stg.name, key, stg.cache_codecs)
                 if cached is not None:
-                    state.update(cached)
+                    with obs_span(stg.name, run=ctx.label, cached=True, cache_key=key):
+                        state.update(cached)
                     ctx.timings.setdefault(f"{stg.name}_s", 0.0)
                     ctx.count(stg.name, "cache_hits", 1)
                     ctx.record(stg.name, 0.0, cached=True)
+                    event(
+                        "stage.cache_hit", level="debug", component="engine",
+                        stage=stg.name, run=ctx.label, key=key,
+                    )
                     continue
             t0 = time.perf_counter()
-            with ctx.timed(stg.name):
+            with ctx.timed(stg.name, cached=False) as sp:
                 out = stg.run(ctx, state)
+                items_in = _maybe_len(state.get(stg.inputs[0])) if stg.inputs else None
+                items_out = _maybe_len(out.get(stg.outputs[0])) if stg.outputs else None
+                if sp is not None:
+                    sp.set("items_in", items_in)
+                    sp.set("items_out", items_out)
             seconds = time.perf_counter() - t0
-            items_in = _maybe_len(state.get(stg.inputs[0])) if stg.inputs else None
-            items_out = _maybe_len(out.get(stg.outputs[0])) if stg.outputs else None
+            stage_hist.observe(seconds, stage=stg.name)
             ctx.record(stg.name, seconds, items_in=items_in, items_out=items_out)
             state.update(out)
             if key is not None:
                 ctx.cache.store(stg.name, key, out, stg.cache_codecs)
+            event(
+                "stage.complete", level="debug", component="engine",
+                stage=stg.name, run=ctx.label, seconds=seconds,
+                items_in=items_in, items_out=items_out,
+            )
         return state

@@ -28,6 +28,8 @@ from repro.core import (
     build_artifacts,
 )
 from repro.geo import LocalProjection, Point
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
 from repro.synth import AddressSplit, SynthDataset, split_addresses_by_region
 from repro.trajectory import Address, DeliveryTrip
 
@@ -153,7 +155,12 @@ SHARED_ARTIFACT_METHODS = frozenset(
 
 @dataclass
 class MethodRun:
-    """Predictions and timing of one fitted method."""
+    """Predictions and timing of one fitted method.
+
+    ``stage_timings`` keeps the engine's ``{stage}_s`` dict for programmatic
+    lookups; ``stage_rows`` carries the same numbers as ``(stage, seconds)``
+    pairs in execution order — the form reports should print.
+    """
 
     name: str
     predictions: dict[str, Point]
@@ -161,6 +168,7 @@ class MethodRun:
     predict_seconds: float
     method: object = field(repr=False, default=None)
     stage_timings: dict[str, float] = field(default_factory=dict)
+    stage_rows: list[tuple[str, float]] = field(default_factory=list)
 
 
 def run_method(
@@ -174,20 +182,40 @@ def run_method(
     kwargs = {}
     if isinstance(method, DLInfMA) and artifacts is not None:
         kwargs["artifacts"] = artifacts
-    t0 = time.perf_counter()
-    method.fit(
-        workload.trips,
-        workload.addresses,
-        workload.ground_truth,
-        workload.train_ids,
-        workload.val_ids,
-        projection=workload.projection,
-        **kwargs,
+    with obs_span(
+        "eval.run_method", method=name, shared_artifacts=artifacts is not None
+    ):
+        t0 = time.perf_counter()
+        method.fit(
+            workload.trips,
+            workload.addresses,
+            workload.ground_truth,
+            workload.train_ids,
+            workload.val_ids,
+            projection=workload.projection,
+            **kwargs,
+        )
+        t1 = time.perf_counter()
+        predictions = method.predict(workload.test_ids)
+        t2 = time.perf_counter()
+    registry = get_registry()
+    registry.counter("eval_method_runs_total", "Methods fitted by the harness").inc(
+        method=name
     )
-    t1 = time.perf_counter()
-    predictions = method.predict(workload.test_ids)
-    t2 = time.perf_counter()
+    registry.histogram(
+        "eval_fit_seconds", "Wall-clock fit time per harness method run"
+    ).observe(t1 - t0, method=name)
+    event(
+        "eval.method.complete", level="debug", component="eval",
+        method=name, fit_seconds=t1 - t0, predict_seconds=t2 - t1,
+        n_predictions=len(predictions),
+    )
     stage_timings = dict(method.timings) if isinstance(method, DLInfMA) else {}
+    stage_rows = (
+        method.context.timing_rows()
+        if isinstance(method, DLInfMA) and method.context is not None
+        else []
+    )
     return MethodRun(
         name=name,
         predictions=predictions,
@@ -195,6 +223,7 @@ def run_method(
         predict_seconds=t2 - t1,
         method=method,
         stage_timings=stage_timings,
+        stage_rows=stage_rows,
     )
 
 

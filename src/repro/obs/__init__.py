@@ -1,0 +1,80 @@
+"""repro.obs — unified tracing, metrics, and structured-event telemetry.
+
+Three primitives, one switchboard:
+
+* :func:`span` — hierarchical tracing spans (contextvar-nested, attribute
+  and exception capturing) written as JSON-lines trace files once
+  :func:`configure_tracing` is called; free no-ops otherwise.
+* :func:`get_registry` — a process-global :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms, exportable as JSON or
+  Prometheus text format (:func:`export_metrics`).
+* :func:`event` — leveled structured events, JSON-lines-sinked and bridged
+  through stdlib :mod:`logging` (:func:`configure_events`).
+
+The engine's :class:`~repro.engine.context.RunContext` consumes the span
+API, so per-stage timings, counters, trace spans, and exported metrics all
+share one source of truth.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    configure_events,
+    event,
+    get_event_log,
+    read_events,
+)
+from repro.obs.meta import git_sha, run_metadata
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    export_metrics,
+    get_registry,
+    load_metrics,
+    render_metrics,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    configure_tracing,
+    current_span,
+    disable_tracing,
+    read_trace,
+    span,
+    span_tree,
+    tracing_enabled,
+)
+
+__all__ = [
+    "EventLog",
+    "configure_events",
+    "event",
+    "get_event_log",
+    "read_events",
+    "git_sha",
+    "run_metadata",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "export_metrics",
+    "get_registry",
+    "load_metrics",
+    "render_metrics",
+    "reset_registry",
+    "set_registry",
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "current_span",
+    "disable_tracing",
+    "read_trace",
+    "span",
+    "span_tree",
+    "tracing_enabled",
+]

@@ -1,0 +1,108 @@
+"""Leveled, structured event logging (JSON-lines, stdlib-bridged).
+
+Library code emits *events* — named facts with structured fields — rather
+than formatted strings.  Each event is one JSON object per line when a
+sink file is configured, and is always forwarded through the stdlib
+:mod:`logging` hierarchy (logger ``repro.<component>``), so existing
+handlers, level filtering, and third-party log shippers keep working.
+
+Like tracing, the event log defaults to the cheapest possible off state:
+without a configured sink and without stdlib handlers attached, an
+:func:`event` call is a level check and an early return.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+import threading
+import time
+from typing import Any, TextIO, Union
+
+PathLike = Union[str, pathlib.Path]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_ROOT_LOGGER = "repro"
+
+
+class EventLog:
+    """Writes structured events to an optional JSON-lines sink + stdlib."""
+
+    def __init__(self, path: PathLike | None = None, level: str = "info") -> None:
+        self.level = LEVELS[level]
+        self._lock = threading.Lock()
+        self._fh: TextIO | None = None
+        if path is not None:
+            path = pathlib.Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = path.open("a", encoding="utf-8")
+
+    def emit(self, level: str, event: str, component: str = "core", **fields: Any) -> None:
+        levelno = LEVELS.get(level, 20)
+        if levelno < self.level and self._fh is None:
+            return
+        logger = logging.getLogger(f"{_ROOT_LOGGER}.{component}")
+        if logger.isEnabledFor(levelno):
+            logger.log(levelno, "%s %s", event, fields if fields else "")
+        if self._fh is None or levelno < self.level:
+            return
+        record = {
+            "ts_unix": time.time(),
+            "level": level,
+            "component": component,
+            "event": event,
+        }
+        record.update({k: _safe(v) for k, v in fields.items()})
+        line = json.dumps(record, separators=(",", ":"), sort_keys=False)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def _safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_safe(v) for v in value]
+    return repr(value)
+
+
+_EVENT_LOG = EventLog()
+
+
+def configure_events(path: PathLike | None = None, level: str = "info") -> EventLog:
+    """Install the global event log (optionally sinking to ``path``)."""
+    global _EVENT_LOG
+    _EVENT_LOG.close()
+    _EVENT_LOG = EventLog(path, level)
+    return _EVENT_LOG
+
+
+def get_event_log() -> EventLog:
+    return _EVENT_LOG
+
+
+def event(name: str, level: str = "info", component: str = "core", **fields: Any) -> None:
+    """Emit one structured event through the global log."""
+    _EVENT_LOG.emit(level, name, component=component, **fields)
+
+
+def read_events(path: PathLike) -> list[dict[str, Any]]:
+    """Parse a JSON-lines event file back into dicts (file order)."""
+    out = []
+    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

@@ -1,0 +1,220 @@
+"""Hierarchical tracing spans emitted as JSON-lines trace files.
+
+A :class:`Span` covers one timed operation (an engine stage, a model fit,
+a store query).  Spans nest through a :mod:`contextvars` variable, so the
+parent/child structure follows the call stack — including across the
+engine's stage plans and the service facade — without any explicit
+plumbing.  Finished spans are appended to a JSON-lines sink, one object
+per line, carrying ids, wall-clock bounds, attributes, and captured
+exceptions; the file reconstructs into a span tree via
+:func:`read_trace` / :func:`span_tree`.
+
+Tracing is *off* by default: :func:`span` is a near-free no-op until
+:func:`configure_tracing` installs a tracer, so hot paths can be
+instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import pathlib
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO, Union
+
+PathLike = Union[str, pathlib.Path]
+
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One node of a trace: a named, timed, attributed operation."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_unix",
+        "end_unix",
+        "_t0",
+        "duration_s",
+        "attributes",
+        "status",
+        "error",
+    )
+
+    def __init__(self, name: str, trace_id: str, parent_id: str | None, attributes: dict) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_unix = time.time()
+        self.end_unix: float | None = None
+        self._t0 = time.perf_counter()
+        self.duration_s: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes)
+        self.status = "ok"
+        self.error: dict[str, str] | None = None
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute."""
+        self.attributes[key] = value
+
+    def finish(self, exc: BaseException | None = None) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        self.end_unix = time.time()
+        if exc is not None:
+            self.status = "error"
+            self.error = {"type": type(exc).__name__, "message": str(exc)}
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "end_unix": self.end_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": _jsonable(self.attributes),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of attribute values to JSON-safe types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in obj]
+    return repr(obj)
+
+
+class JsonlTraceSink:
+    """Appends finished spans to a JSON-lines file (one object per line)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh: TextIO | None = self.path.open("a", encoding="utf-8")
+
+    def write(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class Tracer:
+    """Creates and finishes spans, handing them to a sink."""
+
+    def __init__(self, sink: JsonlTraceSink) -> None:
+        self.sink = sink
+
+    def start(self, name: str, attributes: dict) -> Span:
+        parent = _CURRENT_SPAN.get()
+        trace_id = parent.trace_id if parent is not None else _new_id()
+        parent_id = parent.span_id if parent is not None else None
+        return Span(name, trace_id, parent_id, attributes)
+
+    def finish(self, span: Span, exc: BaseException | None = None) -> None:
+        span.finish(exc)
+        self.sink.write(span)
+
+
+_TRACER: Tracer | None = None
+
+
+def configure_tracing(path: PathLike) -> Tracer:
+    """Install a global tracer writing JSON-lines spans to ``path``."""
+    global _TRACER
+    disable_tracing()
+    _TRACER = Tracer(JsonlTraceSink(path))
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Tear the global tracer down; :func:`span` reverts to a no-op."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.sink.close()
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def current_span() -> Span | None:
+    """The innermost active span, or None outside any span / when off."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[Span | None]:
+    """Open a child span of the current one for the duration of the block.
+
+    Yields the :class:`Span` (so callers may ``.set()`` attributes mid
+    flight) or ``None`` when tracing is disabled — the disabled path costs
+    one global read and no allocation beyond the generator.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        yield None
+        return
+    sp = tracer.start(name, attributes)
+    token = _CURRENT_SPAN.set(sp)
+    try:
+        yield sp
+    except BaseException as exc:
+        tracer.finish(sp, exc)
+        raise
+    else:
+        tracer.finish(sp)
+    finally:
+        _CURRENT_SPAN.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Reading traces back
+# ----------------------------------------------------------------------
+def read_trace(path: PathLike) -> list[dict[str, Any]]:
+    """Parse a JSON-lines trace file into span dicts (file order)."""
+    out = []
+    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def span_tree(spans: list[dict[str, Any]]) -> dict[str | None, list[dict[str, Any]]]:
+    """Index spans by ``parent_id`` (roots under ``None``)."""
+    children: dict[str | None, list[dict[str, Any]]] = {}
+    for sp in spans:
+        children.setdefault(sp.get("parent_id"), []).append(sp)
+    return children

@@ -242,3 +242,86 @@ class TestRunContext:
         ctx = RunContext()
         ctx.merge_timings({"stay_point_extraction_s": 1.25})
         assert ctx.timing_rows() == [("stay_point_extraction", 1.25)]
+
+    def test_timing_rows_follow_execution_order_not_dict_order(self):
+        ctx = RunContext()
+        # Timings inserted in one order...
+        ctx.timings = {"late_s": 3.0, "early_s": 1.0}
+        # ...but executed in another (records are authoritative).
+        ctx.record("early", 1.0)
+        ctx.record("late", 3.0)
+        assert ctx.timing_rows() == [("early", 1.0), ("late", 3.0)]
+
+    def test_timing_rows_dedupe_repeated_executions(self):
+        ctx = RunContext()
+        with ctx.timed("loop"):
+            pass
+        with ctx.timed("loop"):
+            pass
+        ctx.record("loop", 0.0)
+        ctx.record("loop", 0.0)
+        rows = ctx.timing_rows()
+        assert [name for name, _ in rows] == ["loop"]
+        assert rows[0][1] == ctx.timings["loop_s"]
+
+    def test_merge_timings_with_records_keeps_producer_order(self):
+        producer = RunContext(label="artifacts")
+        producer.record("extract", 1.0)
+        producer.record("pool", 2.0)
+        producer.merge_timings({"extract_s": 1.0, "pool_s": 2.0})
+
+        consumer = RunContext(label="fit")
+        consumer.merge_timings(producer.timings, producer.records)
+        consumer.record("training", 0.5)
+        consumer.timings["training_s"] = 0.5
+        assert [name for name, _ in consumer.timing_rows()] == [
+            "extract", "pool", "training",
+        ]
+
+    def test_merge_timings_without_records_appends_after_recorded(self):
+        ctx = RunContext()
+        ctx.record("training", 0.5)
+        ctx.timings["training_s"] = 0.5
+        ctx.merge_timings({"extract_s": 1.0})
+        # No records for the merged stage: it trails the executed ones.
+        assert [name for name, _ in ctx.timing_rows()] == ["training", "extract"]
+
+    def test_timed_yields_span_handle(self):
+        ctx = RunContext()
+        with ctx.timed("op") as sp:
+            assert sp is None  # tracing disabled -> no span, still timed
+        assert "op_s" in ctx.timings
+
+    def test_stage_record_cached_propagation(self):
+        ctx = RunContext()
+        ctx.record("hot", 1.0)
+        ctx.record("warm", 0.0, cached=True)
+        assert [r.cached for r in ctx.records] == [False, True]
+        cached = [r.name for r in ctx.records if r.cached]
+        assert cached == ["warm"]
+
+
+class TestSharedArtifactOrdering:
+    def test_fit_with_shared_artifacts_reports_generation_stages_first(
+        self, tiny_workload, tiny_artifacts
+    ):
+        from repro.core import DLInfMA, DLInfMAConfig
+
+        model = DLInfMA(DLInfMAConfig(selector="maxtc-ilc"))
+        model.fit(
+            tiny_workload.trips,
+            tiny_workload.addresses,
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            tiny_workload.val_ids,
+            projection=tiny_workload.projection,
+            artifacts=tiny_artifacts,
+        )
+        names = [name for name, _ in model.context.timing_rows()]
+        assert names == [
+            "stay_point_extraction",
+            "pool_construction",
+            "profile_build",
+            "feature_extraction",
+            "training",
+        ]

@@ -1,0 +1,197 @@
+"""End-to-end observability: trace the pipeline, export + render metrics.
+
+The acceptance path of the obs subsystem: a full ``fit`` + ``query`` run
+with tracing enabled yields a JSON-lines trace whose span tree covers all
+five registered engine stages, and the exported metrics file renders cache
+hit/miss counters and query-latency histograms through ``repro metrics``.
+"""
+
+import pytest
+
+from repro.apps import DeliveryLocationService
+from repro.cli import main
+from repro.core import DLInfMA, DLInfMAConfig
+from repro.obs import (
+    MetricsRegistry,
+    configure_tracing,
+    disable_tracing,
+    export_metrics,
+    get_registry,
+    read_trace,
+    set_registry,
+    span_tree,
+)
+
+STAGE_NAMES = (
+    "stay_point_extraction",
+    "pool_construction",
+    "profile_build",
+    "feature_extraction",
+    "training",
+)
+
+
+@pytest.fixture
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    yield get_registry()
+    set_registry(previous)
+
+
+@pytest.fixture
+def traced(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    configure_tracing(path)
+    yield path
+    disable_tracing()
+
+
+def _fast_config(**kwargs):
+    return DLInfMAConfig(selector="maxtc-ilc", **kwargs)
+
+
+class TestTracedFitAndQuery:
+    def test_span_tree_covers_all_five_stages(self, tiny_workload, traced, fresh_registry):
+        service = DeliveryLocationService(
+            tiny_workload.addresses, tiny_workload.projection, _fast_config()
+        )
+        service.refresh(
+            tiny_workload.trips,
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            tiny_workload.val_ids,
+        )
+        address = next(iter(tiny_workload.addresses.values()))
+        service.query(address)
+
+        spans = read_trace(traced)
+        by_id = {s["span_id"]: s for s in spans}
+        names = {s["name"] for s in spans}
+        for stage in STAGE_NAMES:
+            assert stage in names, f"stage {stage} missing from trace"
+
+        # All five stage spans sit under the service.refresh root.
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["service.refresh"]
+        for stage in STAGE_NAMES:
+            node = next(s for s in spans if s["name"] == stage)
+            ancestors = []
+            while node["parent_id"] is not None:
+                node = by_id[node["parent_id"]]
+                ancestors.append(node["name"])
+            assert ancestors[-1] == "service.refresh"
+            assert "dlinfma.fit" in ancestors
+
+        tree = span_tree(spans)
+        fit_span = next(s for s in spans if s["name"] == "dlinfma.fit")
+        child_names = {s["name"] for s in tree.get(fit_span["span_id"], [])}
+        assert "training" in child_names
+        assert all(s["status"] == "ok" for s in spans)
+
+    def test_update_path_traces_incremental_stages(self, tiny_workload, traced):
+        trips = sorted(tiny_workload.trips, key=lambda t: t.t_start)
+        half = len(trips) // 2
+        service = DeliveryLocationService(
+            tiny_workload.addresses, tiny_workload.projection, _fast_config()
+        )
+        common = (
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            tiny_workload.val_ids,
+        )
+        service.refresh(trips[:half], *common)
+        service.refresh(trips[half:], *common)
+        spans = read_trace(traced)
+        update = next(s for s in spans if s["name"] == "dlinfma.update")
+        assert update["attributes"]["n_new_trips"] == len(trips) - half
+        update_children = {
+            s["name"] for s in spans if s["parent_id"] == update["span_id"]
+        }
+        assert "pool_construction" in update_children
+        assert "feature_extraction" in update_children
+
+    def test_query_latency_histogram_by_source(self, tiny_workload, fresh_registry):
+        service = DeliveryLocationService(
+            tiny_workload.addresses, tiny_workload.projection, _fast_config()
+        )
+        service.refresh(
+            tiny_workload.trips,
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            tiny_workload.val_ids,
+        )
+        for address in tiny_workload.addresses.values():
+            service.query(address)
+        hist = fresh_registry.histogram("service_query_latency_seconds")
+        total = sum(
+            sample["count"] for sample in hist.samples()
+        )
+        assert total == len(tiny_workload.addresses)
+        assert fresh_registry.gauge("service_store_size").value() > 0
+
+    def test_cache_hit_miss_counters(self, tiny_workload, tmp_path, fresh_registry):
+        kwargs = dict(
+            addresses=tiny_workload.addresses,
+            ground_truth=tiny_workload.ground_truth,
+            train_ids=tiny_workload.train_ids,
+            val_ids=tiny_workload.val_ids,
+            projection=tiny_workload.projection,
+            cache_dir=tmp_path / "cache",
+        )
+        DLInfMA(_fast_config()).fit(tiny_workload.trips, **kwargs)
+        misses = fresh_registry.counter("artifact_cache_misses_total")
+        assert misses.total() >= 3  # cold cache: every cacheable stage misses
+        model = DLInfMA(_fast_config()).fit(tiny_workload.trips, **kwargs)
+        hits = fresh_registry.counter("artifact_cache_hits_total")
+        assert hits.value(stage="stay_point_extraction") == 1
+        assert hits.value(stage="pool_construction") == 1
+        # StageRecord.cached propagates through the rerun's records.
+        cached_stages = {r.name for r in model.context.records if r.cached}
+        assert "stay_point_extraction" in cached_stages
+        assert "pool_construction" in cached_stages
+
+    def test_locmatcher_training_metrics(self, tiny_workload, fresh_registry):
+        from dataclasses import replace
+
+        from repro.core import LocMatcherConfig
+
+        config = DLInfMAConfig(
+            selector="locmatcher",
+            locmatcher=replace(LocMatcherConfig(), max_epochs=3, patience=2),
+        )
+        DLInfMA(config).fit(
+            tiny_workload.trips,
+            tiny_workload.addresses,
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+            tiny_workload.val_ids,
+            projection=tiny_workload.projection,
+        )
+        assert fresh_registry.gauge("locmatcher_train_loss").value() is not None
+        assert fresh_registry.gauge("locmatcher_epochs_run").value() == 3
+        accuracy = fresh_registry.gauge("locmatcher_train_accuracy").value()
+        assert 0.0 <= accuracy <= 1.0
+        assert fresh_registry.histogram("locmatcher_grad_norm").count() > 0
+
+    def test_per_worker_extraction_counters(self, tiny_workload, fresh_registry):
+        from repro.core import extract_trip_stay_points
+
+        extract_trip_stay_points(tiny_workload.trips[:4])
+        counter = fresh_registry.counter("staypoint_extraction_trips_total")
+        assert counter.value(worker="serial") == 4
+
+    def test_metrics_cli_renders_export(self, tiny_workload, tmp_path, fresh_registry, capsys):
+        fresh_registry.counter("artifact_cache_hits_total").inc(3, stage="pool_construction")
+        fresh_registry.histogram("service_query_latency_seconds").observe(
+            0.0004, source="address"
+        )
+        path = tmp_path / "metrics.json"
+        export_metrics(path, fresh_registry, meta={"git_sha": "deadbeef"})
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact_cache_hits_total{stage=pool_construction}" in out
+        assert "service_query_latency_seconds{source=address}" in out
+        assert "deadbeef" in out
+
+    def test_metrics_cli_missing_file(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 1

@@ -1,0 +1,182 @@
+"""Metrics registry: counters/gauges/histograms, exporters, escaping."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    export_metrics,
+    get_registry,
+    load_metrics,
+    render_metrics,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_total(self, registry):
+        c = registry.counter("requests_total")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        assert c.total() == 3
+
+    def test_labels_partition_values(self, registry):
+        c = registry.counter("hits_total")
+        c.inc(stage="pool")
+        c.inc(2, stage="extract")
+        assert c.value(stage="pool") == 1
+        assert c.value(stage="extract") == 2
+        assert c.value(stage="other") == 0
+        assert c.total() == 3
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("c").inc(-1)
+
+    def test_same_name_returns_same_metric(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("pool_size")
+        g.set(10)
+        assert g.value() == 10
+        g.add(-3)
+        assert g.value() == 7
+        g.set(2.5, shard="a")
+        assert g.value(shard="a") == 2.5
+        assert g.value() == 7
+
+    def test_unset_value_is_none(self, registry):
+        assert registry.gauge("g").value() is None
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulative(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+        (sample,) = h.samples()
+        assert sample["buckets"] == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+
+    def test_boundary_value_counts_in_le_bucket(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" includes exactly 1.0
+        (sample,) = h.samples()
+        assert sample["buckets"]["1.0"] == 1
+
+    def test_labeled_histograms_are_independent(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(0.5, source="address")
+        h.observe(0.5, source="address")
+        h.observe(2.0, source="geocode")
+        assert h.count(source="address") == 2
+        assert h.count(source="geocode") == 1
+        assert h.count() == 0
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("h", buckets=())
+
+
+class TestPrometheusFormat:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("requests_total", "Total requests").inc(3, route="/q")
+        registry.gauge("pool_size", "Pool size").set(7)
+        text = registry.to_prometheus()
+        assert "# HELP requests_total Total requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{route="/q"} 3' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self, registry):
+        h = registry.histogram("lat_seconds", "Latency", buckets=(0.5, 1.0))
+        h.observe(0.2)
+        h.observe(0.7)
+        h.observe(3.0)
+        text = registry.to_prometheus()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 3.9" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_value_escaping(self, registry):
+        registry.counter("c").inc(1, path='a\\b"c\nd')
+        text = registry.to_prometheus()
+        assert 'c{path="a\\\\b\\"c\\nd"} 1' in text
+        # The exposition stays one line per sample.
+        assert len([ln for ln in text.splitlines() if ln.startswith("c{")]) == 1
+
+    def test_help_escaping(self, registry):
+        registry.counter("c", "line one\nline two \\ backslash")
+        text = registry.to_prometheus()
+        assert "# HELP c line one\\nline two \\\\ backslash" in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.to_prometheus() == ""
+
+
+class TestExportAndRender:
+    def test_json_roundtrip_with_meta(self, registry, tmp_path):
+        registry.counter("hits_total").inc(5, stage="pool")
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        path = export_metrics(tmp_path / "m.json", registry, meta={"git_sha": "abc123"})
+        payload = load_metrics(path)
+        assert payload["meta"]["git_sha"] == "abc123"
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["hits_total"]["type"] == "counter"
+        assert by_name["hits_total"]["samples"][0]["value"] == 5
+        assert by_name["lat"]["samples"][0]["count"] == 1
+
+    def test_prom_suffix_writes_text_format(self, registry, tmp_path):
+        registry.counter("hits_total").inc()
+        path = export_metrics(tmp_path / "m.prom", registry)
+        assert "# TYPE hits_total counter" in path.read_text()
+
+    def test_render_shows_counters_gauges_histograms(self, registry, tmp_path):
+        registry.counter("artifact_cache_hits_total").inc(2, stage="pool")
+        registry.gauge("service_store_size").set(17)
+        registry.histogram("service_query_latency_seconds").observe(0.001, source="address")
+        path = export_metrics(tmp_path / "m.json", registry, meta={"git_sha": "xyz"})
+        text = render_metrics(load_metrics(path))
+        assert "artifact_cache_hits_total{stage=pool}" in text
+        assert "service_store_size" in text
+        assert "service_query_latency_seconds{source=address}" in text
+        assert "git_sha" in text
+
+    def test_render_empty_payload(self):
+        assert render_metrics({"meta": {}, "metrics": []}) == "(no metrics)"
+
+    def test_infinity_formatting(self, registry):
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.to_prometheus()
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        prev = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(prev)
+        assert get_registry() is prev

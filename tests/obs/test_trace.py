@@ -1,0 +1,136 @@
+"""Tracing primitives: nesting, attributes, errors, JSON-lines round trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    configure_tracing,
+    current_span,
+    disable_tracing,
+    read_trace,
+    span,
+    span_tree,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    configure_tracing(path)
+    yield path
+    disable_tracing()
+
+
+class TestDisabled:
+    def test_span_is_noop_when_disabled(self):
+        disable_tracing()
+        assert not tracing_enabled()
+        with span("anything", key="value") as sp:
+            assert sp is None
+        assert current_span() is None
+
+    def test_exceptions_propagate_when_disabled(self):
+        disable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+
+
+class TestSpans:
+    def test_single_span_written_as_json_line(self, trace_file):
+        with span("op", a=1, b="two") as sp:
+            assert sp is not None
+            assert current_span() is sp
+        spans = read_trace(trace_file)
+        assert len(spans) == 1
+        (rec,) = spans
+        assert rec["name"] == "op"
+        assert rec["parent_id"] is None
+        assert rec["status"] == "ok"
+        assert rec["attributes"] == {"a": 1, "b": "two"}
+        assert rec["duration_s"] >= 0.0
+        assert rec["end_unix"] >= rec["start_unix"]
+
+    def test_nesting_follows_call_stack(self, trace_file):
+        with span("parent") as parent:
+            with span("child") as child:
+                assert child.parent_id == parent.span_id
+                assert child.trace_id == parent.trace_id
+                with span("grandchild") as gc:
+                    assert gc.parent_id == child.span_id
+            assert current_span() is parent
+        spans = read_trace(trace_file)
+        # Children finish (and are written) before parents.
+        assert [s["name"] for s in spans] == ["grandchild", "child", "parent"]
+        tree = span_tree(spans)
+        assert [s["name"] for s in tree[None]] == ["parent"]
+        parent_id = tree[None][0]["span_id"]
+        assert [s["name"] for s in tree[parent_id]] == ["child"]
+
+    def test_sibling_spans_share_parent(self, trace_file):
+        with span("root") as root:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        tree = span_tree(read_trace(trace_file))
+        assert {s["name"] for s in tree[root.span_id]} == {"a", "b"}
+
+    def test_mid_flight_attributes(self, trace_file):
+        with span("op") as sp:
+            sp.set("result_count", 42)
+        (rec,) = read_trace(trace_file)
+        assert rec["attributes"]["result_count"] == 42
+
+    def test_exception_captured_and_reraised(self, trace_file):
+        with pytest.raises(ValueError, match="bad"):
+            with span("failing"):
+                raise ValueError("bad")
+        (rec,) = read_trace(trace_file)
+        assert rec["status"] == "error"
+        assert rec["error"] == {"type": "ValueError", "message": "bad"}
+        # The contextvar must be restored even on error.
+        assert current_span() is None
+
+    def test_non_jsonable_attributes_degrade_to_repr(self, trace_file):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        with span("op", thing=Opaque(), many=(1, 2)):
+            pass
+        (rec,) = read_trace(trace_file)
+        assert rec["attributes"]["thing"] == "<opaque>"
+        assert rec["attributes"]["many"] == [1, 2]
+
+    def test_every_line_is_valid_json(self, trace_file):
+        for i in range(5):
+            with span(f"op{i}"):
+                pass
+        for line in trace_file.read_text().splitlines():
+            json.loads(line)
+
+    def test_separate_roots_get_separate_trace_ids(self, trace_file):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        spans = read_trace(trace_file)
+        assert spans[0]["trace_id"] != spans[1]["trace_id"]
+
+    def test_reconfigure_appends_to_new_file(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        configure_tracing(first)
+        try:
+            with span("one"):
+                pass
+            configure_tracing(second)
+            with span("two"):
+                pass
+        finally:
+            disable_tracing()
+        assert [s["name"] for s in read_trace(first)] == ["one"]
+        assert [s["name"] for s in read_trace(second)] == ["two"]

@@ -1,7 +1,6 @@
 """CLI integration tests (in-process, no subprocess)."""
 
 import json
-import pathlib
 
 import pytest
 
@@ -54,6 +53,59 @@ class TestEvaluate:
             assert stage_name in out
 
 
+class TestEvaluateObservability:
+    def test_json_report(self, data_dir, capsys):
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "Geocoding,MaxTC-ILC", "--fast", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["methods"]) == {"Geocoding", "MaxTC-ILC"}
+        entry = payload["methods"]["MaxTC-ILC"]
+        assert entry["mae_m"] >= 0
+        stages = [stage for stage, _ in entry["stage_timings_s"]]
+        assert stages == [
+            "stay_point_extraction", "pool_construction", "profile_build",
+            "feature_extraction", "training",
+        ]
+        # Non-engine methods report no stage timings.
+        assert payload["methods"]["Geocoding"]["stage_timings_s"] == []
+
+    def test_trace_and_metrics_out(self, data_dir, tmp_path, capsys):
+        from repro.obs import load_metrics, read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "MaxTC-ILC", "--fast",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        names = {s["name"] for s in read_trace(trace)}
+        assert "dlinfma.fit" in names and "training" in names
+        payload = load_metrics(metrics)
+        assert "timestamp_unix" in payload["meta"]
+        assert "config_fingerprint" in payload["meta"]
+        metric_names = {m["name"] for m in payload["metrics"]}
+        assert "engine_stage_seconds" in metric_names
+        # The exported file renders through the metrics subcommand.
+        capsys.readouterr()
+        assert main(["metrics", str(metrics)]) == 0
+        assert "engine_stage_seconds" in capsys.readouterr().out
+
+    def test_prometheus_metrics_out(self, data_dir, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "Geocoding", "--fast", "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE eval_fit_seconds histogram" in text
+
+
 class TestUpdate:
     def test_update_absorbs_new_batch(self, data_dir, tmp_path, capsys):
         from repro.synth.io import load_trips, save_trips
@@ -81,6 +133,37 @@ class TestUpdate:
         assert "initial fit:" in out
         assert "incremental update" in out
         assert "stay_point_extraction" in out
+
+    def test_update_json_report(self, data_dir, tmp_path, capsys):
+        from repro.synth.io import load_trips, save_trips
+
+        trips = sorted(load_trips(data_dir / "trips.jsonl"), key=lambda t: t.t_start)
+        half = len(trips) // 2
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in ("addresses.json", "ground_truth.json", "split.json"):
+            (base / name).write_text((data_dir / name).read_text())
+        save_trips(trips[:half], base / "trips.jsonl")
+        new_trips = tmp_path / "new_trips.jsonl"
+        save_trips(trips[half:], new_trips)
+
+        code = main([
+            "update", "--data", str(base), "--new-trips", str(new_trips),
+            "--out", str(tmp_path / "loc.json"), "--selector", "maxtc-ilc",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == len(trips) - half
+        assert payload["absorbed"] == len(trips) - half
+        assert payload["total_trips"] == len(trips)
+        fit_stages = [s for s, _ in payload["fit_stage_timings_s"]]
+        assert fit_stages[0] == "stay_point_extraction"
+        update_stages = [s for s, _ in payload["update_stage_timings_s"]]
+        assert update_stages == [
+            "stay_point_extraction", "pool_construction", "profile_build",
+            "feature_extraction", "training",
+        ]
 
 
 class TestInferAndQuery:
