@@ -1,0 +1,100 @@
+"""Serving-tier throughput and latency (Figure 14 deployment, online half).
+
+Load-tests :mod:`repro.serve` over the DowntownBJ-scale synthetic city:
+a closed loop for saturated QPS across cache configurations, an open loop
+(Poisson arrivals) for tail latency at a controlled rate, and a refresh
+churning the sharded store mid-load to demonstrate the copy-on-write
+atomic swap serves zero errors during rebuilds.  Results land in
+``benchmarks/results/BENCH_serve.json``.
+"""
+
+import random
+import threading
+
+from repro.eval import series_table
+from repro.serve import (
+    LoadGenerator,
+    QueryServer,
+    ServerConfig,
+    ShardedLocationStore,
+)
+
+DURATION_S = 1.0
+N_CLIENTS = 4
+
+
+def _run(store, config, address_ids, seed, refresh_with=None, workload="closed",
+         rate=500.0):
+    with QueryServer(store, config) as server:
+        generator = LoadGenerator(server, address_ids, random.Random(seed))
+        stop = threading.Event()
+        churn = None
+        if refresh_with is not None:
+            def _churn():
+                while not stop.wait(0.05):
+                    server.apply_refresh(refresh_with)
+
+            churn = threading.Thread(target=_churn)
+            churn.start()
+        if workload == "closed":
+            report = generator.run_closed(n_clients=N_CLIENTS, duration_s=DURATION_S)
+        else:
+            report = generator.run_open(rate_rps=rate, duration_s=DURATION_S)
+        if churn is not None:
+            stop.set()
+            churn.join()
+        return report
+
+
+def test_serve_qps(dow_workload, write_result, write_json):
+    workload = dow_workload
+    locations = dict(workload.ground_truth)
+    address_ids = sorted(workload.addresses)
+
+    scenarios = {}
+    rows = []
+    configs = [
+        ("cached", ServerConfig(n_workers=4, queue_capacity=256)),
+        ("uncached", ServerConfig(n_workers=4, queue_capacity=256,
+                                  cache_capacity=0)),
+        ("batched", ServerConfig(n_workers=4, queue_capacity=256,
+                                 cache_capacity=0, batch_window_s=0.0005)),
+    ]
+    for name, config in configs:
+        store = ShardedLocationStore(locations, workload.addresses, n_shards=8)
+        report = _run(store, config, address_ids, seed=0)
+        scenarios[name] = report.to_dict()
+        rows.append((name, report.throughput_rps, report.latency_ms["p50"],
+                     report.latency_ms["p99"], report.cache_hit_rate * 100.0))
+
+    # Refresh churn: swaps every 50 ms while the closed loop hammers away.
+    store = ShardedLocationStore(locations, workload.addresses, n_shards=8)
+    churn_report = _run(store, configs[0][1], address_ids, seed=0,
+                        refresh_with=locations)
+    scenarios["cached+refresh-churn"] = churn_report.to_dict()
+    rows.append(("cached+refresh-churn", churn_report.throughput_rps,
+                 churn_report.latency_ms["p50"], churn_report.latency_ms["p99"],
+                 churn_report.cache_hit_rate * 100.0))
+
+    # Open loop at a fixed rate for honest tail latency.
+    store = ShardedLocationStore(locations, workload.addresses, n_shards=8)
+    open_report = _run(store, configs[0][1], address_ids, seed=0,
+                       workload="open", rate=500.0)
+    scenarios["open-500rps"] = open_report.to_dict()
+    rows.append(("open-500rps", open_report.throughput_rps,
+                 open_report.latency_ms["p50"], open_report.latency_ms["p99"],
+                 open_report.cache_hit_rate * 100.0))
+
+    text = series_table(
+        rows,
+        headers=["scenario", "qps", "p50(ms)", "p99(ms)", "cache-hit(%)"],
+        title="Serving tier: throughput / latency by configuration",
+    )
+    write_result("BENCH_serve", text)
+    write_json("BENCH_serve", {"duration_s": DURATION_S, "scenarios": scenarios})
+
+    for name, report_dict in scenarios.items():
+        assert report_dict["n_errors"] == 0, (name, report_dict)
+        assert report_dict["n_ok"] > 0, (name, report_dict)
+    # The swap is invisible to readers: zero non-OK outcomes during churn.
+    assert churn_report.n_ok == churn_report.n_issued

@@ -1,6 +1,11 @@
 """Deployment store, query service and the two downstream applications."""
 
-from repro.apps.store import DeliveryLocationStore, QueryResult, QuerySource
+from repro.apps.store import (
+    DeliveryLocationStore,
+    QueryResult,
+    QuerySource,
+    UnknownAddressError,
+)
 from repro.apps.routing import (
     RoutePlanner,
     nearest_neighbor_order,
@@ -26,6 +31,7 @@ __all__ = [
     "DeliveryLocationStore",
     "QueryResult",
     "QuerySource",
+    "UnknownAddressError",
     "RoutePlanner",
     "nearest_neighbor_order",
     "plan_route",

@@ -15,11 +15,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.apps.store import DeliveryLocationStore, QueryResult
+from repro.apps.store import QueryResult
 from repro.core import DLInfMA, DLInfMAConfig
 from repro.geo import LocalProjection, Point
 from repro.obs import event, get_registry
 from repro.obs import span as obs_span
+from repro.serve.shard import ShardedLocationStore, ShardStrategy
 from repro.trajectory import Address, DeliveryTrip
 
 
@@ -43,11 +44,15 @@ class DeliveryLocationService:
         addresses: dict[str, Address],
         projection: LocalProjection,
         config: DLInfMAConfig | None = None,
+        n_shards: int = 4,
+        shard_strategy: ShardStrategy | None = None,
     ) -> None:
         self.addresses = dict(addresses)
         self.projection = projection
         self.config = config or DLInfMAConfig()
-        self.store = DeliveryLocationStore({}, self.addresses)
+        self.store = ShardedLocationStore(
+            {}, self.addresses, n_shards=n_shards, strategy=shard_strategy
+        )
         self.pipeline: DLInfMA | None = None
         self.last_refresh: ServiceStats | None = None
 
@@ -136,11 +141,30 @@ class DeliveryLocationService:
         return result
 
     def query_id(self, address_id: str) -> QueryResult:
-        """Online lookup by known address id."""
+        """Online lookup by known address id.
+
+        Raises :class:`~repro.apps.store.UnknownAddressError` (a
+        :class:`KeyError` subclass) when ``address_id`` is not in the
+        service's address book; the serving tier's router maps that to a
+        structured ``UNKNOWN_ADDRESS`` response instead of a crash.
+        """
         t0 = time.perf_counter()
         result = self.store.query_id(address_id)
         self._observe_query(time.perf_counter() - t0, result)
         return result
+
+    def server(self, server_config=None):
+        """A :class:`~repro.serve.server.QueryServer` over this store.
+
+        The server shares the service's sharded store by reference, so a
+        later :meth:`refresh` becomes visible to the serving tier at the
+        next snapshot swap (callers should also drop the server's result
+        cache via ``QueryServer.apply_refresh`` or ``router.on_refresh``
+        for immediate visibility).
+        """
+        from repro.serve.server import QueryServer
+
+        return QueryServer(self.store, config=server_config)
 
     def save(self, directory) -> None:
         """Persist the serving payload (location table) to a directory."""
@@ -150,7 +174,7 @@ class DeliveryLocationService:
 
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        save_locations(self.store._by_address, directory / "locations.json")
+        save_locations(self.store.address_locations, directory / "locations.json")
 
     def load(self, directory) -> None:
         """Restore a previously saved location table into the store."""

@@ -4,6 +4,13 @@ Section VI-A: inference results are stored address-keyed; a building-keyed
 table holds each building's *most used* delivery location so addresses
 never seen in history still get a sensible answer; the geocode is the last
 resort.  Queries report which tier answered.
+
+The store is read-mostly: refreshes land "in a bi-weekly manner" while
+queries keep flowing, so :meth:`DeliveryLocationStore.update` builds the
+new tables off to the side and swaps the references in — readers only
+ever see a fully-built table, never one mid-mutation.  The sharded,
+lock-free variant used by the online serving tier lives in
+:mod:`repro.serve.shard`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,23 @@ from enum import Enum
 
 from repro.geo import Point
 from repro.trajectory import Address
+
+
+class UnknownAddressError(KeyError):
+    """Raised when a lookup names an address id outside the address book.
+
+    Subclasses :class:`KeyError` so callers that guarded against the old
+    raw ``KeyError`` keep working, while new callers (the serving tier's
+    router, the CLI) can catch the typed miss explicitly and map it to a
+    structured "unknown address" response instead of a crash.
+    """
+
+    def __init__(self, address_id: str) -> None:
+        super().__init__(address_id)
+        self.address_id = address_id
+
+    def __str__(self) -> str:
+        return f"unknown address id: {self.address_id!r}"
 
 
 class QuerySource(Enum):
@@ -32,6 +56,28 @@ class QueryResult:
     source: QuerySource
 
 
+def aggregate_building_locations(
+    address_locations: dict[str, Point], addresses: dict[str, Address]
+) -> dict[str, Point]:
+    """Most frequently used location per building (mode over addresses).
+
+    Shared by the single-table store here and the sharded serving store,
+    which aggregates across *all* shards so the building fallback sees the
+    global vote, not a per-shard slice.
+    """
+    votes: dict[str, Counter] = defaultdict(Counter)
+    for address_id, point in address_locations.items():
+        address = addresses.get(address_id)
+        if address is None:
+            continue
+        key = (round(point.lng, 6), round(point.lat, 6))
+        votes[address.building_id][key] += 1
+    return {
+        building: Point(*max(counter.items(), key=lambda kv: (kv[1], kv[0]))[0])
+        for building, counter in votes.items()
+    }
+
+
 class DeliveryLocationStore:
     """Two-tier key-value store: address -> location, building -> location."""
 
@@ -42,21 +88,9 @@ class DeliveryLocationStore:
     ) -> None:
         self._by_address = dict(address_locations)
         self._addresses = dict(addresses)
-        self._by_building = self._aggregate_buildings()
-
-    def _aggregate_buildings(self) -> dict[str, Point]:
-        """Most frequently used location per building (mode over addresses)."""
-        votes: dict[str, Counter] = defaultdict(Counter)
-        for address_id, point in self._by_address.items():
-            address = self._addresses.get(address_id)
-            if address is None:
-                continue
-            key = (round(point.lng, 6), round(point.lat, 6))
-            votes[address.building_id][key] += 1
-        return {
-            building: Point(*max(counter.items(), key=lambda kv: (kv[1], kv[0]))[0])
-            for building, counter in votes.items()
-        }
+        self._by_building = aggregate_building_locations(
+            self._by_address, self._addresses
+        )
 
     # ------------------------------------------------------------------
     def query(self, address: Address) -> QueryResult:
@@ -70,19 +104,38 @@ class DeliveryLocationStore:
         return QueryResult(address.geocode, QuerySource.GEOCODE)
 
     def query_id(self, address_id: str) -> QueryResult:
-        """Resolve by id; the address must be in the store's address book."""
+        """Resolve by id; the address must be in the store's address book.
+
+        Raises :class:`UnknownAddressError` (a :class:`KeyError` subclass)
+        for ids outside the address book.
+        """
         address = self._addresses.get(address_id)
         if address is None:
-            raise KeyError(f"unknown address id: {address_id!r}")
+            raise UnknownAddressError(address_id)
         return self.query(address)
 
     def update(self, address_locations: dict[str, Point]) -> None:
-        """Merge a fresh inference batch (periodic refresh, Section VI-A)."""
-        self._by_address.update(address_locations)
-        self._by_building = self._aggregate_buildings()
+        """Merge a fresh inference batch (periodic refresh, Section VI-A).
+
+        Snapshot-then-swap: the merged address table and the re-aggregated
+        building table are built as *new* dicts and then bound in two
+        atomic reference assignments, so a concurrent :meth:`query` always
+        reads a complete table (it may briefly pair the new address table
+        with the old building table, which only affects which fallback a
+        cold address hits, never correctness of a served location).
+        """
+        merged = {**self._by_address, **address_locations}
+        rebuilt = aggregate_building_locations(merged, self._addresses)
+        self._by_address = merged
+        self._by_building = rebuilt
 
     def __len__(self) -> int:
         return len(self._by_address)
+
+    @property
+    def address_locations(self) -> dict[str, Point]:
+        """The address-level table (read-only copy)."""
+        return dict(self._by_address)
 
     @property
     def building_locations(self) -> dict[str, Point]:

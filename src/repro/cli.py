@@ -9,11 +9,15 @@ Workflow:
     python -m repro infer    --data data/ --out data/locations.json
     python -m repro query    --data data/ --locations data/locations.json \
                              --address-id a00042
+    python -m repro serve-bench --data data/ --locations data/locations.json \
+                             --workload open --rate 500 --duration 2
 
 ``generate`` writes trips/addresses/ground-truth/split files; ``evaluate``
 reproduces a Table II-style comparison on them; ``infer`` runs the full
 DLInfMA pipeline and dumps the address→location table; ``query`` answers a
-single lookup through the deployed store's fallback chain.
+single lookup through the deployed store's fallback chain; ``serve-bench``
+load-tests the concurrent sharded serving tier (:mod:`repro.serve`) and
+reports p50/p95/p99 latency, throughput, cache hit rate, and rejections.
 
 Observability: ``evaluate`` and ``update`` accept ``--trace PATH`` (write a
 JSON-lines span trace), ``--metrics-out PATH`` (export the metrics registry
@@ -358,6 +362,100 @@ def _cmd_export_geojson(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import random
+    import threading
+    import time as _time
+
+    from repro.serve import (
+        GeohashShardStrategy,
+        HashShardStrategy,
+        LoadGenerator,
+        QueryServer,
+        ServerConfig,
+        ShardedLocationStore,
+    )
+
+    _begin_observability(args)
+    data_dir = pathlib.Path(args.data)
+    addresses = load_addresses(data_dir / "addresses.json")
+    locations = load_locations(args.locations)
+    if args.strategy == "geohash":
+        strategy = GeohashShardStrategy(args.shards)
+    else:
+        strategy = HashShardStrategy(args.shards)
+    store = ShardedLocationStore(locations, addresses, strategy=strategy)
+    config = ServerConfig(
+        n_workers=args.workers,
+        queue_capacity=args.queue,
+        default_timeout_s=args.timeout,
+        cache_capacity=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+    )
+    rng = random.Random(args.seed)
+    with QueryServer(store, config) as server:
+        generator = LoadGenerator(server, sorted(addresses), rng)
+        stop_churn = threading.Event()
+        churn_thread = None
+        refreshes = [0]
+        if args.refresh_every > 0:
+            def churn() -> None:
+                while not stop_churn.wait(args.refresh_every):
+                    server.apply_refresh(locations)
+                    refreshes[0] += 1
+
+            churn_thread = threading.Thread(target=churn, name="serve-churn")
+            churn_thread.start()
+        t0 = _time.perf_counter()
+        if args.workload == "closed":
+            report = generator.run_closed(
+                n_clients=args.clients, duration_s=args.duration
+            )
+        else:
+            report = generator.run_open(
+                rate_rps=args.rate, duration_s=args.duration
+            )
+        wall = _time.perf_counter() - t0
+        if churn_thread is not None:
+            stop_churn.set()
+            churn_thread.join()
+    bench_config = {
+        "command": "serve-bench", "workload": args.workload,
+        "seed": args.seed, "shards": args.shards,
+        "strategy": args.strategy, "workers": args.workers,
+        "queue": args.queue, "cache_size": args.cache_size,
+        "batch_window_s": args.batch_window,
+        "refresh_every_s": args.refresh_every,
+    }
+    payload = {
+        "run_meta": obs.run_metadata(bench_config),
+        "config": bench_config,
+        "wall_s": wall,
+        "refreshes_mid_run": refreshes[0],
+        "report": report.to_dict(),
+    }
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        title = (f"serve-bench: {args.workload} loop, {args.workers} workers, "
+                 f"{args.shards} {args.strategy} shards")
+        print(title)
+        print("-" * len(title))
+        print(report.render())
+        if args.refresh_every > 0:
+            print(f"refreshes       {refreshes[0]} (mid-run, atomic swap)")
+        if args.out:
+            print(f"report -> {args.out}")
+    _end_observability(args, config={"command": "serve-bench"})
+    return 0 if report.n_errors == 0 else 1
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     data_dir = pathlib.Path(args.data)
     addresses = load_addresses(data_dir / "addresses.json")
@@ -453,6 +551,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_geo.add_argument("--out", required=True)
     p_geo.add_argument("--locations", default=None)
     p_geo.set_defaults(func=_cmd_export_geojson)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="load-test the concurrent serving tier over a locations table",
+    )
+    p_serve.add_argument("--data", required=True)
+    p_serve.add_argument("--locations", required=True,
+                         help="address→location JSON (infer output or ground truth)")
+    p_serve.add_argument("--workload", choices=("closed", "open"), default="closed")
+    p_serve.add_argument("--clients", type=int, default=4,
+                         help="closed-loop concurrent clients")
+    p_serve.add_argument("--rate", type=float, default=200.0,
+                         help="open-loop Poisson arrival rate (req/s)")
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="load duration in seconds")
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--queue", type=int, default=64,
+                         help="admission queue capacity (backpressure bound)")
+    p_serve.add_argument("--timeout", type=float, default=1.0,
+                         help="per-request deadline in seconds")
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--strategy", choices=("hash", "geohash"), default="hash")
+    p_serve.add_argument("--cache-size", type=int, default=2048,
+                         help="result-cache capacity (0 disables)")
+    p_serve.add_argument("--cache-ttl", type=float, default=30.0)
+    p_serve.add_argument("--batch-window", type=float, default=0.0,
+                         help="micro-batch window in seconds (0 disables)")
+    p_serve.add_argument("--batch-max", type=int, default=32)
+    p_serve.add_argument("--refresh-every", type=float, default=0.0,
+                         help="re-apply the locations table every N seconds "
+                              "mid-run (exercises the atomic shard swap)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="loadgen rng seed (schedules are deterministic)")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report on stdout")
+    p_serve.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON report to PATH")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a JSON-lines span trace to PATH")
+    p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="export metrics to PATH (.json, or .prom/.txt "
+                              "for Prometheus text format)")
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_query = sub.add_parser("query", help="resolve one address via the store")
     p_query.add_argument("--data", required=True)

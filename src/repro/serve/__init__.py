@@ -1,0 +1,71 @@
+"""repro.serve — the concurrent online query-serving subsystem.
+
+Turns the offline pipeline's address→location table into a servable
+system (the online half of the paper's Figure 14 deployment):
+
+* :class:`ShardedLocationStore` — the table partitioned by a pluggable
+  :class:`ShardStrategy` (address-id hash or geohash prefix), refreshed
+  by copy-on-write atomic snapshot swap so readers never take a lock.
+* :class:`QueryServer` — thread-pool workers behind a *bounded* admission
+  queue (explicit ``REJECTED`` backpressure), per-request deadlines, and
+  full :mod:`repro.obs` instrumentation.
+* :class:`TTLLRUCache` / :class:`MicroBatcher` / :class:`QueryRouter` —
+  the per-request resolution chain: recency cache, cold-miss coalescing,
+  single-snapshot batched fallback-chain evaluation.
+* :class:`LoadGenerator` — seeded closed-loop and open-loop (Poisson)
+  workloads producing p50/p95/p99 + throughput + rejection reports
+  (``repro serve-bench``).
+"""
+
+from repro.serve.batching import BatchStats, MicroBatcher
+from repro.serve.cache import CacheStats, TTLLRUCache
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    ScheduledRequest,
+    build_report,
+    closed_sequences,
+    percentile,
+    poisson_schedule,
+)
+from repro.serve.router import QueryRouter, RoutedResult
+from repro.serve.server import (
+    PendingQuery,
+    QueryServer,
+    ServeResponse,
+    ServeStatus,
+    ServerConfig,
+)
+from repro.serve.shard import (
+    GeohashShardStrategy,
+    HashShardStrategy,
+    ShardedLocationStore,
+    ShardSnapshot,
+    ShardStrategy,
+)
+
+__all__ = [
+    "BatchStats",
+    "MicroBatcher",
+    "CacheStats",
+    "TTLLRUCache",
+    "LoadGenerator",
+    "LoadReport",
+    "ScheduledRequest",
+    "build_report",
+    "closed_sequences",
+    "percentile",
+    "poisson_schedule",
+    "QueryRouter",
+    "RoutedResult",
+    "PendingQuery",
+    "QueryServer",
+    "ServeResponse",
+    "ServeStatus",
+    "ServerConfig",
+    "GeohashShardStrategy",
+    "HashShardStrategy",
+    "ShardedLocationStore",
+    "ShardSnapshot",
+    "ShardStrategy",
+]

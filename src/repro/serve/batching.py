@@ -1,0 +1,153 @@
+"""Micro-batching: coalesce concurrent cold misses into one evaluation.
+
+When a burst of queries misses the cache at the same moment (a refresh
+just cleared it, or a flash of traffic hits cold addresses), each miss
+individually walking the fallback chain wastes work — and duplicate keys
+in the burst waste the most.  The :class:`MicroBatcher` holds the first
+arrival for a tiny window (``max_wait_s``), lets concurrent arrivals pile
+onto the same batch, deduplicates keys, and evaluates the whole batch in
+one call to ``batch_fn`` — for the serving tier that is
+``ShardedLocationStore.query_ids_batch``, one pass over one snapshot.
+
+Leadership is cooperative: the first thread into an empty batch becomes
+the leader, waits out the window (or until the batch fills), drains, and
+evaluates; followers just park on a per-key event.  No dedicated batching
+thread exists, so an idle batcher costs nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """How much coalescing actually happened."""
+
+    batches: int
+    submitted: int
+    coalesced: int
+    largest_batch: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.submitted - self.coalesced) / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class _Waiter:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Batches concurrent ``submit(key)`` calls into ``batch_fn(keys)``.
+
+    ``batch_fn`` receives the deduplicated key list and returns a mapping
+    ``key -> value``.  A value that is itself a ``BaseException`` instance
+    is *raised* in the submitting thread — that is how per-key failures
+    (e.g. an unknown address id) travel through a batch without failing
+    its batch-mates.  If ``batch_fn`` raises, every waiter of that batch
+    re-raises the same exception.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[Sequence[Hashable]], dict[Hashable, Any]],
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0: {max_wait_s}")
+        self.batch_fn = batch_fn
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._pending: dict[Hashable, _Waiter] = {}
+        self._leader_active = False
+        self._batches = 0
+        self._submitted = 0
+        self._coalesced = 0
+        self._largest_batch = 0
+
+    def submit(self, key: Hashable) -> Any:
+        """Resolve ``key`` through the current (or a fresh) micro-batch."""
+        with self._cond:
+            self._submitted += 1
+            waiter = self._pending.get(key)
+            if waiter is not None:
+                self._coalesced += 1
+            else:
+                waiter = _Waiter()
+                self._pending[key] = waiter
+                if len(self._pending) >= self.max_batch:
+                    self._cond.notify_all()
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._lead_batch()
+        waiter.event.wait()
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.value
+
+    def _lead_batch(self) -> None:
+        deadline = self._clock() + self.max_wait_s
+        with self._cond:
+            while len(self._pending) < self.max_batch:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = self._pending
+            self._pending = {}
+            self._leader_active = False
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
+        keys = list(batch)
+        try:
+            results = self.batch_fn(keys)
+        except BaseException as exc:  # noqa: BLE001 — fan the failure out
+            for waiter in batch.values():
+                waiter.error = exc
+                waiter.event.set()
+            return
+        for key, waiter in batch.items():
+            if key not in results:
+                waiter.error = KeyError(key)
+            else:
+                value = results[key]
+                if isinstance(value, BaseException):
+                    waiter.error = value
+                else:
+                    waiter.value = value
+            waiter.event.set()
+
+    def stats(self) -> BatchStats:
+        with self._cond:
+            return BatchStats(
+                batches=self._batches,
+                submitted=self._submitted,
+                coalesced=self._coalesced,
+                largest_batch=self._largest_batch,
+            )

@@ -1,0 +1,136 @@
+"""LRU + TTL result cache for the serving tier.
+
+Popular addresses (office towers, lockers, campus gates) dominate online
+query traffic, and their answers only change at refresh time — a small
+recency cache in front of the sharded store absorbs that head of the
+distribution.  Entries age out on a TTL so a swapped-in refresh becomes
+visible within ``ttl_s`` even for cache-hot addresses, and the server can
+call :meth:`TTLLRUCache.clear` on refresh for immediate visibility.
+
+The cache is a plain ``OrderedDict`` under one mutex with hit / miss /
+eviction / expiration counters; :meth:`stats` snapshots them for the
+metrics exporter and the load-test report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot; ``hit_rate`` is over lookups since creation."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class TTLLRUCache:
+    """Bounded LRU cache whose entries also expire after ``ttl_s``.
+
+    ``clock`` is injectable so TTL behavior is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0: {ttl_s}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or ``None`` on a miss / expired entry."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if now >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        expires_at = self._clock() + self.ttl_s
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (value, expires_at)
+                self._entries.move_to_end(key)
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = (value, expires_at)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every entry (refresh visibility); returns entries dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,346 @@
+"""Concurrent query server: worker pool, bounded admission, deadlines.
+
+This is the online half of Figure 14 as an in-process subsystem: requests
+enter a *bounded* admission queue (when it is full the submitter gets an
+explicit ``REJECTED`` response immediately — backpressure, never an
+unbounded pile-up), a pool of worker threads drains the queue through the
+:class:`~repro.serve.router.QueryRouter`, and every request carries a
+deadline that is honored both while queued (a worker discards expired
+work without evaluating it) and on the client side (waiters give up and
+report ``TIMED_OUT`` even if a worker is still busy).
+
+Observability: a queue-depth gauge, a request counter by terminal status,
+a latency histogram labeled by answering tier and cache state, and a
+``serve.request`` span per evaluated request — all through
+:mod:`repro.obs`, so ``--trace``/``--metrics-out`` cover the serving tier
+for free.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable
+
+from repro.apps.store import QueryResult, UnknownAddressError
+from repro.geo import Point
+from repro.obs import event, get_registry
+from repro.obs import span as obs_span
+from repro.serve.router import QueryRouter
+from repro.serve.shard import ShardedLocationStore
+
+
+class ServeStatus(Enum):
+    """Terminal status of one served request."""
+
+    OK = "ok"
+    REJECTED = "rejected"            # admission queue full (backpressure)
+    TIMED_OUT = "timed_out"          # deadline passed before completion
+    UNKNOWN_ADDRESS = "unknown_address"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """What a client gets back for one request."""
+
+    address_id: str
+    status: ServeStatus
+    result: QueryResult | None
+    cache_state: str | None
+    latency_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ServeStatus.OK
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving tier (defaults sized for the tiny preset)."""
+
+    n_workers: int = 4
+    queue_capacity: int = 64
+    default_timeout_s: float = 1.0
+    cache_capacity: int = 2048
+    cache_ttl_s: float = 30.0
+    batch_window_s: float = 0.0      # > 0 enables the micro-batcher
+    batch_max: int = 32
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {self.n_workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1: {self.queue_capacity}")
+        if self.default_timeout_s <= 0:
+            raise ValueError(
+                f"default_timeout_s must be > 0: {self.default_timeout_s}"
+            )
+
+
+class PendingQuery:
+    """Future-like handle for one admitted (or rejected) request."""
+
+    __slots__ = ("address_id", "t_submit", "deadline", "_event", "_lock",
+                 "_response", "_on_finish")
+
+    def __init__(
+        self,
+        address_id: str,
+        t_submit: float,
+        deadline: float,
+        on_finish: Callable[[ServeResponse], None],
+    ) -> None:
+        self.address_id = address_id
+        self.t_submit = t_submit
+        self.deadline = deadline
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._response: ServeResponse | None = None
+        self._on_finish = on_finish
+
+    def finish(self, response: ServeResponse) -> bool:
+        """Install the terminal response; first writer wins."""
+        with self._lock:
+            if self._response is not None:
+                return False
+            self._response = response
+        self._on_finish(response)
+        self._event.set()
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, grace_s: float = 0.050) -> ServeResponse:
+        """Block until finished or the deadline (+``grace_s``) passes.
+
+        If the deadline expires first the request is finished as
+        ``TIMED_OUT`` from the client side; a worker completing the same
+        request concurrently loses the race and its answer is discarded.
+        """
+        remaining = self.deadline + grace_s - time.monotonic()
+        if not self._event.wait(max(0.0, remaining)):
+            self.finish(
+                ServeResponse(
+                    self.address_id,
+                    ServeStatus.TIMED_OUT,
+                    None,
+                    None,
+                    time.monotonic() - self.t_submit,
+                    error="deadline exceeded while waiting",
+                )
+            )
+            self._event.wait()
+        assert self._response is not None
+        return self._response
+
+
+_STOP = object()
+
+
+class QueryServer:
+    """Thread-pool server over a sharded store, a cache, and a batcher."""
+
+    def __init__(
+        self,
+        store: ShardedLocationStore,
+        config: ServerConfig | None = None,
+        router: QueryRouter | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.store = store
+        self.router = router or QueryRouter.build(
+            store,
+            cache_capacity=self.config.cache_capacity,
+            cache_ttl_s=self.config.cache_ttl_s,
+            batch_window_s=self.config.batch_window_s,
+            batch_max=self.config.batch_max,
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_capacity)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        registry = get_registry()
+        self._requests_total = registry.counter(
+            "serve_requests_total", "Served requests by terminal status"
+        )
+        self._queue_depth = registry.gauge(
+            "serve_queue_depth", "Requests waiting in the admission queue"
+        )
+        self._latency = registry.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end request latency by answering tier and cache state",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for i in range(self.config.n_workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        event(
+            "serve.start", component="serve",
+            n_workers=self.config.n_workers,
+            queue_capacity=self.config.queue_capacity,
+            n_shards=self.store.n_shards,
+        )
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._started = False
+        event("serve.stop", component="serve")
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def _count(self, response: ServeResponse) -> None:
+        self._requests_total.inc(status=response.status.value)
+
+    def submit(self, address_id: str, timeout_s: float | None = None) -> PendingQuery:
+        """Enqueue one request; rejects immediately when the queue is full."""
+        if not self._started:
+            raise RuntimeError("server is not running (call start())")
+        now = time.monotonic()
+        deadline = now + (timeout_s if timeout_s is not None else
+                          self.config.default_timeout_s)
+        pending = PendingQuery(address_id, now, deadline, self._count)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            pending.finish(
+                ServeResponse(
+                    address_id, ServeStatus.REJECTED, None, None,
+                    time.monotonic() - now, error="admission queue full",
+                )
+            )
+            return pending
+        self._queue_depth.set(self._queue.qsize())
+        return pending
+
+    def query(self, address_id: str, timeout_s: float | None = None) -> ServeResponse:
+        """Synchronous convenience: submit and wait out the deadline."""
+        return self.submit(address_id, timeout_s).result()
+
+    # ------------------------------------------------------------------
+    # Refresh seam
+    # ------------------------------------------------------------------
+    def apply_refresh(
+        self, address_locations: dict[str, Point], replace: bool = False
+    ) -> int:
+        """Swap a refresh batch into the store and invalidate the cache.
+
+        Queries in flight keep reading the old snapshot; the next request
+        sees the new one.  Returns the new store version.
+        """
+        if replace:
+            snapshot = self.store.replace(address_locations)
+        else:
+            snapshot = self.store.update(address_locations)
+        dropped = self.router.on_refresh()
+        event(
+            "serve.refresh", component="serve", version=snapshot.version,
+            size=snapshot.size, cache_dropped=dropped,
+        )
+        return snapshot.version
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            pending: PendingQuery = item
+            self._queue_depth.set(self._queue.qsize())
+            now = time.monotonic()
+            if now >= pending.deadline:
+                pending.finish(
+                    ServeResponse(
+                        pending.address_id, ServeStatus.TIMED_OUT, None, None,
+                        now - pending.t_submit,
+                        error="deadline exceeded in queue",
+                    )
+                )
+                continue
+            with obs_span("serve.request", address_id=pending.address_id) as sp:
+                try:
+                    routed = self.router.resolve(pending.address_id)
+                except UnknownAddressError as exc:
+                    response = ServeResponse(
+                        pending.address_id, ServeStatus.UNKNOWN_ADDRESS, None,
+                        None, time.monotonic() - pending.t_submit,
+                        error=str(exc),
+                    )
+                except Exception as exc:  # noqa: BLE001 — keep workers alive
+                    response = ServeResponse(
+                        pending.address_id, ServeStatus.ERROR, None, None,
+                        time.monotonic() - pending.t_submit,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    latency = time.monotonic() - pending.t_submit
+                    response = ServeResponse(
+                        pending.address_id, ServeStatus.OK, routed.result,
+                        routed.cache_state, latency,
+                    )
+                    self._latency.observe(
+                        latency,
+                        source=routed.result.source.value,
+                        cache=routed.cache_state,
+                    )
+                if sp is not None:
+                    sp.set("status", response.status.value)
+                    if response.cache_state is not None:
+                        sp.set("cache", response.cache_state)
+            pending.finish(response)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time view for reports and the CLI."""
+        counts = {
+            status.value: self._requests_total.value(status=status.value)
+            for status in ServeStatus
+        }
+        out: dict[str, Any] = {
+            "requests_by_status": counts,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_capacity,
+            "n_workers": self.config.n_workers,
+            "store_version": self.store.version,
+            "store_size": len(self.store),
+            "shard_sizes": self.store.snapshot().shard_sizes(),
+        }
+        cache_stats = self.router.cache_stats()
+        if cache_stats is not None:
+            out["cache"] = cache_stats.to_dict()
+        batch_stats = self.router.batch_stats()
+        if batch_stats is not None:
+            out["batch"] = batch_stats.to_dict()
+        return out

@@ -1,0 +1,282 @@
+"""Sharded, copy-on-write delivery-location store for online serving.
+
+The deployed system (Figure 14) answers location queries for a whole
+city's worth of addresses; one flat dict per process stops being a
+sensible unit of refresh and capacity planning long before that.  This
+module partitions the address-level table into N shards under a pluggable
+:class:`ShardStrategy` — address-id hash by default, geohash-prefix of the
+geocode for spatial locality — while keeping the building-level fallback
+*global*, because the "most used location in this building" vote must run
+over every address of the building regardless of which shard it landed in.
+
+Refresh never mutates live state.  A refresh builds a complete new
+:class:`ShardSnapshot` off to the side and then flips one reference; a
+concurrent reader grabbed the snapshot reference once at query start, so
+it either sees the whole old world or the whole new world.  Readers take
+no lock at all — only writers serialize (on a writer-only mutex), which
+is what makes ``refresh()`` invisible to the query path.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.apps.store import (
+    QueryResult,
+    QuerySource,
+    UnknownAddressError,
+    aggregate_building_locations,
+)
+from repro.geo import Point
+from repro.geo.geohash import geohash_encode
+from repro.trajectory import Address
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent hash (builtin ``hash`` is salted per run)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class ShardStrategy:
+    """Maps an address to a shard index in ``[0, n_shards)``."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1: {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, address_id: str, address: Address | None = None) -> int:
+        raise NotImplementedError
+
+
+class HashShardStrategy(ShardStrategy):
+    """Uniform partitioning by a stable hash of the address id."""
+
+    def shard_of(self, address_id: str, address: Address | None = None) -> int:
+        return _stable_hash(address_id) % self.n_shards
+
+
+class GeohashShardStrategy(ShardStrategy):
+    """Partition by geohash prefix of the geocode (spatial locality).
+
+    Addresses in the same geohash-``precision`` cell land on the same
+    shard, so a refresh that only touches one district only rebuilds the
+    shards covering it, and a shard's working set is geographically
+    compact — the Ping2Hex-style layout.  Falls back to the id hash for
+    addresses outside the address book.
+    """
+
+    def __init__(self, n_shards: int, precision: int = 5) -> None:
+        super().__init__(n_shards)
+        if precision < 1:
+            raise ValueError(f"precision must be >= 1: {precision}")
+        self.precision = precision
+
+    def shard_of(self, address_id: str, address: Address | None = None) -> int:
+        if address is None:
+            return _stable_hash(address_id) % self.n_shards
+        cell = geohash_encode(
+            address.geocode.lng, address.geocode.lat, self.precision
+        )
+        return _stable_hash(cell) % self.n_shards
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One immutable generation of the serving tables.
+
+    ``shards[i]`` is the address->location dict of shard ``i``;
+    ``by_building`` is the global building fallback.  Queries resolve
+    entirely against one snapshot, so a mid-query swap is harmless.
+    """
+
+    shards: tuple[dict[str, Point], ...]
+    by_building: dict[str, Point]
+    version: int
+
+    @property
+    def size(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(s) for s in self.shards]
+
+
+@dataclass
+class SwapStats:
+    """Writer-side bookkeeping (how many swaps, last swap size)."""
+
+    swaps: int = 0
+    last_merged: int = 0
+    rebuilt_shards: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, merged: int, rebuilt: int) -> None:
+        with self._lock:
+            self.swaps += 1
+            self.last_merged = merged
+            self.rebuilt_shards += rebuilt
+
+
+class ShardedLocationStore:
+    """Drop-in serving replacement for :class:`DeliveryLocationStore`.
+
+    Same query contract (``query`` / ``query_id`` / three-tier fallback /
+    :class:`UnknownAddressError`), but reads are lock-free against an
+    immutable :class:`ShardSnapshot` and every write path is
+    copy-on-write + atomic swap.
+    """
+
+    def __init__(
+        self,
+        address_locations: dict[str, Point],
+        addresses: dict[str, Address],
+        n_shards: int = 4,
+        strategy: ShardStrategy | None = None,
+    ) -> None:
+        self._addresses = dict(addresses)
+        self._strategy = strategy or HashShardStrategy(n_shards)
+        self._write_lock = threading.Lock()
+        self.swap_stats = SwapStats()
+        self._snapshot = self._build_snapshot(dict(address_locations), version=1)
+
+    # ------------------------------------------------------------------
+    # Construction of immutable generations (writer side)
+    # ------------------------------------------------------------------
+    def _shard_of(self, address_id: str) -> int:
+        return self._strategy.shard_of(address_id, self._addresses.get(address_id))
+
+    def _build_snapshot(
+        self, address_locations: dict[str, Point], version: int
+    ) -> ShardSnapshot:
+        shards: list[dict[str, Point]] = [
+            {} for _ in range(self._strategy.n_shards)
+        ]
+        for address_id, point in address_locations.items():
+            shards[self._shard_of(address_id)][address_id] = point
+        by_building = aggregate_building_locations(
+            address_locations, self._addresses
+        )
+        return ShardSnapshot(tuple(shards), by_building, version)
+
+    def update(self, address_locations: dict[str, Point]) -> ShardSnapshot:
+        """Merge a refresh batch and atomically swap the snapshot in.
+
+        Only the shards an updated address maps to are copied; untouched
+        shard dicts are carried into the new snapshot by reference (they
+        are never mutated, so sharing is safe).  The building table is
+        re-aggregated globally.  Returns the new snapshot.
+        """
+        if not address_locations:
+            return self._snapshot
+        with self._write_lock:
+            old = self._snapshot
+            touched: dict[int, dict[str, Point]] = {}
+            for address_id, point in address_locations.items():
+                idx = self._shard_of(address_id)
+                if idx not in touched:
+                    touched[idx] = dict(old.shards[idx])
+                touched[idx][address_id] = point
+            shards = tuple(
+                touched.get(i, old.shards[i]) for i in range(len(old.shards))
+            )
+            merged: dict[str, Point] = {}
+            for shard in shards:
+                merged.update(shard)
+            snapshot = ShardSnapshot(
+                shards,
+                aggregate_building_locations(merged, self._addresses),
+                old.version + 1,
+            )
+            self._snapshot = snapshot
+            self.swap_stats.record(len(address_locations), len(touched))
+            return snapshot
+
+    def replace(self, address_locations: dict[str, Point]) -> ShardSnapshot:
+        """Rebuild every shard from scratch and swap (full refresh)."""
+        with self._write_lock:
+            snapshot = self._build_snapshot(
+                dict(address_locations), self._snapshot.version + 1
+            )
+            self._snapshot = snapshot
+            self.swap_stats.record(len(address_locations), len(snapshot.shards))
+            return snapshot
+
+    # ------------------------------------------------------------------
+    # Lock-free read path
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ShardSnapshot:
+        """The current immutable generation (one atomic reference read)."""
+        return self._snapshot
+
+    def _resolve(self, snapshot: ShardSnapshot, address: Address) -> QueryResult:
+        shard = snapshot.shards[
+            self._strategy.shard_of(address.address_id, address)
+        ]
+        point = shard.get(address.address_id)
+        if point is not None:
+            return QueryResult(point, QuerySource.ADDRESS)
+        point = snapshot.by_building.get(address.building_id)
+        if point is not None:
+            return QueryResult(point, QuerySource.BUILDING)
+        return QueryResult(address.geocode, QuerySource.GEOCODE)
+
+    def query(self, address: Address) -> QueryResult:
+        """Three-tier fallback resolution against one snapshot."""
+        return self._resolve(self._snapshot, address)
+
+    def query_id(self, address_id: str) -> QueryResult:
+        """Resolve by id; raises :class:`UnknownAddressError` on a miss."""
+        address = self._addresses.get(address_id)
+        if address is None:
+            raise UnknownAddressError(address_id)
+        return self._resolve(self._snapshot, address)
+
+    def query_ids_batch(
+        self, address_ids: list[str]
+    ) -> dict[str, QueryResult | UnknownAddressError]:
+        """Resolve many ids in one pass over a single snapshot.
+
+        This is the micro-batcher's fallback-chain evaluation: every id in
+        the batch is answered from the *same* generation, and unknown ids
+        come back as :class:`UnknownAddressError` values (not raises) so
+        one bad id cannot fail its batch-mates.
+        """
+        snapshot = self._snapshot
+        out: dict[str, QueryResult | UnknownAddressError] = {}
+        for address_id in address_ids:
+            address = self._addresses.get(address_id)
+            if address is None:
+                out[address_id] = UnknownAddressError(address_id)
+            else:
+                out[address_id] = self._resolve(snapshot, address)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / compatibility
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._snapshot.size
+
+    @property
+    def n_shards(self) -> int:
+        return self._strategy.n_shards
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def address_locations(self) -> dict[str, Point]:
+        """Merged address-level table (read-only copy, all shards)."""
+        merged: dict[str, Point] = {}
+        for shard in self._snapshot.shards:
+            merged.update(shard)
+        return merged
+
+    @property
+    def building_locations(self) -> dict[str, Point]:
+        """The global building-level fallback table (read-only copy)."""
+        return dict(self._snapshot.by_building)

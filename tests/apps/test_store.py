@@ -1,6 +1,8 @@
+import threading
+
 import pytest
 
-from repro.apps import DeliveryLocationStore, QuerySource
+from repro.apps import DeliveryLocationStore, QuerySource, UnknownAddressError
 from repro.geo import Point
 from tests.core.helpers import make_address, point_at
 
@@ -53,6 +55,13 @@ class TestQueryFallback:
         with pytest.raises(KeyError):
             s.query_id("missing")
 
+    def test_query_id_raises_typed_unknown_address(self, store):
+        s, _ = store
+        with pytest.raises(UnknownAddressError) as excinfo:
+            s.query_id("missing")
+        assert excinfo.value.address_id == "missing"
+        assert "missing" in str(excinfo.value)
+
     def test_update_refreshes_building_table(self, store):
         s, _ = store
         # Flip the b1 majority to the locker.
@@ -73,3 +82,47 @@ class TestQueryFallback:
         table = s.building_locations
         table["b1"] = Point(0.0, 0.0)
         assert s.building_locations["b1"] != Point(0.0, 0.0)
+
+
+class TestConcurrentUpdate:
+    """Regression: update swaps complete tables; readers never see a
+    half-mutated dict (the old implementation mutated in place while a
+    concurrent query could be iterating the building aggregation)."""
+
+    def test_query_hammered_during_updates(self):
+        n_addresses = 64
+        addresses = {
+            f"a{i}": make_address(f"a{i}", f"b{i % 8}", (float(i), 0.0))
+            for i in range(n_addresses)
+        }
+        base = {f"a{i}": point_at(float(i), 10.0) for i in range(n_addresses)}
+        moved = {f"a{i}": point_at(float(i), 90.0) for i in range(n_addresses)}
+        store = DeliveryLocationStore(base, addresses)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    result = store.query(addresses[f"a{i % n_addresses}"])
+                    assert result.source == QuerySource.ADDRESS
+                    # Either generation is fine; a torn one is not.
+                    assert result.location in (
+                        base[f"a{i % n_addresses}"],
+                        moved[f"a{i % n_addresses}"],
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for round_no in range(300):
+            store.update(moved if round_no % 2 == 0 else base)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []

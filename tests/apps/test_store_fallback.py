@@ -1,0 +1,96 @@
+"""Fallback-chain coverage in isolation: each tier's ``source`` label.
+
+The obs histogram ``service_query_latency_seconds`` is labeled by
+``QueryResult.source.value``; these tests pin the three tier labels at
+the store level and assert the histogram actually receives them when
+queries flow through the service facade.
+"""
+
+import pytest
+
+from repro.apps import (
+    DeliveryLocationService,
+    DeliveryLocationStore,
+    QuerySource,
+)
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from tests.core.helpers import PROJ, make_address, point_at
+
+
+@pytest.fixture()
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture()
+def tiers():
+    """A world where each tier is the unique answer for one probe."""
+    addresses = {
+        "hit": make_address("hit", "b-located", (0.0, 0.0)),
+        "sibling": make_address("sibling", "b-located", (4.0, 0.0)),
+        "cold": make_address("cold", "b-located", (8.0, 0.0)),
+        "orphan": make_address("orphan", "b-empty", (400.0, 0.0)),
+    }
+    locations = {
+        "hit": point_at(15.0, 0.0),
+        "sibling": point_at(15.0, 0.0),
+    }
+    return addresses, locations
+
+
+class TestTierLabels:
+    def test_address_tier_label(self, tiers):
+        addresses, locations = tiers
+        store = DeliveryLocationStore(locations, addresses)
+        result = store.query(addresses["hit"])
+        assert result.source == QuerySource.ADDRESS
+        assert result.source.value == "address"
+        assert result.location == locations["hit"]
+
+    def test_building_tier_label(self, tiers):
+        addresses, locations = tiers
+        store = DeliveryLocationStore(locations, addresses)
+        # "cold" was never inferred, but its building has located
+        # siblings: the modal sibling location answers.
+        result = store.query(addresses["cold"])
+        assert result.source == QuerySource.BUILDING
+        assert result.source.value == "building"
+        # The building table rounds coordinates to 6 decimals when voting.
+        assert result.location.lng == pytest.approx(locations["hit"].lng, abs=1e-6)
+        assert result.location.lat == pytest.approx(locations["hit"].lat, abs=1e-6)
+
+    def test_geocode_tier_label(self, tiers):
+        addresses, locations = tiers
+        store = DeliveryLocationStore(locations, addresses)
+        # "orphan" has neither an inferred location nor located
+        # building-mates: the raw geocode is the last resort.
+        result = store.query(addresses["orphan"])
+        assert result.source == QuerySource.GEOCODE
+        assert result.source.value == "geocode"
+        assert result.location == addresses["orphan"].geocode
+
+    def test_all_labels_are_distinct_and_stable(self):
+        assert {s.value for s in QuerySource} == {
+            "address", "building", "geocode",
+        }
+
+
+class TestServiceHistogramLabels:
+    def test_each_tier_feeds_its_own_histogram_series(
+        self, tiers, fresh_registry
+    ):
+        addresses, locations = tiers
+        service = DeliveryLocationService(addresses, PROJ)
+        service.store.update(locations)
+        service.query_id("hit")         # address tier
+        service.query_id("cold")        # building tier
+        service.query_id("orphan")      # geocode tier
+        service.query(addresses["hit"])  # address tier again, by object
+        histogram = fresh_registry.histogram("service_query_latency_seconds")
+        assert histogram.count(source="address") == 2
+        assert histogram.count(source="building") == 1
+        assert histogram.count(source="geocode") == 1

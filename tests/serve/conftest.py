@@ -1,0 +1,31 @@
+"""Serve-test fixtures: a fresh metrics registry and a tiny served world."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+from repro.serve import ShardedLocationStore
+from tests.core.helpers import make_address, point_at
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Isolate each test's counters/gauges/histograms."""
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture()
+def served_world():
+    """Addresses + locations + a 4-shard store, one per test."""
+    addresses = {
+        f"a{i}": make_address(f"a{i}", f"b{i % 3}", (float(i * 10), 0.0))
+        for i in range(12)
+    }
+    locations = {
+        f"a{i}": point_at(float(i * 10 + 5), 0.0) for i in range(8)
+    }
+    store = ShardedLocationStore(locations, addresses, n_shards=4)
+    return addresses, locations, store

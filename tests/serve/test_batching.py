@@ -1,0 +1,122 @@
+"""Micro-batcher: coalescing, dedup, and per-key error fan-out."""
+
+import threading
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class TestSingleThread:
+    def test_single_submit_resolves(self):
+        calls = []
+
+        def batch_fn(keys):
+            calls.append(list(keys))
+            return {k: k.upper() for k in keys}
+
+        batcher = MicroBatcher(batch_fn, max_batch=4, max_wait_s=0.0)
+        assert batcher.submit("a") == "A"
+        assert calls == [["a"]]
+        stats = batcher.stats()
+        assert stats.batches == 1
+        assert stats.submitted == 1
+
+    def test_missing_key_in_result_raises(self):
+        batcher = MicroBatcher(lambda keys: {}, max_wait_s=0.0)
+        with pytest.raises(KeyError):
+            batcher.submit("a")
+
+    def test_exception_value_is_raised_per_key(self):
+        def batch_fn(keys):
+            return {k: ValueError(k) if k == "bad" else k for k in keys}
+
+        batcher = MicroBatcher(batch_fn, max_wait_s=0.0)
+        assert batcher.submit("ok") == "ok"
+        with pytest.raises(ValueError):
+            batcher.submit("bad")
+
+    def test_batch_fn_failure_propagates(self):
+        def batch_fn(keys):
+            raise RuntimeError("store down")
+
+        batcher = MicroBatcher(batch_fn, max_wait_s=0.0)
+        with pytest.raises(RuntimeError, match="store down"):
+            batcher.submit("a")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k: {}, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k: {}, max_wait_s=-1.0)
+
+
+class TestCoalescing:
+    def test_concurrent_misses_share_batches(self):
+        calls = []
+        gate = threading.Barrier(8 + 1)
+
+        def batch_fn(keys):
+            calls.append(list(keys))
+            return {k: k * 2 for k in keys}
+
+        batcher = MicroBatcher(batch_fn, max_batch=8, max_wait_s=0.05)
+        results = {}
+
+        def worker(key):
+            gate.wait()
+            results[key] = batcher.submit(key)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"k{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        gate.wait()
+        for t in threads:
+            t.join()
+        assert results == {f"k{i}": f"k{i}" * 2 for i in range(8)}
+        # 8 concurrent submits collapsed into far fewer evaluations.
+        stats = batcher.stats()
+        assert stats.batches == len(calls)
+        assert stats.batches < 8
+        assert stats.largest_batch >= 2
+        assert sum(len(c) for c in calls) == 8  # every key evaluated once
+
+    def test_duplicate_keys_deduplicate(self):
+        calls = []
+        gate = threading.Barrier(6 + 1)
+
+        def batch_fn(keys):
+            calls.append(list(keys))
+            return {k: "v" for k in keys}
+
+        batcher = MicroBatcher(batch_fn, max_batch=16, max_wait_s=0.05)
+
+        def worker():
+            gate.wait()
+            assert batcher.submit("hot") == "v"
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        gate.wait()
+        for t in threads:
+            t.join()
+        # "hot" was evaluated once per batch, never once per caller.
+        assert all(c == ["hot"] for c in calls)
+        stats = batcher.stats()
+        assert stats.submitted == 6
+        assert stats.coalesced >= 6 - stats.batches
+
+    def test_full_batch_flushes_before_window(self):
+        calls = []
+
+        def batch_fn(keys):
+            calls.append(list(keys))
+            return {k: k for k in keys}
+
+        # Window is huge; max_batch=1 forces immediate flush anyway.
+        batcher = MicroBatcher(batch_fn, max_batch=1, max_wait_s=60.0)
+        assert batcher.submit("a") == "a"
+        assert calls == [["a"]]

@@ -1,0 +1,242 @@
+"""Query server: worker pool, backpressure, deadlines, obs wiring."""
+
+import threading
+
+import pytest
+
+from repro.apps import QuerySource
+from repro.obs import get_registry
+from repro.serve import (
+    QueryRouter,
+    QueryServer,
+    ServeStatus,
+    ServerConfig,
+)
+from tests.core.helpers import point_at
+
+
+class GatedRouter(QueryRouter):
+    """Router whose resolution blocks until released (concurrency probes)."""
+
+    def __init__(self, store):
+        super().__init__(store)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def resolve(self, address_id):
+        self.entered.set()
+        assert self.release.wait(5.0), "gate never released"
+        return super().resolve(address_id)
+
+
+class TestBasicServing:
+    def test_query_resolves_with_provenance(self, served_world):
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=2)) as server:
+            response = server.query("a0")
+            assert response.ok
+            assert response.status is ServeStatus.OK
+            assert response.result.source == QuerySource.ADDRESS
+            assert response.cache_state == "miss"
+            assert response.latency_s > 0
+            # Second hit comes from the cache.
+            again = server.query("a0")
+            assert again.cache_state == "hit"
+            assert again.result == response.result
+
+    def test_unknown_address_is_structured_not_a_crash(self, served_world):
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=1)) as server:
+            response = server.query("never-seen")
+            assert response.status is ServeStatus.UNKNOWN_ADDRESS
+            assert response.result is None
+            assert "never-seen" in response.error
+            # The worker survives and keeps serving.
+            assert server.query("a1").ok
+
+    def test_fallback_tiers_travel_through_the_server(self, served_world):
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=1)) as server:
+            assert server.query("a0").result.source == QuerySource.ADDRESS
+            # a8..a11 have no inferred location; b-buildings 0..2 all have
+            # located addresses, so the building tier answers.
+            assert server.query("a8").result.source == QuerySource.BUILDING
+
+    def test_lifecycle_guards(self, served_world):
+        _, _, store = served_world
+        server = QueryServer(store, ServerConfig(n_workers=1))
+        with pytest.raises(RuntimeError):
+            server.submit("a0")
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+        server.stop()
+        server.stop()  # idempotent
+        with pytest.raises(RuntimeError):
+            server.submit("a0")
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self, served_world):
+        _, _, store = served_world
+        router = GatedRouter(store)
+        config = ServerConfig(n_workers=1, queue_capacity=1)
+        with QueryServer(store, config, router=router) as server:
+            held = server.submit("a0", timeout_s=5.0)
+            assert router.entered.wait(5.0)   # worker is busy with a0
+            queued = server.submit("a1", timeout_s=5.0)
+            rejected = server.submit("a2", timeout_s=5.0)
+            assert rejected.done()            # no waiting: instant verdict
+            response = rejected.result()
+            assert response.status is ServeStatus.REJECTED
+            assert "queue full" in response.error
+            router.release.set()
+            assert held.result().ok
+            assert queued.result().ok
+        counts = server.stats()["requests_by_status"]
+        assert counts["rejected"] == 1
+        assert counts["ok"] == 2
+
+    def test_client_side_deadline(self, served_world):
+        _, _, store = served_world
+        router = GatedRouter(store)
+        config = ServerConfig(n_workers=1, queue_capacity=4)
+        with QueryServer(store, config, router=router) as server:
+            held = server.submit("a0", timeout_s=5.0)
+            assert router.entered.wait(5.0)
+            starved = server.submit("a1", timeout_s=0.05)
+            response = starved.result()
+            assert response.status is ServeStatus.TIMED_OUT
+            router.release.set()
+            assert held.result().ok
+        counts = server.stats()["requests_by_status"]
+        assert counts["timed_out"] == 1
+
+    def test_worker_discards_expired_queued_work(self, served_world):
+        _, _, store = served_world
+        router = GatedRouter(store)
+        config = ServerConfig(n_workers=1, queue_capacity=4)
+        with QueryServer(store, config, router=router) as server:
+            held = server.submit("a0", timeout_s=5.0)
+            assert router.entered.wait(5.0)
+            starved = server.submit("a1", timeout_s=0.01)
+            import time
+            time.sleep(0.05)                  # expire it while queued
+            router.release.set()
+            assert held.result().ok
+            assert starved.result().status is ServeStatus.TIMED_OUT
+
+
+class TestRefresh:
+    def test_apply_refresh_swaps_and_invalidates_cache(self, served_world):
+        addresses, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=2)) as server:
+            before = server.query("a0")
+            assert server.query("a0").cache_state == "hit"
+            moved = point_at(999.0, 0.0)
+            version = server.apply_refresh({"a0": moved})
+            assert version == 2
+            after = server.query("a0")
+            assert after.cache_state == "miss"   # cache dropped on swap
+            assert after.result.location == moved
+            assert before.result.location != moved
+
+    def test_refresh_mid_load_causes_zero_errors(self, served_world):
+        """Acceptance: atomic shard swap is invisible to the query path."""
+        addresses, locations, store = served_world
+        config = ServerConfig(n_workers=4, queue_capacity=256,
+                              cache_ttl_s=0.005)
+        ids = sorted(addresses)
+        with QueryServer(store, config) as server:
+            stop = threading.Event()
+            moved = {aid: point_at(1000.0 + i, 0.0)
+                     for i, aid in enumerate(ids)}
+
+            def churn():
+                flip = False
+                while not stop.wait(0.0005):
+                    server.apply_refresh(moved if flip else locations,
+                                         replace=flip)
+                    flip = not flip
+
+            churner = threading.Thread(target=churn)
+            churner.start()
+            responses = []
+            for i in range(600):
+                responses.append(server.query(ids[i % len(ids)],
+                                              timeout_s=5.0))
+            stop.set()
+            churner.join()
+        bad = [r for r in responses
+               if r.status not in (ServeStatus.OK,)]
+        assert bad == []
+        assert store.swap_stats.swaps > 0
+
+
+class TestObservability:
+    def test_metrics_are_registered_and_labeled(self, served_world):
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=2)) as server:
+            server.query("a0")
+            server.query("a0")
+            server.query("missing-id")
+        registry = get_registry()
+        requests = registry.counter("serve_requests_total")
+        assert requests.value(status="ok") == 2
+        assert requests.value(status="unknown_address") == 1
+        latency = registry.histogram("serve_request_latency_seconds")
+        assert latency.count(source="address", cache="miss") == 1
+        assert latency.count(source="address", cache="hit") == 1
+        cache_events = registry.counter("serve_cache_events_total")
+        assert cache_events.value(event="hit") == 1
+        assert cache_events.value(event="miss") >= 1
+        assert registry.gauge("serve_queue_depth").value() is not None
+
+    def test_stats_snapshot_shape(self, served_world):
+        _, _, store = served_world
+        config = ServerConfig(n_workers=3, queue_capacity=7,
+                              batch_window_s=0.001)
+        with QueryServer(store, config) as server:
+            server.query("a0")
+            stats = server.stats()
+        assert stats["n_workers"] == 3
+        assert stats["queue_capacity"] == 7
+        assert stats["store_version"] == 1
+        assert len(stats["shard_sizes"]) == store.n_shards
+        assert stats["requests_by_status"]["ok"] == 1
+        assert "cache" in stats and "batch" in stats
+
+    def test_request_spans_are_emitted(self, served_world, tmp_path):
+        from repro.obs import configure_tracing, disable_tracing, read_trace
+
+        _, _, store = served_world
+        trace_path = tmp_path / "serve-trace.jsonl"
+        configure_tracing(trace_path)
+        try:
+            with QueryServer(store, ServerConfig(n_workers=1)) as server:
+                server.query("a0")
+        finally:
+            disable_tracing()
+        spans = read_trace(trace_path)
+        serve_spans = [s for s in spans if s["name"] == "serve.request"]
+        assert len(serve_spans) == 1
+        assert serve_spans[0]["attributes"]["address_id"] == "a0"
+        assert serve_spans[0]["attributes"]["status"] == "ok"
+
+
+class TestMicroBatchedServing:
+    def test_batched_server_answers_correctly_under_concurrency(
+        self, served_world
+    ):
+        addresses, _, store = served_world
+        config = ServerConfig(n_workers=4, queue_capacity=256,
+                              cache_capacity=0, batch_window_s=0.002)
+        ids = sorted(addresses)
+        with QueryServer(store, config) as server:
+            pendings = [server.submit(ids[i % len(ids)], timeout_s=5.0)
+                        for i in range(64)]
+            responses = [p.result() for p in pendings]
+        assert all(r.ok for r in responses)
+        stats = server.router.batch_stats()
+        assert stats is not None
+        assert stats.submitted == 64

@@ -1,0 +1,191 @@
+"""Sharded store: partitioning, copy-on-write swap, concurrent safety."""
+
+import threading
+
+import pytest
+
+from repro.apps import DeliveryLocationStore, QuerySource, UnknownAddressError
+from repro.serve import (
+    GeohashShardStrategy,
+    HashShardStrategy,
+    ShardedLocationStore,
+)
+from tests.core.helpers import make_address, point_at
+
+
+@pytest.fixture()
+def world():
+    addresses = {
+        "a1": make_address("a1", "b1", (0.0, 0.0)),
+        "a2": make_address("a2", "b1", (5.0, 0.0)),
+        "a3": make_address("a3", "b1", (10.0, 0.0)),
+        "a4": make_address("a4", "b2", (500.0, 0.0)),
+    }
+    locations = {
+        "a1": point_at(20.0, 0.0),
+        "a2": point_at(20.0, 0.0),
+        "a3": point_at(300.0, 0.0),
+    }
+    return addresses, locations
+
+
+class TestStrategies:
+    def test_hash_strategy_in_range_and_deterministic(self):
+        strategy = HashShardStrategy(4)
+        ids = [f"a{i:04d}" for i in range(200)]
+        shards = [strategy.shard_of(i) for i in ids]
+        assert all(0 <= s < 4 for s in shards)
+        assert shards == [strategy.shard_of(i) for i in ids]
+        # Uniform-ish: every shard gets some of 200 ids.
+        assert len(set(shards)) == 4
+
+    def test_geohash_strategy_groups_nearby_addresses(self):
+        strategy = GeohashShardStrategy(8, precision=5)
+        # Two addresses a few meters apart share a geohash-5 cell
+        # (~4.9 km x 4.9 km) and therefore a shard.
+        near1 = make_address("n1", "b", (0.0, 0.0))
+        near2 = make_address("n2", "b", (5.0, 5.0))
+        assert strategy.shard_of("n1", near1) == strategy.shard_of("n2", near2)
+
+    def test_geohash_strategy_falls_back_without_address(self):
+        strategy = GeohashShardStrategy(8)
+        assert 0 <= strategy.shard_of("nowhere", None) < 8
+
+    def test_invalid_shard_counts(self):
+        with pytest.raises(ValueError):
+            HashShardStrategy(0)
+        with pytest.raises(ValueError):
+            GeohashShardStrategy(4, precision=0)
+
+
+class TestQueryParity:
+    """The sharded store answers exactly like the flat store."""
+
+    @pytest.mark.parametrize("strategy_cls", [HashShardStrategy, GeohashShardStrategy])
+    def test_all_tiers_match_flat_store(self, world, strategy_cls):
+        addresses, locations = world
+        flat = DeliveryLocationStore(locations, addresses)
+        sharded = ShardedLocationStore(
+            locations, addresses, strategy=strategy_cls(3)
+        )
+        probes = list(addresses.values()) + [
+            make_address("new", "b1", (2.0, 2.0)),       # building tier
+            make_address("s", "nowhere", (42.0, 0.0)),    # geocode tier
+        ]
+        for probe in probes:
+            assert sharded.query(probe) == flat.query(probe), probe.address_id
+
+    def test_query_id_and_unknown(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses)
+        assert store.query_id("a1").source == QuerySource.ADDRESS
+        with pytest.raises(UnknownAddressError):
+            store.query_id("missing")
+        with pytest.raises(KeyError):  # back-compat contract
+            store.query_id("missing")
+
+    def test_batch_resolution_mixes_results_and_errors(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses)
+        out = store.query_ids_batch(["a1", "missing", "a4"])
+        assert out["a1"].source == QuerySource.ADDRESS
+        assert isinstance(out["missing"], UnknownAddressError)
+        assert out["a4"].source == QuerySource.GEOCODE
+
+
+class TestCopyOnWrite:
+    def test_update_swaps_snapshot_and_bumps_version(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses, n_shards=4)
+        before = store.snapshot()
+        store.update({"a4": point_at(510.0, 0.0)})
+        after = store.snapshot()
+        assert after is not before
+        assert after.version == before.version + 1
+        # The old generation is untouched.
+        assert "a4" not in {k for shard in before.shards for k in shard}
+        assert store.query_id("a4").source == QuerySource.ADDRESS
+
+    def test_untouched_shards_are_shared_not_copied(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses, n_shards=4)
+        before = store.snapshot()
+        store.update({"a4": point_at(510.0, 0.0)})
+        after = store.snapshot()
+        idx = store._strategy.shard_of("a4", addresses["a4"])
+        shared = [
+            i for i in range(4)
+            if i != idx and after.shards[i] is before.shards[i]
+        ]
+        assert len(shared) == 3
+
+    def test_empty_update_is_a_noop(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses)
+        before = store.snapshot()
+        store.update({})
+        assert store.snapshot() is before
+
+    def test_replace_rebuilds_everything(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses)
+        store.replace({"a4": point_at(510.0, 0.0)})
+        assert len(store) == 1
+        assert store.query_id("a1").source != QuerySource.ADDRESS
+
+    def test_building_fallback_is_global_across_shards(self, world):
+        addresses, locations = world
+        # Many shards: b1's addresses scatter, yet the building vote
+        # still aggregates across all of them.
+        store = ShardedLocationStore(locations, addresses, n_shards=16)
+        flat = DeliveryLocationStore(locations, addresses)
+        assert store.building_locations == flat.building_locations
+
+    def test_merged_views(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses, n_shards=4)
+        assert store.address_locations == locations
+        assert len(store) == len(locations)
+        assert sum(store.snapshot().shard_sizes()) == len(locations)
+
+
+class TestAtomicSwapUnderLoad:
+    """Acceptance: a refresh mid-load causes zero query errors."""
+
+    def test_concurrent_queries_during_refresh(self, world):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses, n_shards=4)
+        ids = list(addresses)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    result = store.query_id(ids[i % len(ids)])
+                    assert result.location is not None
+                    assert result.source in (
+                        QuerySource.ADDRESS, QuerySource.BUILDING,
+                        QuerySource.GEOCODE,
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                i += 1
+
+        readers = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in readers:
+            thread.start()
+        moved = {aid: point_at(700.0 + i, 0.0) for i, aid in enumerate(ids)}
+        for round_no in range(200):
+            if round_no % 2 == 0:
+                store.update(moved)
+            else:
+                store.replace(locations)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        assert store.swap_stats.swaps == 200
+        assert store.version == 201

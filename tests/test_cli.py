@@ -228,6 +228,50 @@ class TestCrossval:
         assert "MaxTC-ILC" in out
 
 
+class TestServeBench:
+    def test_closed_loop_report_and_artifact(self, data_dir, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serve.json"
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--duration", "0.3", "--workers", "4",
+            "--refresh-every", "0.05", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "throughput" in out
+        assert "cache hit rate" in out
+        assert "rejected" in out
+        assert "refreshes" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["report"]["n_errors"] == 0
+        assert payload["report"]["n_ok"] > 0
+        assert payload["config"]["workers"] == 4
+        assert payload["refreshes_mid_run"] >= 1
+
+    def test_open_loop_json_is_deterministic_in_schedule(self, data_dir, capsys):
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--workload", "open", "--rate", "150", "--duration", "0.3",
+            "--seed", "7", "--json",
+        ])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out)
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--workload", "open", "--rate", "150", "--duration", "0.3",
+            "--seed", "7", "--json",
+        ])
+        assert code == 0
+        second = json.loads(capsys.readouterr().out)
+        # Identical seeds issue identical request schedules.
+        assert first["report"]["n_issued"] == second["report"]["n_issued"]
+        assert first["report"]["n_errors"] == 0
+
+
 class TestStats:
     def test_prints_distributions(self, data_dir, capsys):
         code = main(["stats", "--data", str(data_dir)])
