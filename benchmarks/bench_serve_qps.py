@@ -12,6 +12,7 @@ import random
 import threading
 
 from repro.eval import series_table
+from repro.obs.health import SLO
 from repro.serve import (
     LoadGenerator,
     QueryServer,
@@ -21,6 +22,16 @@ from repro.serve import (
 
 DURATION_S = 1.0
 N_CLIENTS = 4
+
+#: The objectives every scenario is verdicted against (live windows, with
+#: burn rates); lenient enough for shared CI runners, tight enough to
+#: catch a deadlocked worker pool or a broken cache.
+BENCH_SLOS = [
+    SLO(name="p95-latency", metric="serve_request_latency_seconds",
+        kind="quantile", quantile=0.95, objective=0.25),
+    SLO(name="error-rate", metric="serve_requests_total",
+        kind="error_rate", objective=0.01, bad=(("status", ("error",)),)),
+]
 
 
 def _run(store, config, address_ids, seed, refresh_with=None, workload="closed",
@@ -37,9 +48,11 @@ def _run(store, config, address_ids, seed, refresh_with=None, workload="closed",
             churn = threading.Thread(target=_churn)
             churn.start()
         if workload == "closed":
-            report = generator.run_closed(n_clients=N_CLIENTS, duration_s=DURATION_S)
+            report = generator.run_closed(n_clients=N_CLIENTS, duration_s=DURATION_S,
+                                          slos=BENCH_SLOS)
         else:
-            report = generator.run_open(rate_rps=rate, duration_s=DURATION_S)
+            report = generator.run_open(rate_rps=rate, duration_s=DURATION_S,
+                                        slos=BENCH_SLOS)
         if churn is not None:
             stop.set()
             churn.join()
@@ -96,5 +109,10 @@ def test_serve_qps(dow_workload, write_result, write_json):
     for name, report_dict in scenarios.items():
         assert report_dict["n_errors"] == 0, (name, report_dict)
         assert report_dict["n_ok"] > 0, (name, report_dict)
+        # Each scenario carries its queue-depth series and live SLO verdict.
+        assert report_dict["queue_depth_series"], (name, report_dict)
+        verdict = report_dict["slo"]
+        assert verdict is not None and verdict["ok"], (name, verdict)
+        assert len(verdict["results"]) == len(BENCH_SLOS), (name, verdict)
     # The swap is invisible to readers: zero non-OK outcomes during churn.
     assert churn_report.n_ok == churn_report.n_issued

@@ -20,6 +20,7 @@ from repro.core import DLInfMA, DLInfMAConfig
 from repro.geo import LocalProjection, Point
 from repro.obs import event, get_registry
 from repro.obs import span as obs_span
+from repro.obs.drift import DriftMonitor, matcher_fingerprint, pool_fingerprint
 from repro.serve.shard import ShardedLocationStore, ShardStrategy
 from repro.trajectory import Address, DeliveryTrip
 
@@ -34,6 +35,13 @@ class ServiceStats:
     n_new_trips: int = 0
     incremental: bool = False
     counters: dict[str, int] = field(default_factory=dict)
+    #: Drift reports keyed by fingerprint kind ("pool" / "matcher");
+    #: empty on the first refresh (no baseline to compare against yet).
+    drift: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def drifted(self) -> bool:
+        return any(report.get("drifted") for report in self.drift.values())
 
 
 class DeliveryLocationService:
@@ -55,6 +63,9 @@ class DeliveryLocationService:
         )
         self.pipeline: DLInfMA | None = None
         self.last_refresh: ServiceStats | None = None
+        #: Fingerprints every refresh; compares each against the previous
+        #: one (PSI + scalar ratios) and flags silent model/pool drift.
+        self.drift = DriftMonitor()
 
     def refresh(
         self,
@@ -124,8 +135,32 @@ class DeliveryLocationService:
             n_new_trips=n_new,
             incremental=incremental,
             counters=dict(pipeline.counters),
+            drift=self._check_drift(pipeline),
         )
         return self.last_refresh
+
+    def _check_drift(self, pipeline: DLInfMA) -> dict[str, dict]:
+        """Fingerprint this refresh and compare against the previous one.
+
+        The monitor handles gauge/event emission; here we just collect
+        the report dicts for :class:`ServiceStats` (empty on the first
+        refresh, when there is no baseline yet).
+        """
+        fingerprints = [
+            pool_fingerprint(
+                pipeline.pool, pipeline.extractor.profiles, pipeline.examples
+            )
+        ]
+        if pipeline.selector is not None and pipeline.examples:
+            fingerprints.append(
+                matcher_fingerprint(pipeline.selector, pipeline.examples)
+            )
+        reports: dict[str, dict] = {}
+        for fingerprint in fingerprints:
+            report = self.drift.observe(fingerprint)
+            if report is not None:
+                reports[report.kind] = report.to_dict()
+        return reports
 
     def _observe_query(self, seconds: float, result: QueryResult) -> None:
         get_registry().histogram(

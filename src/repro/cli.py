@@ -19,11 +19,21 @@ single lookup through the deployed store's fallback chain; ``serve-bench``
 load-tests the concurrent sharded serving tier (:mod:`repro.serve`) and
 reports p50/p95/p99 latency, throughput, cache hit rate, and rejections.
 
-Observability: ``evaluate`` and ``update`` accept ``--trace PATH`` (write a
-JSON-lines span trace), ``--metrics-out PATH`` (export the metrics registry
-as JSON, or Prometheus text for ``.prom``/``.txt`` suffixes), and
-``--json`` (machine-readable report on stdout); ``repro metrics PATH``
-renders a saved metrics file as a table.
+Observability: ``evaluate``, ``update``, and ``serve-bench`` accept
+``--trace PATH`` (write a JSON-lines span trace), ``--metrics-out PATH``
+(export the metrics registry as JSON, or Prometheus text for
+``.prom``/``.txt`` suffixes), ``--profile PATH`` (sampling wall-clock
+profile, speedscope JSON or collapsed text by suffix), ``--memory PATH``
+(per-stage tracemalloc snapshots), and ``--json`` (machine-readable report
+on stdout); ``repro metrics PATH`` renders a saved metrics file as a table.
+
+Health: ``repro health --metrics m.json --slo slo.yaml`` evaluates
+declarative SLOs against an exported metrics file and exits nonzero on any
+violation; ``serve-bench --slo slo.yaml`` applies the same objectives to
+the live request windows (with burn rates); ``update --drift-out d.json``
+compares pool/matcher fingerprints before and after the incremental batch;
+``repro profile -- <subcommand ...>`` wraps any subcommand in the sampling
+profiler.
 """
 
 from __future__ import annotations
@@ -116,17 +126,50 @@ def _print_stage_timings(rows, indent: str = "  ") -> None:
 def _begin_observability(args: argparse.Namespace) -> None:
     if getattr(args, "trace", None):
         obs.configure_tracing(args.trace)
+    if getattr(args, "profile", None):
+        args._sampler = obs.SamplingProfiler().start()
+    if getattr(args, "memory", None):
+        obs.configure_memory_profiling()
 
 
 def _end_observability(args: argparse.Namespace, config=None) -> None:
+    quiet = getattr(args, "json", False)
     if getattr(args, "metrics_out", None):
         obs.export_metrics(args.metrics_out, meta=obs.run_metadata(config))
-        if not getattr(args, "json", False):
+        if not quiet:
             print(f"metrics -> {args.metrics_out}")
     if getattr(args, "trace", None):
         obs.disable_tracing()
-        if not getattr(args, "json", False):
+        if not quiet:
             print(f"trace -> {args.trace}")
+    sampler = getattr(args, "_sampler", None)
+    if sampler is not None:
+        profile = sampler.stop()
+        profile.save(args.profile)
+        if not quiet:
+            print(f"profile -> {args.profile} "
+                  f"({profile.n_ticks} ticks @ {profile.hz:.0f} Hz)")
+    if getattr(args, "memory", None):
+        memory = obs.disable_memory_profiling()
+        if memory is not None:
+            memory.save(args.memory)
+            if not quiet:
+                print(f"memory -> {args.memory} "
+                      f"({len(memory.snapshots)} stage snapshots)")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared --trace/--metrics-out/--profile/--memory flag group."""
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSON-lines span trace to PATH")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="export metrics to PATH (.json, or .prom/.txt "
+                             "for Prometheus text format)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="sampling wall-clock profile to PATH (speedscope "
+                             "JSON, or collapsed text for .txt/.collapsed)")
+    parser.add_argument("--memory", default=None, metavar="PATH",
+                        help="per-stage tracemalloc snapshots to PATH (JSON)")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -179,6 +222,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_fingerprints(model: DLInfMA) -> list:
+    """Pool + (when scorable) matcher fingerprints of a fitted pipeline."""
+    from repro.obs.drift import matcher_fingerprint, pool_fingerprint
+
+    fingerprints = [
+        pool_fingerprint(model.pool, model.extractor.profiles, model.examples)
+    ]
+    if model.selector is not None and model.examples:
+        fingerprints.append(matcher_fingerprint(model.selector, model.examples))
+    return fingerprints
+
+
 def _cmd_update(args: argparse.Namespace) -> int:
     _begin_observability(args)
     workload = _load_workload(pathlib.Path(args.data))
@@ -193,10 +248,22 @@ def _cmd_update(args: argparse.Namespace) -> int:
         projection=workload.projection,
     )
     fit_rows = model.context.timing_rows()
+    baseline_fps = _model_fingerprints(model) if args.drift_out else []
     model.update(
         new_trips, workload.ground_truth, workload.train_ids, workload.val_ids
     )
     update_rows = model.context.timing_rows()
+    drift_reports = []
+    if args.drift_out:
+        from repro.obs.drift import compare_fingerprints, save_drift_report
+
+        current = {fp.kind: fp for fp in _model_fingerprints(model)}
+        drift_reports = [
+            compare_fingerprints(base, current[base.kind])
+            for base in baseline_fps
+            if base.kind in current
+        ]
+        save_drift_report(drift_reports, args.drift_out)
     delivered = sorted(model.extractor.trips_by_address)
     locations = model.predict(delivered)
     save_locations(locations, args.out)
@@ -215,6 +282,12 @@ def _cmd_update(args: argparse.Namespace) -> int:
             "fit_stage_timings_s": [[s, t] for s, t in fit_rows],
             "update_stage_timings_s": [[s, t] for s, t in update_rows],
         }
+        if args.drift_out:
+            payload["drift"] = {
+                "out": str(args.drift_out),
+                "drifted": any(r.drifted for r in drift_reports),
+                "reports": [r.to_dict() for r in drift_reports],
+            }
         print(json.dumps(payload, indent=2))
     else:
         print(f"absorbed {n_new} new trips of {len(new_trips)} submitted "
@@ -223,6 +296,10 @@ def _cmd_update(args: argparse.Namespace) -> int:
               f" + rebuilt {counters.get('feature_extraction.examples_rebuilt', 0)}"
               f" address examples "
               f"({counters.get('feature_extraction.addresses_affected', 0)} affected)")
+        for report in drift_reports:
+            print(report.render())
+        if args.drift_out:
+            print(f"drift report -> {args.drift_out}")
         if args.timings:
             print()
             print("initial fit:")
@@ -246,8 +323,71 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"not a JSON metrics file: {path} "
               "(Prometheus text exports are already human-readable)", file=sys.stderr)
         return 1
-    print(obs.render_metrics(payload))
+    try:
+        print(obs.render_metrics(payload))
+    except TypeError as exc:
+        print(f"malformed metrics file {path}: {exc}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec against an exported metrics file.
+
+    Exit codes: 0 healthy, 1 any objective violated (or no data for it),
+    2 unreadable inputs — so CI can gate on the verdict directly.
+    """
+    from repro.obs.health import evaluate_slos, load_slo_file
+
+    metrics_path = pathlib.Path(args.metrics)
+    slo_path = pathlib.Path(args.slo)
+    try:
+        slos = load_slo_file(slo_path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load SLO spec {slo_path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        payload = obs.load_metrics(metrics_path)
+    except OSError as exc:
+        print(f"cannot read metrics file {metrics_path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError:
+        print(f"not a JSON metrics file: {metrics_path} "
+              "(point --metrics at a --metrics-out .json export)", file=sys.stderr)
+        return 2
+    report = evaluate_slos(payload, slos, source=str(metrics_path))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run any subcommand under the sampling profiler."""
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("profile: missing subcommand (usage: repro profile [-- ] "
+              "<subcommand> ...)", file=sys.stderr)
+        return 2
+    sampler = obs.SamplingProfiler(hz=args.hz).start()
+    try:
+        code = main(rest)
+    finally:
+        profile = sampler.stop()
+    if args.out:
+        profile.save(args.out)
+        print(f"profile -> {args.out} "
+              f"({profile.n_ticks} ticks @ {profile.hz:.0f} Hz, "
+              f"{profile.duration_s:.2f} s)")
+    rows = profile.top(args.top)
+    if rows:
+        print(f"top {len(rows)} frames by self time:")
+        for frame, self_s, total_s in rows:
+            print(f"  {frame:<48} self {self_s:7.3f} s  total {total_s:7.3f} s")
+    return code
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
@@ -376,6 +516,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ShardedLocationStore,
     )
 
+    slos = []
+    if args.slo:
+        from repro.obs.health import load_slo_file
+
+        try:
+            slos = load_slo_file(args.slo)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
     _begin_observability(args)
     data_dir = pathlib.Path(args.data)
     addresses = load_addresses(data_dir / "addresses.json")
@@ -411,11 +560,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         t0 = _time.perf_counter()
         if args.workload == "closed":
             report = generator.run_closed(
-                n_clients=args.clients, duration_s=args.duration
+                n_clients=args.clients, duration_s=args.duration, slos=slos
             )
         else:
             report = generator.run_open(
-                rate_rps=args.rate, duration_s=args.duration
+                rate_rps=args.rate, duration_s=args.duration, slos=slos
             )
         wall = _time.perf_counter() - t0
         if churn_thread is not None:
@@ -450,10 +599,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(report.render())
         if args.refresh_every > 0:
             print(f"refreshes       {refreshes[0]} (mid-run, atomic swap)")
+        if report.slo is not None:
+            print()
+            print("live SLO verdict:")
+            for result in report.slo.get("results", []):
+                observed = result.get("observed")
+                shown = "no data" if observed is None else f"{observed:.6g}"
+                print(f"  {'OK ' if result.get('ok') else 'VIOLATED':<9} "
+                      f"{result.get('name')}  observed {shown}  "
+                      f"<= {result.get('objective')}")
         if args.out:
             print(f"report -> {args.out}")
     _end_observability(args, config={"command": "serve-bench"})
-    return 0 if report.n_errors == 0 else 1
+    slo_ok = report.slo is None or bool(report.slo.get("ok"))
+    return 0 if report.n_errors == 0 and slo_ok else 1
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -495,11 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print per-stage engine timings per method")
     p_eval.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report on stdout")
-    p_eval.add_argument("--trace", default=None, metavar="PATH",
-                        help="write a JSON-lines span trace to PATH")
-    p_eval.add_argument("--metrics-out", default=None, metavar="PATH",
-                        help="export metrics to PATH (.json, or .prom/.txt "
-                             "for Prometheus text format)")
+    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_infer = sub.add_parser("infer", help="run DLInfMA and dump locations")
@@ -520,11 +675,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print fit vs. update per-stage timings")
     p_upd.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON report on stdout")
-    p_upd.add_argument("--trace", default=None, metavar="PATH",
-                       help="write a JSON-lines span trace to PATH")
-    p_upd.add_argument("--metrics-out", default=None, metavar="PATH",
-                       help="export metrics to PATH (.json, or .prom/.txt "
-                            "for Prometheus text format)")
+    p_upd.add_argument("--drift-out", default=None, metavar="PATH",
+                       help="compare pool/matcher fingerprints before vs. "
+                            "after the batch and write a drift report JSON")
+    _add_obs_flags(p_upd)
     p_upd.set_defaults(func=_cmd_update)
 
     p_metrics = sub.add_parser(
@@ -532,6 +686,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_metrics.add_argument("path", help="metrics file written by --metrics-out")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_health = sub.add_parser(
+        "health", help="evaluate an SLO spec against an exported metrics file"
+    )
+    p_health.add_argument("--metrics", required=True,
+                          help="metrics JSON written by --metrics-out")
+    p_health.add_argument("--slo", required=True,
+                          help="SLO spec (YAML or JSON)")
+    p_health.add_argument("--json", action="store_true",
+                          help="emit the machine-readable verdict on stdout")
+    p_health.set_defaults(func=_cmd_health)
+
+    p_prof = sub.add_parser(
+        "profile", help="run any subcommand under the sampling profiler"
+    )
+    p_prof.add_argument("--hz", type=float, default=100.0,
+                        help="sampling frequency (samples per second)")
+    p_prof.add_argument("--out", default=None, metavar="PATH",
+                        help="write the profile (speedscope JSON, or "
+                             "collapsed text for .txt/.collapsed)")
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="print the N heaviest frames by self time")
+    p_prof.add_argument("rest", nargs=argparse.REMAINDER,
+                        help="subcommand to profile (prefix with --)")
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_cv = sub.add_parser("crossval", help="spatial cross-validation on a preset")
     p_cv.add_argument("--preset", choices=sorted(PRESETS), default="downbj")
@@ -588,11 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the machine-readable report on stdout")
     p_serve.add_argument("--out", default=None, metavar="PATH",
                          help="also write the JSON report to PATH")
-    p_serve.add_argument("--trace", default=None, metavar="PATH",
-                         help="write a JSON-lines span trace to PATH")
-    p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
-                         help="export metrics to PATH (.json, or .prom/.txt "
-                              "for Prometheus text format)")
+    p_serve.add_argument("--slo", default=None, metavar="PATH",
+                         help="SLO spec to verdict the live request windows "
+                              "against (nonzero exit on violation)")
+    _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_query = sub.add_parser("query", help="resolve one address via the store")

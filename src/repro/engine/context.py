@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.obs import span as obs_span
+from repro.obs.prof import active_memory_profiler
 from repro.obs.trace import Span
 
 
@@ -70,6 +71,11 @@ class RunContext:
             finally:
                 key = f"{name}_s"
                 self.timings[key] = self.timings.get(key, 0.0) + (time.perf_counter() - t0)
+                memory = active_memory_profiler()
+                if memory is not None:
+                    # Opt-in per-stage memory capture (--memory): one
+                    # labeled tracemalloc reading per timed stage.
+                    memory.snapshot(f"{self.label}:{name}")
 
     def count(self, stage: str, metric: str, n: int) -> None:
         """Record an item counter for a stage (accumulates on repeats)."""

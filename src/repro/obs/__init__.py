@@ -16,12 +16,32 @@ API, so per-stage timings, counters, trace spans, and exported metrics all
 share one source of truth.
 """
 
+from repro.obs.drift import (
+    DriftMonitor,
+    DriftReport,
+    Fingerprint,
+    compare_fingerprints,
+    matcher_fingerprint,
+    pool_fingerprint,
+    psi,
+    save_drift_report,
+)
 from repro.obs.events import (
     EventLog,
     configure_events,
     event,
     get_event_log,
     read_events,
+)
+from repro.obs.health import (
+    SLO,
+    HealthReport,
+    RequestWindows,
+    SLOResult,
+    evaluate_slos,
+    histogram_quantile,
+    load_slo_file,
+    parse_slos,
 )
 from repro.obs.meta import git_sha, run_metadata
 from repro.obs.metrics import (
@@ -37,6 +57,15 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
+from repro.obs.prof import (
+    MemoryProfiler,
+    SamplingProfiler,
+    StackProfile,
+    active_memory_profiler,
+    configure_memory_profiling,
+    disable_memory_profiling,
+    profile_block,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -50,6 +79,29 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "Fingerprint",
+    "compare_fingerprints",
+    "matcher_fingerprint",
+    "pool_fingerprint",
+    "psi",
+    "save_drift_report",
+    "SLO",
+    "HealthReport",
+    "RequestWindows",
+    "SLOResult",
+    "evaluate_slos",
+    "histogram_quantile",
+    "load_slo_file",
+    "parse_slos",
+    "MemoryProfiler",
+    "SamplingProfiler",
+    "StackProfile",
+    "active_memory_profiler",
+    "configure_memory_profiling",
+    "disable_memory_profiling",
+    "profile_block",
     "EventLog",
     "configure_events",
     "event",

@@ -1,0 +1,633 @@
+"""Declarative SLOs, histogram quantiles, and burn-rate monitoring.
+
+An :class:`SLO` states an objective over one metric family — "p95 of
+``serve_request_latency_seconds`` stays under 250 ms", "the fraction of
+``serve_requests_total`` with ``status=error`` stays under 1%" — and the
+engine evaluates a list of them against either an exported metrics
+document (the ``repro health`` CLI path) or a live
+:class:`RequestWindows` sample store (the serving tier's in-process
+path).  Violations become structured ``slo_violation`` events and a
+nonzero exit code, turning the PR-2 telemetry into a verdict a CI job or
+an operator can act on.
+
+Burn rate follows the multi-window pattern: for an error-budget SLO the
+burn rate over a window is ``error_rate / budget`` (1.0 = burning the
+budget exactly as fast as allowed); an alert requires *every* configured
+window to burn faster than 1, so a brief spike (short window only) or a
+long-ago incident (long window only) does not page.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import pathlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence, Union
+
+from repro.obs.events import event
+
+PathLike = Union[str, pathlib.Path]
+
+#: Statuses the serving tier counts against the error budget by default.
+DEFAULT_BAD_STATUSES = ("error", "timed_out", "rejected")
+
+#: Default (short, long) burn-rate windows in seconds, sized for benches.
+DEFAULT_WINDOWS = (5.0, 60.0)
+
+VALID_KINDS = ("quantile", "error_rate", "max", "value")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over a metric family.
+
+    ``kind`` selects the evaluation:
+
+    * ``quantile`` — ``quantile`` of histogram ``metric`` must be
+      <= ``objective`` (seconds, meters, whatever the metric measures).
+    * ``error_rate`` — the fraction of counter ``metric`` samples whose
+      labels match ``bad`` must be <= ``objective`` (the error budget).
+    * ``max`` / ``value`` — the largest matching gauge sample must be
+      <= ``objective``.
+
+    ``labels`` narrows which samples count (subset match); ``bad`` maps a
+    label name to the values that count as errors for ``error_rate``.
+    """
+
+    name: str
+    metric: str
+    objective: float
+    kind: str = "quantile"
+    quantile: float = 0.95
+    labels: tuple[tuple[str, str], ...] = ()
+    bad: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; valid: {VALID_KINDS}"
+            )
+        if self.kind == "quantile" and not (0.0 < self.quantile <= 1.0):
+            raise ValueError(f"quantile must be in (0, 1]: {self.quantile}")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SLO":
+        unknown = set(payload) - {
+            "name", "metric", "objective", "kind", "quantile", "labels",
+            "bad", "description",
+        }
+        if unknown:
+            raise ValueError(f"unknown SLO fields: {sorted(unknown)}")
+        labels = tuple(sorted(
+            (str(k), str(v)) for k, v in (payload.get("labels") or {}).items()
+        ))
+        bad = tuple(sorted(
+            (str(k), tuple(str(v) for v in values))
+            for k, values in (payload.get("bad") or {}).items()
+        ))
+        return cls(
+            name=str(payload["name"]),
+            metric=str(payload["metric"]),
+            objective=float(payload["objective"]),
+            kind=str(payload.get("kind", "quantile")),
+            quantile=float(payload.get("quantile", 0.95)),
+            labels=labels,
+            bad=bad,
+            description=str(payload.get("description", "")),
+        )
+
+    def matches(self, labels: Mapping[str, Any]) -> bool:
+        return all(str(labels.get(k)) == v for k, v in self.labels)
+
+    def is_bad(self, labels: Mapping[str, Any]) -> bool:
+        return any(str(labels.get(k)) in values for k, values in self.bad)
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Outcome of evaluating one SLO."""
+
+    slo: SLO
+    ok: bool
+    observed: float | None     # None means the metric had no data
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.slo.name,
+            "metric": self.slo.metric,
+            "kind": self.slo.kind,
+            "objective": self.slo.objective,
+            "observed": self.observed,
+            "ok": self.ok,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The verdict over a list of SLOs."""
+
+    results: tuple[SLOResult, ...]
+    source: str = "metrics"
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "source": self.source,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict table for ``repro health``."""
+        if not self.results:
+            return "(no SLOs evaluated)"
+        rows = []
+        for r in self.results:
+            observed = "no data" if r.observed is None else f"{r.observed:.6g}"
+            extra = ""
+            burn = r.detail.get("burn_rates")
+            if burn:
+                extra = "  burn " + " ".join(
+                    f"{w}s={b:.2f}" for w, b in sorted(
+                        burn.items(), key=lambda kv: float(kv[0])
+                    )
+                )
+            rows.append((
+                "OK " if r.ok else "VIOLATED",
+                r.slo.name,
+                f"{r.slo.kind}({r.slo.metric})",
+                observed,
+                f"<= {r.slo.objective:.6g}",
+                extra,
+            ))
+        name_w = max(len(r[1]) for r in rows)
+        kind_w = max(len(r[2]) for r in rows)
+        lines = [
+            f"{verdict:<9} {name:<{name_w}}  {kind:<{kind_w}}  "
+            f"{observed:>12}  {objective}{extra}"
+            for verdict, name, kind, observed, objective, extra in rows
+        ]
+        lines.append("health: " + ("OK" if self.ok else "VIOLATED"))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing (YAML with a JSON / mini-YAML fallback)
+# ----------------------------------------------------------------------
+def parse_slos(payload: Any) -> list[SLO]:
+    """Parse a spec document: ``{"slos": [...]}`` or a bare list."""
+    if isinstance(payload, Mapping):
+        entries = payload.get("slos", [])
+    else:
+        entries = payload
+    if not isinstance(entries, (list, tuple)):
+        raise ValueError("SLO spec must be a list or a {'slos': [...]} mapping")
+    slos = [SLO.from_dict(entry) for entry in entries]
+    if not slos:
+        raise ValueError("SLO spec contains no objectives")
+    return slos
+
+
+def load_slo_file(path: PathLike) -> list[SLO]:
+    """Read an SLO spec from JSON or YAML (PyYAML optional)."""
+    path = pathlib.Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        return parse_slos(json.loads(text))
+    try:
+        import yaml  # type: ignore[import-untyped]
+    except ImportError:
+        return parse_slos(_parse_mini_yaml(text))
+    return parse_slos(yaml.safe_load(text))
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        return [_parse_scalar(t) for t in inner.split(",")] if inner else []
+    if token in ("true", "True"):
+        return True
+    if token in ("false", "False"):
+        return False
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            pass
+    return token.strip("'\"")
+
+
+def _parse_mini_yaml(text: str) -> dict[str, Any]:
+    """Parse the restricted YAML subset SLO specs use.
+
+    Supports nested mappings by indentation, ``- `` list items holding
+    mappings or scalars, inline ``[a, b]`` lists, and ``#`` comments —
+    enough for an SLO file; not a general YAML parser.
+    """
+    lines = []
+    for raw in text.splitlines():
+        stripped = raw.split("#", 1)[0].rstrip()
+        if stripped.strip():
+            lines.append(stripped)
+
+    def parse_block(start: int, indent: int) -> tuple[Any, int]:
+        container: Any = None
+        i = start
+        while i < len(lines):
+            line = lines[i]
+            cur_indent = len(line) - len(line.lstrip())
+            if cur_indent < indent:
+                break
+            content = line.strip()
+            if content.startswith("- "):
+                if container is None:
+                    container = []
+                if not isinstance(container, list):
+                    raise ValueError(f"mixed list/mapping at line: {line!r}")
+                item_text = content[2:]
+                if ":" in item_text and not item_text.startswith("["):
+                    # A mapping whose first key sits on the "- " line.
+                    lines[i] = " " * (cur_indent + 2) + item_text
+                    value, i = parse_block(i, cur_indent + 2)
+                    container.append(value)
+                else:
+                    container.append(_parse_scalar(item_text))
+                    i += 1
+            else:
+                if container is None:
+                    container = {}
+                if not isinstance(container, dict):
+                    break
+                key, _, rest = content.partition(":")
+                rest = rest.strip()
+                if rest:
+                    container[key.strip()] = _parse_scalar(rest)
+                    i += 1
+                else:
+                    value, i = parse_block(i + 1, cur_indent + 1)
+                    container[key.strip()] = value if value is not None else {}
+        return container, i
+
+    parsed, _ = parse_block(0, 0)
+    return parsed if isinstance(parsed, dict) else {"slos": parsed or []}
+
+
+# ----------------------------------------------------------------------
+# Histogram quantile math
+# ----------------------------------------------------------------------
+def histogram_quantile(
+    bounds: Sequence[float], cumulative: Sequence[float], q: float
+) -> float | None:
+    """Prometheus-style quantile from cumulative bucket counts.
+
+    ``bounds`` are the finite upper bounds; ``cumulative`` must have one
+    extra trailing entry for the ``+Inf`` bucket.  The value is linearly
+    interpolated inside the selected bucket (the first bucket's lower
+    edge is 0); mass in the ``+Inf`` bucket clamps to the highest finite
+    bound.  Returns ``None`` when there are no observations.
+    """
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"cumulative needs len(bounds)+1 entries: "
+            f"{len(cumulative)} vs {len(bounds)}+1"
+        )
+    if any(cumulative[i] > cumulative[i + 1] for i in range(len(cumulative) - 1)):
+        raise ValueError("cumulative counts must be non-decreasing")
+    total = cumulative[-1]
+    if total <= 0:
+        return None
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    idx = bisect.bisect_left(cumulative, rank)
+    if idx >= len(bounds):
+        # Rank falls in the +Inf bucket: clamp to the last finite bound.
+        return float(bounds[-1]) if bounds else None
+    lower = float(bounds[idx - 1]) if idx > 0 else 0.0
+    upper = float(bounds[idx])
+    below = cumulative[idx - 1] if idx > 0 else 0.0
+    in_bucket = cumulative[idx] - below
+    if in_bucket <= 0:
+        return upper
+    return lower + (upper - lower) * (rank - below) / in_bucket
+
+
+def _merge_histogram_samples(
+    samples: Iterable[Mapping[str, Any]],
+) -> tuple[list[float], list[float]] | None:
+    """Sum matching histogram samples into one cumulative bucket vector."""
+    bounds: list[float] | None = None
+    merged: list[float] | None = None
+    for sample in samples:
+        buckets = sample.get("buckets") or {}
+        finite = sorted(
+            (float(k), float(v)) for k, v in buckets.items() if k != "+Inf"
+        )
+        sample_bounds = [b for b, _ in finite]
+        cumulative = [c for _, c in finite] + [float(buckets.get("+Inf", 0.0))]
+        if bounds is None:
+            bounds, merged = sample_bounds, cumulative
+        elif sample_bounds == bounds and merged is not None:
+            merged = [a + b for a, b in zip(merged, cumulative)]
+        else:
+            raise ValueError("histogram samples have mismatched buckets")
+    if bounds is None or merged is None:
+        return None
+    return bounds, merged
+
+
+# ----------------------------------------------------------------------
+# Evaluating SLOs against an exported metrics document
+# ----------------------------------------------------------------------
+def _find_family(payload: Mapping[str, Any], name: str) -> Mapping[str, Any] | None:
+    for metric in payload.get("metrics", []) or []:
+        if isinstance(metric, Mapping) and metric.get("name") == name:
+            return metric
+    return None
+
+
+def _no_data(slo: SLO, reason: str) -> SLOResult:
+    return SLOResult(slo, ok=False, observed=None, detail={"reason": reason})
+
+
+def _evaluate_one(payload: Mapping[str, Any], slo: SLO) -> SLOResult:
+    family = _find_family(payload, slo.metric)
+    if family is None:
+        return _no_data(slo, f"metric {slo.metric!r} not present")
+    samples = [
+        s for s in family.get("samples", [])
+        if isinstance(s, Mapping) and slo.matches(s.get("labels") or {})
+    ]
+    if not samples:
+        return _no_data(slo, "no samples match the label filter")
+
+    if slo.kind == "quantile":
+        merged = _merge_histogram_samples(samples)
+        observed = None
+        if merged is not None:
+            observed = histogram_quantile(merged[0], merged[1], slo.quantile)
+        if observed is None:
+            return _no_data(slo, "histogram has no observations")
+        return SLOResult(
+            slo, ok=observed <= slo.objective, observed=observed,
+            detail={"count": sum(s.get("count", 0) for s in samples)},
+        )
+
+    if slo.kind == "error_rate":
+        total = bad = 0.0
+        for sample in samples:
+            value = float(sample.get("value", 0.0))
+            total += value
+            if slo.is_bad(sample.get("labels") or {}):
+                bad += value
+        if total <= 0:
+            return _no_data(slo, "counter never incremented")
+        rate = bad / total
+        burn = rate / slo.objective if slo.objective > 0 else math.inf
+        return SLOResult(
+            slo, ok=rate <= slo.objective, observed=rate,
+            detail={"total": total, "bad": bad, "burn_rate": burn},
+        )
+
+    # max / value over gauge (or counter) samples.
+    values = [float(s.get("value", 0.0)) for s in samples if "value" in s]
+    if not values:
+        return _no_data(slo, "no scalar samples")
+    observed = max(values)
+    return SLOResult(slo, ok=observed <= slo.objective, observed=observed)
+
+
+def evaluate_slos(
+    payload: Mapping[str, Any],
+    slos: Sequence[SLO],
+    source: str = "metrics",
+    emit_events: bool = True,
+) -> HealthReport:
+    """Evaluate objectives against an exported metrics document.
+
+    ``payload`` is the JSON document :func:`repro.obs.export_metrics`
+    writes (or ``MetricsRegistry.to_dict()``).  Missing metrics and
+    empty histograms count as violations — a health gate that silently
+    passes when the pipeline emitted nothing would be worse than no gate.
+    """
+    results = tuple(_evaluate_one(payload, slo) for slo in slos)
+    report = HealthReport(results, source=source)
+    if emit_events:
+        _emit_violations(report)
+    return report
+
+
+def _emit_violations(report: HealthReport) -> None:
+    for result in report.results:
+        if not result.ok:
+            event(
+                "slo_violation", level="warning", component="health",
+                slo=result.slo.name, metric=result.slo.metric,
+                kind=result.slo.kind, objective=result.slo.objective,
+                observed=result.observed, detail=result.detail,
+            )
+
+
+# ----------------------------------------------------------------------
+# Live request windows (the serving tier's in-process SLO store)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregates over one trailing window of request samples."""
+
+    window_s: float
+    n: int
+    errors: int
+    latencies: tuple[float, ...]     # sorted, OK requests only
+    max_queue_depth: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        if not self.latencies:
+            return None
+        q = min(max(q, 0.0), 1.0)
+        rank = max(1, math.ceil(q * len(self.latencies)))
+        return self.latencies[min(rank, len(self.latencies)) - 1]
+
+
+class RequestWindows:
+    """Trailing multi-window store of request outcomes and queue depths.
+
+    The :class:`~repro.serve.server.QueryServer` records every terminal
+    response (status, latency) and every queue-depth reading here; the
+    store keeps only the trailing ``horizon`` (the longest configured
+    window), so memory stays bounded no matter how long the server runs.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        bad_statuses: Iterable[str] = DEFAULT_BAD_STATUSES,
+        max_samples: int = 200_000,
+    ) -> None:
+        if not windows:
+            raise ValueError("need at least one window")
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self.horizon_s = self.windows[-1]
+        self.bad_statuses = frozenset(bad_statuses)
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._samples: deque[tuple[float, str, float]] = deque()
+        self._depths: deque[tuple[float, int]] = deque()
+        self._t0 = time.monotonic()
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self, status: str, latency_s: float, t: float | None = None
+    ) -> None:
+        now = time.monotonic() if t is None else t
+        with self._lock:
+            self._samples.append((now, status, float(latency_s)))
+            self._prune(now)
+
+    def note_queue_depth(self, depth: int, t: float | None = None) -> None:
+        now = time.monotonic() if t is None else t
+        with self._lock:
+            self._depths.append((now, int(depth)))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        while self._samples and (
+            self._samples[0][0] < cutoff or len(self._samples) > self.max_samples
+        ):
+            self._samples.popleft()
+        while self._depths and (
+            self._depths[0][0] < cutoff or len(self._depths) > self.max_samples
+        ):
+            self._depths.popleft()
+
+    # -- reading -------------------------------------------------------
+    def stats(self, window_s: float, now: float | None = None) -> WindowStats:
+        now = time.monotonic() if now is None else now
+        cutoff = now - window_s
+        with self._lock:
+            rows = [r for r in self._samples if r[0] >= cutoff]
+            depths = [d for ts, d in self._depths if ts >= cutoff]
+        errors = sum(1 for _, status, _lat in rows if status in self.bad_statuses)
+        latencies = tuple(sorted(
+            lat for _, status, lat in rows if status not in self.bad_statuses
+        ))
+        return WindowStats(
+            window_s=window_s,
+            n=len(rows),
+            errors=errors,
+            latencies=latencies,
+            max_queue_depth=max(depths, default=0),
+        )
+
+    def burn_rates(
+        self, budget: float, now: float | None = None
+    ) -> dict[float, float]:
+        """Error-budget burn rate per configured window (1.0 = on budget)."""
+        now = time.monotonic() if now is None else now
+        out: dict[float, float] = {}
+        for window in self.windows:
+            stats = self.stats(window, now)
+            if budget <= 0:
+                out[window] = math.inf if stats.errors else 0.0
+            else:
+                out[window] = stats.error_rate / budget
+        return out
+
+    def burning(self, budget: float, now: float | None = None) -> bool:
+        """Multi-window alert: every window burns faster than its budget."""
+        rates = self.burn_rates(budget, now)
+        return bool(rates) and all(rate > 1.0 for rate in rates.values())
+
+    def queue_depth_series(
+        self, bucket_s: float = 0.1, now: float | None = None
+    ) -> list[tuple[float, int]]:
+        """Down-sampled ``(t_rel_s, max_depth)`` series over the horizon."""
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be > 0: {bucket_s}")
+        with self._lock:
+            depths = list(self._depths)
+        if not depths:
+            return []
+        start = depths[0][0]
+        buckets: dict[int, int] = {}
+        for t, depth in depths:
+            idx = int((t - start) / bucket_s)
+            buckets[idx] = max(buckets.get(idx, 0), depth)
+        return [
+            (round(idx * bucket_s, 6), depth)
+            for idx, depth in sorted(buckets.items())
+        ]
+
+    # -- verdicts ------------------------------------------------------
+    def verdict(
+        self,
+        slos: Sequence[SLO],
+        now: float | None = None,
+        emit_events: bool = True,
+    ) -> HealthReport:
+        """Evaluate SLOs against the live windows.
+
+        ``quantile`` SLOs read OK-request latencies, ``error_rate`` SLOs
+        read terminal statuses (with burn rates for every window), and
+        ``max`` SLOs read the queue-depth series; the long window is the
+        one that decides, the short windows inform burn-rate detail.
+        """
+        now = time.monotonic() if now is None else now
+        long_stats = self.stats(self.windows[-1], now)
+        results = []
+        for slo in slos:
+            if slo.kind == "quantile":
+                observed = long_stats.quantile(slo.quantile)
+                if observed is None:
+                    results.append(_no_data(slo, "no completed requests"))
+                    continue
+                results.append(SLOResult(
+                    slo, ok=observed <= slo.objective, observed=observed,
+                    detail={"n": len(long_stats.latencies)},
+                ))
+            elif slo.kind == "error_rate":
+                if long_stats.n == 0:
+                    results.append(_no_data(slo, "no requests recorded"))
+                    continue
+                rate = long_stats.error_rate
+                burn = {
+                    str(w): b for w, b in self.burn_rates(slo.objective, now).items()
+                }
+                results.append(SLOResult(
+                    slo, ok=rate <= slo.objective, observed=rate,
+                    detail={
+                        "n": long_stats.n,
+                        "errors": long_stats.errors,
+                        "burn_rates": burn,
+                        "burning": self.burning(slo.objective, now),
+                    },
+                ))
+            else:  # max / value -> queue depth
+                observed = float(long_stats.max_queue_depth)
+                results.append(SLOResult(
+                    slo, ok=observed <= slo.objective, observed=observed,
+                ))
+        report = HealthReport(tuple(results), source="live")
+        if emit_events:
+            _emit_violations(report)
+        return report

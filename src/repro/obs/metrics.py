@@ -238,7 +238,15 @@ class MetricsRegistry:
                 lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.type_name}")
             if isinstance(metric, Histogram):
-                for sample in metric.samples():
+                samples = metric.samples()
+                if not samples:
+                    # A registered histogram that was never observed still
+                    # exposes the mandatory +Inf bucket (scrapers and the
+                    # SLO engine rely on the family being well-formed).
+                    lines.append(f'{metric.name}_bucket{{le="+Inf"}} 0')
+                    lines.append(f"{metric.name}_sum 0")
+                    lines.append(f"{metric.name}_count 0")
+                for sample in samples:
                     base = sample["labels"]
                     for bound, cum in sample["buckets"].items():
                         lines.append(
@@ -332,28 +340,49 @@ def load_metrics(path: PathLike) -> dict[str, Any]:
 
 
 def render_metrics(payload: Mapping[str, Any]) -> str:
-    """Human-readable table of a metrics document (``repro metrics``)."""
+    """Human-readable table of a metrics document (``repro metrics``).
+
+    Tolerates malformed documents — non-list ``metrics``, entries missing
+    ``samples``/``labels``/``count`` — rendering whatever is readable
+    rather than crashing the CLI on a truncated or hand-edited file.
+    """
+    if not isinstance(payload, Mapping):
+        raise TypeError(
+            f"metrics payload must be a mapping, got {type(payload).__name__}"
+        )
     lines: list[str] = []
-    meta = payload.get("meta") or {}
-    if meta:
+    meta = payload.get("meta")
+    if isinstance(meta, Mapping) and meta:
         lines.append("meta:")
         for key in sorted(meta):
             lines.append(f"  {key:<20} {meta[key]}")
         lines.append("")
     by_type: dict[str, list] = {"counter": [], "gauge": [], "histogram": []}
-    for metric in payload.get("metrics", []):
-        by_type.setdefault(metric.get("type", "untyped"), []).append(metric)
+    metrics = payload.get("metrics")
+    for metric in metrics if isinstance(metrics, list) else []:
+        if isinstance(metric, Mapping) and metric.get("name"):
+            by_type.setdefault(str(metric.get("type", "untyped")), []).append(metric)
 
-    def label_suffix(labels: Mapping[str, str]) -> str:
-        if not labels:
+    def label_suffix(labels: Any) -> str:
+        if not isinstance(labels, Mapping) or not labels:
             return ""
         return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+    def metric_samples(metric: Mapping[str, Any]) -> list:
+        samples = metric.get("samples")
+        return [s for s in samples if isinstance(s, Mapping)] if isinstance(
+            samples, list
+        ) else []
 
     for kind in ("counter", "gauge"):
         rows = []
         for metric in by_type.get(kind, []):
-            for sample in metric["samples"]:
-                rows.append((metric["name"] + label_suffix(sample["labels"]), sample["value"]))
+            for sample in metric_samples(metric):
+                try:
+                    value = float(sample.get("value", 0.0))
+                except (TypeError, ValueError):
+                    continue
+                rows.append((metric["name"] + label_suffix(sample.get("labels")), value))
         if rows:
             width = max(len(r[0]) for r in rows)
             lines.append(f"{kind}s:")
@@ -362,14 +391,18 @@ def render_metrics(payload: Mapping[str, Any]) -> str:
             lines.append("")
     hist_rows = []
     for metric in by_type.get("histogram", []):
-        for sample in metric["samples"]:
-            count = sample["count"]
-            mean = sample["sum"] / count if count else 0.0
+        for sample in metric_samples(metric):
+            try:
+                count = int(sample.get("count", 0))
+                total = float(sample.get("sum", 0.0))
+            except (TypeError, ValueError):
+                continue
+            mean = total / count if count else 0.0
             hist_rows.append(
                 (
-                    metric["name"] + label_suffix(sample["labels"]),
+                    metric["name"] + label_suffix(sample.get("labels")),
                     count,
-                    sample["sum"],
+                    total,
                     mean,
                 )
             )

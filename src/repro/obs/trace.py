@@ -129,14 +129,19 @@ class JsonlTraceSink:
                 self._fh = None
 
 
+#: Sentinel: inherit the parent span from the ambient contextvar.
+INHERIT = object()
+
+
 class Tracer:
     """Creates and finishes spans, handing them to a sink."""
 
     def __init__(self, sink: JsonlTraceSink) -> None:
         self.sink = sink
 
-    def start(self, name: str, attributes: dict) -> Span:
-        parent = _CURRENT_SPAN.get()
+    def start(self, name: str, attributes: dict, parent: Any = INHERIT) -> Span:
+        if parent is INHERIT:
+            parent = _CURRENT_SPAN.get()
         trace_id = parent.trace_id if parent is not None else _new_id()
         parent_id = parent.span_id if parent is not None else None
         return Span(name, trace_id, parent_id, attributes)
@@ -175,18 +180,24 @@ def current_span() -> Span | None:
 
 
 @contextmanager
-def span(name: str, **attributes: Any) -> Iterator[Span | None]:
+def span(name: str, parent: Any = INHERIT, **attributes: Any) -> Iterator[Span | None]:
     """Open a child span of the current one for the duration of the block.
 
     Yields the :class:`Span` (so callers may ``.set()`` attributes mid
     flight) or ``None`` when tracing is disabled — the disabled path costs
     one global read and no allocation beyond the generator.
+
+    ``parent`` overrides the ambient contextvar parent.  Contextvars do
+    not cross thread boundaries, so work handed to a worker pool would
+    otherwise start a *new* trace: capture :func:`current_span` at submit
+    time and pass it here to re-parent the span under the submitter
+    (``parent=None`` explicitly forces a root span).
     """
     tracer = _TRACER
     if tracer is None:
         yield None
         return
-    sp = tracer.start(name, attributes)
+    sp = tracer.start(name, attributes, parent=parent)
     token = _CURRENT_SPAN.set(sp)
     try:
         yield sp

@@ -103,6 +103,8 @@ class LoadReport:
     cache_hit_rate: float
     by_source: dict[str, int] = field(default_factory=dict)
     server: dict[str, Any] = field(default_factory=dict)
+    queue_depth_series: list[tuple[float, int]] = field(default_factory=list)
+    slo: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -119,6 +121,8 @@ class LoadReport:
             "cache_hit_rate": self.cache_hit_rate,
             "by_source": dict(self.by_source),
             "server": dict(self.server),
+            "queue_depth_series": [list(row) for row in self.queue_depth_series],
+            "slo": dict(self.slo) if self.slo is not None else None,
         }
 
     def render(self) -> str:
@@ -147,6 +151,14 @@ class LoadReport:
                 f"{tier}={count}" for tier, count in sorted(self.by_source.items())
             )
             lines.append(f"answered by     {tiers}")
+        if self.queue_depth_series:
+            peak = max(depth for _, depth in self.queue_depth_series)
+            lines.append(f"queue depth     peak {peak} "
+                         f"({len(self.queue_depth_series)} series points)")
+        if self.slo is not None:
+            lines.append(f"slo verdict     "
+                         f"{'OK' if self.slo.get('ok') else 'VIOLATED'} "
+                         f"({len(self.slo.get('results', []))} objectives)")
         return "\n".join(lines)
 
 
@@ -155,8 +167,14 @@ def build_report(
     responses: Sequence[ServeResponse],
     duration_s: float,
     server: QueryServer | None = None,
+    slos: Sequence[Any] | None = None,
 ) -> LoadReport:
-    """Fold raw responses into the percentile / throughput summary."""
+    """Fold raw responses into the percentile / throughput summary.
+
+    When ``server`` is given, its health windows contribute the
+    queue-depth time series; when ``slos`` are given too, the server's
+    live SLO verdict (with burn rates) is attached to the report.
+    """
     counts = {status: 0 for status in ServeStatus}
     ok_latencies: list[float] = []
     cache_hits = 0
@@ -180,6 +198,12 @@ def build_report(
         "mean": (sum(ok_latencies) / len(ok_latencies) * 1e3) if ok_latencies else 0.0,
         "max": (max(ok_latencies) * 1e3) if ok_latencies else 0.0,
     }
+    queue_series: list[tuple[float, int]] = []
+    slo_verdict: dict[str, Any] | None = None
+    if server is not None:
+        queue_series = server.health.queue_depth_series()
+        if slos:
+            slo_verdict = server.verdict(list(slos)).to_dict()
     return LoadReport(
         workload=workload,
         duration_s=duration_s,
@@ -194,6 +218,8 @@ def build_report(
         cache_hit_rate=cache_hits / cache_lookups if cache_lookups else 0.0,
         by_source=by_source,
         server=server.stats() if server is not None else {},
+        queue_depth_series=queue_series,
+        slo=slo_verdict,
     )
 
 
@@ -218,6 +244,7 @@ class LoadGenerator:
         duration_s: float = 2.0,
         timeout_s: float | None = None,
         sequence_length: int = 512,
+        slos: Sequence[Any] | None = None,
     ) -> LoadReport:
         """N clients, each back-to-back over its pregenerated sequence."""
         sequences = closed_sequences(
@@ -247,13 +274,14 @@ class LoadGenerator:
             thread.join()
         elapsed = time.monotonic() - t0
         responses = [r for bucket in buckets for r in bucket]
-        return build_report("closed", responses, elapsed, self.server)
+        return build_report("closed", responses, elapsed, self.server, slos=slos)
 
     def run_open(
         self,
         rate_rps: float = 200.0,
         duration_s: float = 2.0,
         timeout_s: float | None = None,
+        slos: Sequence[Any] | None = None,
     ) -> LoadReport:
         """Poisson arrivals at ``rate_rps``, independent of completions."""
         schedule = poisson_schedule(
@@ -268,4 +296,4 @@ class LoadGenerator:
             pendings.append(self.server.submit(request.address_id, timeout_s))
         responses = [pending.result() for pending in pendings]
         elapsed = time.monotonic() - t0
-        return build_report("open", responses, elapsed, self.server)
+        return build_report("open", responses, elapsed, self.server, slos=slos)

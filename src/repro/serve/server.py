@@ -27,8 +27,9 @@ from typing import Any, Callable
 
 from repro.apps.store import QueryResult, UnknownAddressError
 from repro.geo import Point
-from repro.obs import event, get_registry
+from repro.obs import current_span, event, get_registry
 from repro.obs import span as obs_span
+from repro.obs.health import SLO, HealthReport, RequestWindows
 from repro.serve.router import QueryRouter
 from repro.serve.shard import ShardedLocationStore
 
@@ -85,8 +86,8 @@ class ServerConfig:
 class PendingQuery:
     """Future-like handle for one admitted (or rejected) request."""
 
-    __slots__ = ("address_id", "t_submit", "deadline", "_event", "_lock",
-                 "_response", "_on_finish")
+    __slots__ = ("address_id", "t_submit", "deadline", "parent_span",
+                 "_event", "_lock", "_response", "_on_finish")
 
     def __init__(
         self,
@@ -98,6 +99,9 @@ class PendingQuery:
         self.address_id = address_id
         self.t_submit = t_submit
         self.deadline = deadline
+        # The submitter's active span (contextvars don't cross the worker
+        # thread boundary; the worker re-parents serve.request under it).
+        self.parent_span = current_span()
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._response: ServeResponse | None = None
@@ -164,6 +168,9 @@ class QueryServer:
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_capacity)
         self._threads: list[threading.Thread] = []
         self._started = False
+        #: Trailing multi-window request samples (status, latency, queue
+        #: depth) feeding SLO verdicts and burn-rate alerting.
+        self.health = RequestWindows()
         registry = get_registry()
         self._requests_total = registry.counter(
             "serve_requests_total", "Served requests by terminal status"
@@ -219,6 +226,7 @@ class QueryServer:
     # ------------------------------------------------------------------
     def _count(self, response: ServeResponse) -> None:
         self._requests_total.inc(status=response.status.value)
+        self.health.record(response.status.value, response.latency_s)
 
     def submit(self, address_id: str, timeout_s: float | None = None) -> PendingQuery:
         """Enqueue one request; rejects immediately when the queue is full."""
@@ -238,7 +246,9 @@ class QueryServer:
                 )
             )
             return pending
-        self._queue_depth.set(self._queue.qsize())
+        depth = self._queue.qsize()
+        self._queue_depth.set(depth)
+        self.health.note_queue_depth(depth)
         return pending
 
     def query(self, address_id: str, timeout_s: float | None = None) -> ServeResponse:
@@ -276,7 +286,9 @@ class QueryServer:
             if item is _STOP:
                 return
             pending: PendingQuery = item
-            self._queue_depth.set(self._queue.qsize())
+            depth = self._queue.qsize()
+            self._queue_depth.set(depth)
+            self.health.note_queue_depth(depth)
             now = time.monotonic()
             if now >= pending.deadline:
                 pending.finish(
@@ -287,7 +299,10 @@ class QueryServer:
                     )
                 )
                 continue
-            with obs_span("serve.request", address_id=pending.address_id) as sp:
+            with obs_span(
+                "serve.request", parent=pending.parent_span,
+                address_id=pending.address_id,
+            ) as sp:
                 try:
                     routed = self.router.resolve(pending.address_id)
                 except UnknownAddressError as exc:
@@ -344,3 +359,11 @@ class QueryServer:
         if batch_stats is not None:
             out["batch"] = batch_stats.to_dict()
         return out
+
+    def verdict(self, slos: list[SLO]) -> HealthReport:
+        """Evaluate SLOs against the live request windows.
+
+        Violations emit ``slo_violation`` events; the report carries
+        per-window burn rates for error-budget objectives.
+        """
+        return self.health.verdict(slos)

@@ -108,3 +108,29 @@ class TestIncrementalRefresh:
         assert stats.incremental
         assert stats.n_new_trips == len(second)
         assert stats.n_trips == len(tiny_workload.trips)
+
+
+class TestRefreshDrift:
+    def test_drift_tracked_across_refreshes(self, tiny_workload):
+        svc = DeliveryLocationService(
+            tiny_workload.addresses,
+            tiny_workload.projection,
+            config=DLInfMAConfig(selector="maxtc-ilc"),
+        )
+        first = svc.refresh(
+            tiny_workload.trips, tiny_workload.ground_truth, tiny_workload.train_ids
+        )
+        # No baseline yet: the first refresh cannot report drift.
+        assert first.drift == {}
+        assert not first.drifted
+        # Resending the identical trips absorbs nothing new, so the pool
+        # fingerprint is unchanged and the refresh must NOT flag drift.
+        second = svc.refresh(
+            list(tiny_workload.trips),
+            tiny_workload.ground_truth,
+            tiny_workload.train_ids,
+        )
+        assert "pool" in second.drift
+        assert second.drift["pool"]["drifted"] is False
+        assert not second.drifted
+        assert second.drift["pool"]["dimensions"]

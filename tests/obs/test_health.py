@@ -1,0 +1,298 @@
+"""SLO parsing, histogram quantile math, payload evaluation, live windows."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+from repro.obs.events import configure_events, read_events
+from repro.obs.health import (
+    SLO,
+    RequestWindows,
+    _parse_mini_yaml,
+    evaluate_slos,
+    histogram_quantile,
+    load_slo_file,
+    parse_slos,
+)
+
+SPEC_TEXT = """\
+# objectives gating the serving tier
+slos:
+  - name: p95-latency
+    metric: serve_request_latency_seconds
+    kind: quantile
+    quantile: 0.95
+    objective: 0.25
+  - name: error-rate
+    metric: serve_requests_total
+    kind: error_rate
+    objective: 0.01
+    bad:
+      status: [error, timed_out]
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
+def _payload(registry: MetricsRegistry) -> dict:
+    return json.loads(json.dumps(registry.to_dict()))
+
+
+class TestSLOParsing:
+    def test_from_dict_normalizes(self):
+        slo = SLO.from_dict({
+            "name": "s", "metric": "m", "objective": 0.5,
+            "kind": "error_rate", "labels": {"b": "2", "a": "1"},
+            "bad": {"status": ["error"]},
+        })
+        assert slo.labels == (("a", "1"), ("b", "2"))
+        assert slo.bad == (("status", ("error",)),)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO fields"):
+            SLO.from_dict({"name": "s", "metric": "m", "objective": 1, "frobs": 2})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLO(name="s", metric="m", objective=1.0, kind="median")
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SLO(name="s", metric="m", objective=1.0, quantile=1.5)
+
+    def test_parse_accepts_bare_list(self):
+        slos = parse_slos([{"name": "s", "metric": "m", "objective": 1}])
+        assert len(slos) == 1 and slos[0].kind == "quantile"
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="no objectives"):
+            parse_slos({"slos": []})
+
+    def test_mini_yaml_parses_spec(self):
+        payload = _parse_mini_yaml(SPEC_TEXT)
+        slos = parse_slos(payload)
+        assert [s.name for s in slos] == ["p95-latency", "error-rate"]
+        assert slos[0].quantile == 0.95
+        assert slos[1].bad == (("status", ("error", "timed_out")),)
+
+    def test_load_slo_file_yaml_and_json(self, tmp_path):
+        yml = tmp_path / "slo.yaml"
+        yml.write_text(SPEC_TEXT)
+        assert [s.name for s in load_slo_file(yml)] == ["p95-latency", "error-rate"]
+        jsn = tmp_path / "slo.json"
+        jsn.write_text(json.dumps(
+            {"slos": [{"name": "j", "metric": "m", "objective": 1}]}
+        ))
+        assert load_slo_file(jsn)[0].name == "j"
+
+
+class TestHistogramQuantile:
+    BOUNDS = (0.1, 0.5, 1.0)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations uniformly in (0.1, 0.5]: p50 is mid-bucket.
+        value = histogram_quantile(self.BOUNDS, (0, 10, 10, 10), 0.5)
+        assert value == pytest.approx(0.3)
+
+    def test_q0_and_q1_boundaries(self):
+        cumulative = (2, 5, 10, 10)
+        assert histogram_quantile(self.BOUNDS, cumulative, 0.0) == pytest.approx(0.0)
+        assert histogram_quantile(self.BOUNDS, cumulative, 1.0) == pytest.approx(1.0)
+
+    def test_rank_exactly_on_bucket_boundary(self):
+        # rank == cumulative[0]: stays in the first bucket, at its upper edge.
+        value = histogram_quantile(self.BOUNDS, (5, 10, 10, 10), 0.5)
+        assert value == pytest.approx(0.1)
+
+    def test_inf_mass_clamps_to_last_finite_bound(self):
+        assert histogram_quantile(self.BOUNDS, (0, 0, 0, 10), 0.95) == 1.0
+
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile(self.BOUNDS, (0, 0, 0, 0), 0.95) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="len\\(bounds\\)\\+1"):
+            histogram_quantile(self.BOUNDS, (1, 2, 3), 0.5)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            histogram_quantile(self.BOUNDS, (5, 3, 5, 5), 0.5)
+
+
+class TestEvaluateAgainstPayload:
+    def _slo_latency(self, objective=0.25):
+        return SLO(name="lat", metric="lat_seconds", objective=objective,
+                   kind="quantile", quantile=0.95)
+
+    def test_quantile_pass_and_fail(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", buckets=(0.05, 0.25, 1.0))
+        for _ in range(100):
+            h.observe(0.01)
+        report = evaluate_slos(
+            _payload(registry), [self._slo_latency()], emit_events=False
+        )
+        assert report.ok and report.exit_code == 0
+        strict = evaluate_slos(
+            _payload(registry), [self._slo_latency(objective=0.001)],
+            emit_events=False,
+        )
+        assert not strict.ok and strict.exit_code == 1
+
+    def test_missing_metric_is_violation(self):
+        report = evaluate_slos({"metrics": []}, [self._slo_latency()],
+                               emit_events=False)
+        assert not report.ok
+        assert report.results[0].observed is None
+
+    def test_empty_histogram_is_violation(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.1,))
+        report = evaluate_slos(_payload(registry), [self._slo_latency()],
+                               emit_events=False)
+        assert not report.ok
+
+    def test_error_rate_with_bad_labels(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total")
+        c.inc(98, status="ok")
+        c.inc(2, status="error")
+        slo = SLO(name="err", metric="requests_total", objective=0.05,
+                  kind="error_rate", bad=(("status", ("error",)),))
+        report = evaluate_slos(_payload(registry), [slo], emit_events=False)
+        assert report.ok
+        assert report.results[0].observed == pytest.approx(0.02)
+        assert report.results[0].detail["burn_rate"] == pytest.approx(0.4)
+
+    def test_max_over_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth").set(12, shard="a")
+        registry.gauge("queue_depth").set(3, shard="b")
+        slo = SLO(name="q", metric="queue_depth", objective=10, kind="max")
+        report = evaluate_slos(_payload(registry), [slo], emit_events=False)
+        assert not report.ok and report.results[0].observed == 12.0
+
+    def test_label_filter_narrows_samples(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(100, tier="cold")
+        registry.gauge("g").set(1, tier="hot")
+        slo = SLO(name="hot-only", metric="g", objective=10, kind="max",
+                  labels=(("tier", "hot"),))
+        assert evaluate_slos(_payload(registry), [slo], emit_events=False).ok
+
+    def test_violation_emits_event(self, tmp_path):
+        configure_events(tmp_path / "events.jsonl")
+        try:
+            evaluate_slos({"metrics": []}, [self._slo_latency()])
+        finally:
+            configure_events(None)
+        rows = read_events(tmp_path / "events.jsonl")
+        names = [r["event"] for r in rows]
+        assert "slo_violation" in names
+
+    def test_render_mentions_verdict(self):
+        report = evaluate_slos({"metrics": []}, [self._slo_latency()],
+                               emit_events=False)
+        text = report.render()
+        assert "VIOLATED" in text and text.endswith("health: VIOLATED")
+
+
+class TestRequestWindows:
+    def _windows(self):
+        return RequestWindows(windows=(5.0, 60.0))
+
+    def test_stats_respect_window(self):
+        w = self._windows()
+        w.record("ok", 0.010, t=0.0)
+        w.record("error", 0.500, t=58.0)
+        w.record("ok", 0.020, t=59.0)
+        short = w.stats(5.0, now=60.0)
+        assert short.n == 2 and short.errors == 1
+        long = w.stats(60.0, now=60.0)
+        assert long.n == 3
+        assert long.error_rate == pytest.approx(1 / 3)
+
+    def test_samples_prune_beyond_horizon(self):
+        w = self._windows()
+        w.record("ok", 0.010, t=0.0)
+        w.record("ok", 0.010, t=100.0)  # pushes t=0 out of the 60 s horizon
+        assert w.stats(60.0, now=100.0).n == 1
+
+    def test_quantile_is_nearest_rank_over_ok_only(self):
+        w = self._windows()
+        for i in range(10):
+            w.record("ok", (i + 1) / 100.0, t=1.0)
+        w.record("error", 9.0, t=1.0)  # errors never pollute latency
+        stats = w.stats(60.0, now=2.0)
+        assert stats.quantile(0.5) == pytest.approx(0.05)
+        assert stats.quantile(1.0) == pytest.approx(0.10)
+
+    def test_burn_rates_and_multiwindow_alert(self):
+        w = self._windows()
+        # Old errors only: long window burns, short window is clean.
+        for _ in range(10):
+            w.record("error", 0.1, t=1.0)
+        for _ in range(90):
+            w.record("ok", 0.01, t=1.0)
+        rates = w.burn_rates(0.01, now=30.0)
+        assert rates[60.0] == pytest.approx(10.0)
+        assert rates[5.0] == 0.0
+        assert not w.burning(0.01, now=30.0)
+        # Fresh errors too: every window burns -> alert.
+        w.record("error", 0.1, t=29.5)
+        assert w.burning(0.01, now=30.0)
+
+    def test_zero_budget_burns_infinitely(self):
+        w = self._windows()
+        w.record("error", 0.1, t=1.0)
+        assert w.burn_rates(0.0, now=2.0)[60.0] == math.inf
+
+    def test_queue_depth_series_buckets_max(self):
+        w = self._windows()
+        w.note_queue_depth(1, t=10.0)
+        w.note_queue_depth(7, t=10.05)
+        w.note_queue_depth(2, t=10.3)
+        series = w.queue_depth_series(bucket_s=0.1, now=11.0)
+        assert series[0] == (0.0, 7)
+        assert (0.3, 2) in series
+
+    def test_verdict_quantile_and_error_rate(self):
+        w = self._windows()
+        for _ in range(99):
+            w.record("ok", 0.010, t=1.0)
+        w.record("timed_out", 1.0, t=1.0)
+        slos = [
+            SLO(name="p95", metric="latency", objective=0.05,
+                kind="quantile", quantile=0.95),
+            SLO(name="err", metric="requests", objective=0.05,
+                kind="error_rate"),
+            SLO(name="queue", metric="depth", objective=10, kind="max"),
+        ]
+        report = w.verdict(slos, now=2.0, emit_events=False)
+        assert report.source == "live"
+        assert report.ok
+        by_name = {r.slo.name: r for r in report.results}
+        assert by_name["p95"].observed == pytest.approx(0.010)
+        assert by_name["err"].observed == pytest.approx(0.01)
+        assert "burn_rates" in by_name["err"].detail
+
+    def test_verdict_no_data_is_violation(self):
+        w = self._windows()
+        report = w.verdict(
+            [SLO(name="p95", metric="m", objective=1.0)], now=1.0,
+            emit_events=False,
+        )
+        assert not report.ok and report.results[0].observed is None
+
+    def test_needs_at_least_one_window(self):
+        with pytest.raises(ValueError, match="at least one window"):
+            RequestWindows(windows=())

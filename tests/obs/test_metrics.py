@@ -180,3 +180,62 @@ class TestGlobalRegistry:
         finally:
             set_registry(prev)
         assert get_registry() is prev
+
+
+class TestPrometheusEdgeCases:
+    def test_never_observed_histogram_still_emits_inf_bucket(self, registry):
+        registry.histogram("cold_latency_seconds", buckets=(0.1, 1.0))
+        text = registry.to_prometheus()
+        assert '# TYPE cold_latency_seconds histogram' in text
+        assert 'cold_latency_seconds_bucket{le="+Inf"} 0' in text
+        assert "cold_latency_seconds_sum 0" in text
+        assert "cold_latency_seconds_count 0" in text
+
+    def test_observed_histogram_drops_placeholder_series(self, registry):
+        h = registry.histogram("warm_latency_seconds", buckets=(0.1,))
+        h.observe(0.05)
+        text = registry.to_prometheus()
+        # Only the real labeled family, not the empty placeholder.
+        assert text.count('warm_latency_seconds_bucket{le="+Inf"}') == 1
+        assert 'warm_latency_seconds_bucket{le="+Inf"} 1' in text
+
+
+class TestRenderMalformed:
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(TypeError, match="must be a mapping"):
+            render_metrics([1, 2, 3])
+
+    def test_metrics_not_a_list_renders_empty(self):
+        assert render_metrics({"metrics": "oops"}) == "(no metrics)"
+
+    def test_entries_missing_name_or_samples_skipped(self):
+        payload = {"metrics": [
+            {"type": "counter"},                       # no name
+            {"name": "bare", "type": "counter"},       # no samples
+            {"name": "good", "type": "counter",
+             "samples": [{"labels": {}, "value": 4}]},
+        ]}
+        text = render_metrics(payload)
+        assert "good" in text and "bare" not in text
+
+    def test_non_numeric_values_skipped(self):
+        payload = {"metrics": [
+            {"name": "c", "type": "counter", "samples": [
+                {"labels": {}, "value": "not-a-number"},
+                {"labels": {"ok": "1"}, "value": 2},
+            ]},
+        ]}
+        text = render_metrics(payload)
+        assert "c{ok=1}" in text and "not-a-number" not in text
+
+    def test_histogram_sample_with_bad_count_skipped(self):
+        payload = {"metrics": [
+            {"name": "h", "type": "histogram", "samples": [
+                {"labels": {}, "count": "many", "sum": 1.0},
+            ]},
+        ]}
+        assert render_metrics(payload) == "(no metrics)"
+
+    def test_malformed_meta_ignored(self):
+        payload = {"meta": "truncated", "metrics": []}
+        assert render_metrics(payload) == "(no metrics)"

@@ -240,3 +240,52 @@ class TestMicroBatchedServing:
         stats = server.router.batch_stats()
         assert stats is not None
         assert stats.submitted == 64
+
+
+class TestServerHealth:
+    def test_worker_span_reparents_under_submitter(self, served_world, tmp_path):
+        from repro.obs import configure_tracing, disable_tracing, read_trace, span
+
+        _, _, store = served_world
+        trace_path = tmp_path / "reparent-trace.jsonl"
+        configure_tracing(trace_path)
+        try:
+            with QueryServer(store, ServerConfig(n_workers=1)) as server:
+                with span("caller.batch"):
+                    server.submit("a0").result()
+        finally:
+            disable_tracing()
+        spans = {s["name"]: s for s in read_trace(trace_path)}
+        request = spans["serve.request"]
+        caller = spans["caller.batch"]
+        # The worker runs on its own thread, yet its span threads back to
+        # the submitting span instead of floating as a new trace root.
+        assert request["parent_id"] == caller["span_id"]
+        assert request["trace_id"] == caller["trace_id"]
+
+    def test_health_windows_record_requests_and_depth(self, served_world):
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=2)) as server:
+            for _ in range(5):
+                server.query("a0")
+            stats = server.health.stats(60.0)
+        assert stats.n == 5
+        assert stats.errors == 0
+        assert stats.quantile(0.5) is not None
+        assert server.health.queue_depth_series()
+
+    def test_live_verdict_from_server(self, served_world):
+        from repro.obs.health import SLO
+
+        _, _, store = served_world
+        with QueryServer(store, ServerConfig(n_workers=2)) as server:
+            for _ in range(10):
+                server.query("a0")
+            report = server.verdict([
+                SLO(name="p95", metric="serve_request_latency_seconds",
+                    objective=5.0, kind="quantile", quantile=0.95),
+                SLO(name="err", metric="serve_requests_total",
+                    objective=0.01, kind="error_rate"),
+            ])
+        assert report.source == "live"
+        assert report.ok and report.exit_code == 0

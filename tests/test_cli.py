@@ -292,3 +292,186 @@ class TestParser:
         args = build_parser().parse_args(["generate", "--out", "x"])
         assert args.preset == "downbj"
         assert args.scale == 1.0
+
+
+HEALTH_SLO = """\
+slos:
+  - name: fit-p95
+    metric: eval_fit_seconds
+    kind: quantile
+    quantile: 0.95
+    objective: {objective}
+"""
+
+SERVE_SLO = """\
+slos:
+  - name: p95-latency
+    metric: serve_request_latency_seconds
+    kind: quantile
+    quantile: 0.95
+    objective: {objective}
+  - name: error-rate
+    metric: serve_requests_total
+    kind: error_rate
+    objective: 0.05
+    bad:
+      status: [error]
+"""
+
+
+class TestHealthCommand:
+    @pytest.fixture(scope="class")
+    def metrics_path(self, data_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("health") / "metrics.json"
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "MaxTC-ILC", "--fast", "--metrics-out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_healthy_slo_exits_zero(self, metrics_path, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(HEALTH_SLO.format(objective=120.0))
+        code = main(["health", "--metrics", str(metrics_path), "--slo", str(slo)])
+        assert code == 0
+        assert "health: OK" in capsys.readouterr().out
+
+    def test_violated_slo_exits_one(self, metrics_path, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(HEALTH_SLO.format(objective=0.000001))
+        code = main(["health", "--metrics", str(metrics_path), "--slo", str(slo)])
+        assert code == 1
+        assert "health: VIOLATED" in capsys.readouterr().out
+
+    def test_json_report(self, metrics_path, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(HEALTH_SLO.format(objective=120.0))
+        code = main([
+            "health", "--metrics", str(metrics_path), "--slo", str(slo), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["results"][0]["name"] == "fit-p95"
+        assert payload["results"][0]["ok"] is True
+
+    def test_missing_files_exit_two(self, metrics_path, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(HEALTH_SLO.format(objective=1.0))
+        assert main(["health", "--metrics", "/nonexistent.json",
+                     "--slo", str(slo)]) == 2
+        assert main(["health", "--metrics", str(metrics_path),
+                     "--slo", "/nonexistent.yaml"]) == 2
+        bad_spec = tmp_path / "bad.yaml"
+        bad_spec.write_text("slos:\n  - name: x\n")  # missing metric/objective
+        assert main(["health", "--metrics", str(metrics_path),
+                     "--slo", str(bad_spec)]) == 2
+
+
+class TestProfileCommand:
+    def test_wraps_subcommand_and_writes_speedscope(self, data_dir, tmp_path, capsys):
+        out = tmp_path / "prof.speedscope.json"
+        code = main([
+            "profile", "--out", str(out), "--top", "5", "--",
+            "evaluate", "--data", str(data_dir),
+            "--methods", "MaxTC-ILC", "--fast",
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+        assert doc["shared"]["frames"]
+        stdout = capsys.readouterr().out
+        assert "MAE" in stdout          # inner command output passes through
+        assert "self" in stdout and "total" in stdout  # hotspot table
+
+    def test_propagates_inner_exit_code(self, tmp_path, capsys):
+        code = main([
+            "profile", "--", "health",
+            "--metrics", "/nonexistent.json", "--slo", "/nonexistent.yaml",
+        ])
+        assert code == 2
+
+    def test_no_subcommand_exits_two(self, capsys):
+        assert main(["profile", "--out", "/tmp/ignored.json"]) == 2
+
+    def test_evaluate_profile_and_memory_flags(self, data_dir, tmp_path, capsys):
+        profile_out = tmp_path / "eval.speedscope.json"
+        memory_out = tmp_path / "eval-memory.json"
+        code = main([
+            "evaluate", "--data", str(data_dir),
+            "--methods", "MaxTC-ILC", "--fast",
+            "--profile", str(profile_out), "--memory", str(memory_out),
+        ])
+        assert code == 0
+        assert json.loads(profile_out.read_text())["profiles"]
+        snapshots = json.loads(memory_out.read_text())["snapshots"]
+        labels = [s["label"] for s in snapshots]
+        assert any(label.endswith(":training") for label in labels)
+
+
+class TestServeBenchSLO:
+    def test_lenient_slo_passes_and_prints_verdict(self, data_dir, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(SERVE_SLO.format(objective=10.0))
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--duration", "0.3", "--slo", str(slo),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live SLO verdict" in out
+        assert "OK " in out and "p95-latency" in out
+        assert "VIOLATED" not in out
+
+    def test_impossible_slo_fails_the_bench(self, data_dir, tmp_path, capsys):
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(SERVE_SLO.format(objective=0.000000001))
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--duration", "0.3", "--slo", str(slo),
+        ])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_bad_slo_spec_exits_two(self, data_dir, tmp_path):
+        slo = tmp_path / "broken.yaml"
+        slo.write_text("slos: []\n")
+        assert main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--duration", "0.1", "--slo", str(slo),
+        ]) == 2
+
+
+class TestUpdateDrift:
+    def test_drift_out_writes_report(self, data_dir, tmp_path, capsys):
+        from repro.synth.io import load_trips, save_trips
+
+        trips = sorted(load_trips(data_dir / "trips.jsonl"), key=lambda t: t.t_start)
+        half = len(trips) // 2
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in ("addresses.json", "ground_truth.json", "split.json"):
+            (base / name).write_text((data_dir / name).read_text())
+        save_trips(trips[:half], base / "trips.jsonl")
+        new_trips = tmp_path / "new_trips.jsonl"
+        save_trips(trips[half:], new_trips)
+
+        drift_out = tmp_path / "drift.json"
+        code = main([
+            "update", "--data", str(base), "--new-trips", str(new_trips),
+            "--out", str(tmp_path / "loc.json"), "--selector", "maxtc-ilc",
+            "--drift-out", str(drift_out), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = json.loads(drift_out.read_text())
+        assert payload["drift"]["reports"] == report["reports"]
+        assert payload["drift"]["drifted"] == report["drifted"]
+        kinds = [r["kind"] for r in report["reports"]]
+        assert "pool" in kinds
+        for entry in report["reports"]:
+            assert {"kind", "drifted", "dimensions"} <= set(entry)
