@@ -1,0 +1,177 @@
+"""LocMatcher compute-core benchmark: eager vs lazy/fused engines.
+
+Times the three inference paths through :mod:`repro.nn` — per-example
+eager scoring (the pre-refactor baseline), eager batched scoring, and
+the jit-replayed fused schedule — plus full ``fit`` under both engines,
+on the DowntownBJ preset.  Machine-readable results land in
+``benchmarks/results/BENCH_nn.json``; the same gates run as assertions
+so a perf or parity regression fails the suite.
+
+``test_nn_bench_smoke`` is the CI-sized variant: synthetic examples
+instead of the generated city, gating only fused-not-slower-than-eager
+and numerical parity (wall-clock speedup gates need a quiet machine).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import LocMatcherConfig, LocMatcherSelector
+from repro.core.pipeline import DLInfMAConfig, build_artifacts
+from repro.eval import series_table
+from repro.nn import eager_mode, lazy_mode
+from tests.core.test_locmatcher import synthetic_examples
+
+#: Fixed epoch budget (patience never triggers) so both engines do
+#: identical optimization work and the timing ratio is pure engine cost.
+#: 24 epochs reflects a realistic convergence budget (the paper trains
+#: LocMatcher to early stopping, typically tens of epochs) and amortizes
+#: the one-time trace/compile cost the lazy engine pays per fit.
+FIT_EPOCHS = 24
+FIT_CFG = LocMatcherConfig(max_epochs=FIT_EPOCHS, patience=FIT_EPOCHS)
+
+#: Fits per engine when timing (best-of, to shed scheduler noise).
+FIT_REPEAT = 2
+
+#: How many addresses each inference measurement scores.
+N_INFER = 512
+
+
+def _labeled_examples(workload, config=None):
+    artifacts = build_artifacts(
+        workload.trips, workload.addresses, workload.projection,
+        config or DLInfMAConfig(),
+    )
+    out = []
+    for address_id in workload.train_ids + workload.val_ids + workload.test_ids:
+        example = artifacts.examples.get(address_id)
+        truth = workload.ground_truth.get(address_id)
+        if example is None or truth is None:
+            continue
+        artifacts.extractor.label_example(example, truth)
+        out.append(example)
+    return out
+
+
+def _timed_fit(examples, mode):
+    best, selector = np.inf, None
+    for _ in range(FIT_REPEAT):
+        with mode():
+            selector = LocMatcherSelector(config=FIT_CFG)
+            t0 = time.perf_counter()
+            selector.fit(examples)
+            best = min(best, time.perf_counter() - t0)
+    return best, selector
+
+
+def _rate(fn, n_addresses, repeat=3):
+    fn()  # warm-up: traces plans / compiles kernels outside the timing
+    best = min(_once(fn) for _ in range(repeat))
+    return n_addresses / max(best, 1e-9)
+
+
+def _once(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _inference_rates(selector, examples):
+    batch = [examples[i % len(examples)] for i in range(N_INFER)]
+
+    def serial_eager():
+        with eager_mode():
+            for example in batch:
+                selector.scores(example)
+
+    def batched_eager():
+        with eager_mode():
+            selector.scores_batch(batch)
+
+    def batched_fused():
+        with lazy_mode():
+            selector.scores_batch(batch)
+
+    return {
+        "serial_eager_addr_s": _rate(serial_eager, N_INFER, repeat=1),
+        "batched_eager_addr_s": _rate(batched_eager, N_INFER),
+        "batched_fused_addr_s": _rate(batched_fused, N_INFER),
+    }
+
+
+def _score_parity(selector, examples):
+    with lazy_mode():
+        fused = selector.scores_batch(examples)
+    with eager_mode():
+        eager = selector.scores_batch(examples)
+    return max(
+        float(np.max(np.abs(f - e))) if f.size else 0.0
+        for f, e in zip(fused, eager)
+    )
+
+
+def _payload(examples):
+    eager_s, _ = _timed_fit(examples, eager_mode)
+    lazy_s, selector = _timed_fit(examples, lazy_mode)
+    rates = _inference_rates(selector, examples)
+    parity = _score_parity(selector, examples)
+    return {
+        "n_examples": len(examples),
+        "fit": {
+            "epochs": FIT_EPOCHS,
+            "eager_s": eager_s,
+            "lazy_s": lazy_s,
+            "speedup": eager_s / max(lazy_s, 1e-9),
+        },
+        "inference": {
+            "n_addresses": N_INFER,
+            **rates,
+            "fused_vs_serial": rates["batched_fused_addr_s"]
+            / max(rates["serial_eager_addr_s"], 1e-9),
+            "fused_vs_batched_eager": rates["batched_fused_addr_s"]
+            / max(rates["batched_eager_addr_s"], 1e-9),
+        },
+        "parity": {"max_abs_score_diff": parity, "tolerance": 1e-5},
+    }
+
+
+def _report(payload, write_result, write_json, name):
+    fit, infer = payload["fit"], payload["inference"]
+    rows = [
+        ("fit eager", f"{fit['eager_s']:.2f}s", "1.0x"),
+        ("fit lazy+jit", f"{fit['lazy_s']:.2f}s", f"{fit['speedup']:.1f}x"),
+        ("infer serial eager", f"{infer['serial_eager_addr_s']:.0f} addr/s", "1.0x"),
+        ("infer batched eager", f"{infer['batched_eager_addr_s']:.0f} addr/s",
+         f"{infer['batched_eager_addr_s'] / infer['serial_eager_addr_s']:.1f}x"),
+        ("infer batched fused", f"{infer['batched_fused_addr_s']:.0f} addr/s",
+         f"{infer['fused_vs_serial']:.1f}x"),
+    ]
+    text = series_table(
+        rows,
+        headers=["path", "rate", "speedup"],
+        title=f"repro.nn compute core: eager vs fused ({name}), "
+        f"score parity {payload['parity']['max_abs_score_diff']:.2e}",
+    )
+    write_result(name, text)
+    write_json("BENCH_nn" if name == "nn_compute" else name, payload)
+
+
+def test_nn_compute_core(dow_workload, write_result, write_json):
+    examples = _labeled_examples(dow_workload)
+    payload = _payload(examples)
+    _report(payload, write_result, write_json, "nn_compute")
+
+    assert payload["parity"]["max_abs_score_diff"] <= 1e-5
+    assert payload["fit"]["speedup"] >= 2.0, payload["fit"]
+    assert payload["inference"]["fused_vs_serial"] >= 5.0, payload["inference"]
+
+
+def test_nn_bench_smoke(write_result, write_json):
+    examples = synthetic_examples(48, seed=2)
+    payload = _payload(examples)
+    _report(payload, write_result, write_json, "nn_compute_smoke")
+
+    # CI gate: the fused path must never lose to eager batched inference
+    # or drift numerically; wall-clock speedup gates live in the full run.
+    assert payload["parity"]["max_abs_score_diff"] <= 1e-5
+    assert payload["inference"]["fused_vs_batched_eager"] >= 1.0, payload["inference"]

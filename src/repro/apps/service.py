@@ -188,7 +188,7 @@ class DeliveryLocationService:
         self._observe_query(time.perf_counter() - t0, result)
         return result
 
-    def server(self, server_config=None):
+    def server(self, server_config=None, live_scoring: bool = False):
         """A :class:`~repro.serve.server.QueryServer` over this store.
 
         The server shares the service's sharded store by reference, so a
@@ -196,10 +196,34 @@ class DeliveryLocationService:
         next snapshot swap (callers should also drop the server's result
         cache via ``QueryServer.apply_refresh`` or ``router.on_refresh``
         for immediate visibility).
-        """
-        from repro.serve.server import QueryServer
 
-        return QueryServer(self.store, config=server_config)
+        With ``live_scoring=True`` cold cache misses are answered by
+        running LocMatcher in the serving path: the micro-batcher
+        coalesces concurrent misses and a
+        :class:`~repro.serve.scoring.ModelScoringTier` scores all
+        example-backed ids of the batch in one padded masked forward pass
+        (store fallback for the rest).  Requires a fitted pipeline.
+        """
+        from repro.serve.server import QueryServer, ServerConfig
+        from repro.serve.router import QueryRouter
+
+        config = server_config or ServerConfig()
+        router = None
+        if live_scoring:
+            if self.pipeline is None or self.pipeline.selector is None:
+                raise RuntimeError("live scoring requires a fitted pipeline")
+            from repro.serve.scoring import ModelScoringTier
+
+            tier = ModelScoringTier(self.pipeline, self.store)
+            router = QueryRouter.build(
+                self.store,
+                cache_capacity=config.cache_capacity,
+                cache_ttl_s=config.cache_ttl_s,
+                batch_window_s=config.batch_window_s,
+                batch_max=config.batch_max,
+                batch_fn=tier.query_ids_batch,
+            )
+        return QueryServer(self.store, config=config, router=router)
 
     def save(self, directory) -> None:
         """Persist the serving payload (location table) to a directory."""

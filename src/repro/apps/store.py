@@ -46,6 +46,9 @@ class QuerySource(Enum):
     ADDRESS = "address"
     BUILDING = "building"
     GEOCODE = "geocode"
+    #: Answered by live LocMatcher scoring (the serving tier's model path,
+    #: :class:`repro.serve.scoring.ModelScoringTier`) rather than a table.
+    MODEL = "model"
 
 
 @dataclass(frozen=True)

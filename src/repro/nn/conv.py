@@ -9,9 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import graph, init
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+
+# Conv/pool ops compute eagerly on realized arrays (kernels are tiny for
+# the 9x9 UNet grids); their backward closures therefore force any lazy
+# upstream gradient to a concrete array before the numpy math.
 
 
 def pad2d(x: Tensor, padding: int) -> Tensor:
@@ -23,7 +27,8 @@ def pad2d(x: Tensor, padding: int) -> Tensor:
     a = x
     pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
 
-    def backward(g: np.ndarray) -> None:
+    def backward(g) -> None:
+        g = graph.realize(g)
         a._receive(g[:, :, padding:-padding, padding:-padding])
 
     return a._make(np.pad(a.data, pad_width), (a,), backward)
@@ -47,7 +52,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, padding: int =
         raise ValueError(f"kernel {(kh, kw)} larger than padded input {(h, w)}")
 
     a, wt = xp, weight
-    out_data = np.zeros((b, oc, oh, ow))
+    out_data = np.zeros((b, oc, oh, ow), dtype=a.data.dtype)
     for ki in range(kh):
         for kj in range(kw):
             patch = a.data[:, :, ki : ki + oh, kj : kj + ow]  # (B, C, OH, OW)
@@ -56,7 +61,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, padding: int =
                 0, 3, 1, 2
             )
 
-    def backward(g: np.ndarray) -> None:
+    def backward(g) -> None:
+        g = graph.realize(g)
         if a.requires_grad:
             gx = np.zeros_like(a.data)
             for ki in range(kh):
@@ -95,7 +101,11 @@ class Conv2d(Module):
         super().__init__()
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Tensor(init.kaiming_uniform(shape, rng), requires_grad=True)
-        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        self.bias = (
+            Tensor(np.zeros(out_channels, dtype=graph.DEFAULT_DTYPE), requires_grad=True)
+            if bias
+            else None
+        )
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
@@ -121,7 +131,8 @@ def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     flat = windows.transpose(0, 1, 2, 4, 3, 5).reshape(b, c, oh, ow, kernel * kernel)
     argmax = flat.argmax(axis=-1)
 
-    def backward(g: np.ndarray) -> None:
+    def backward(g) -> None:
+        g = graph.realize(g)
         gx = np.zeros_like(a.data)
         ki, kj = np.divmod(argmax, kernel)
         bi, ci, oi, oj = np.indices((b, c, oh, ow))

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import graph
 from repro.nn.tensor import Tensor
 
 #: Additive mask value for attention/softmax padding.
-NEG_INF = -1e9
+NEG_INF = graph.NEG_INF
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -23,6 +24,11 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
+def mask_bias(mask: np.ndarray, dtype=graph.DEFAULT_DTYPE) -> np.ndarray:
+    """``0`` where ``mask`` is truthy, ``NEG_INF`` elsewhere, in ``dtype``."""
+    return np.where(np.asarray(mask, dtype=bool), 0.0, NEG_INF).astype(dtype)
+
+
 def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """Softmax where positions with ``mask == 0`` get zero probability.
 
@@ -30,7 +36,7 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     candidate slots in a LocMatcher batch use this to stay out of the
     probability distribution (Eq. 4 over real candidates only).
     """
-    bias = Tensor(np.where(np.asarray(mask, dtype=bool), 0.0, NEG_INF))
+    bias = Tensor(mask_bias(mask, x.dtype))
     return softmax(x + bias, axis=axis)
 
 
@@ -50,11 +56,26 @@ def cross_entropy(logits: Tensor, target_index: np.ndarray, mask: np.ndarray | N
     if np.any(target_index < 0) or np.any(target_index >= n):
         raise ValueError("target_index out of range")
     if mask is not None:
-        bias = Tensor(np.where(np.asarray(mask, dtype=bool), 0.0, NEG_INF))
-        logits = logits + bias
+        logits = logits + Tensor(mask_bias(mask, logits.dtype))
     logp = log_softmax(logits, axis=-1)
     picked = logp[np.arange(batch), target_index]
     return -picked.mean()
+
+
+def cross_entropy_onehot(logits: Tensor, onehot: Tensor, row_weight: Tensor) -> Tensor:
+    """Cross-entropy with one-hot targets and per-row weights.
+
+    The JIT-traceable reformulation of :func:`cross_entropy`: the picked
+    log-probability is ``(logp * onehot).sum(-1)`` instead of a fancy
+    index (index arrays would be frozen into a trace), and ``row_weight``
+    (``(B,)``, typically 0/1) lets a padded batch row contribute nothing
+    while the mean normalizes by the real-row count.  Candidate masking
+    (``NEG_INF`` bias) must already be applied to ``logits``.
+    """
+    logp = log_softmax(logits, axis=-1)
+    picked = (logp * onehot).sum(axis=-1)  # (B,)
+    total = (picked * row_weight).sum()
+    return -(total / row_weight.sum())
 
 
 def binary_cross_entropy_with_logits(
@@ -66,7 +87,7 @@ def binary_cross_entropy_with_logits(
     (the true delivery location among many candidates) are rare — the paper
     uses an 8:2 class weight.
     """
-    targets_t = Tensor(np.asarray(targets, dtype=float))
+    targets_t = Tensor(np.asarray(targets), dtype=logits.dtype)
     p = logits.sigmoid()
     eps = 1e-12
     pos = targets_t * (p + eps).log() * pos_weight
@@ -76,7 +97,7 @@ def binary_cross_entropy_with_logits(
 
 def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
     """Mean squared error against a constant target."""
-    diff = pred - Tensor(np.asarray(target, dtype=float))
+    diff = pred - Tensor(np.asarray(target), dtype=pred.dtype)
     return (diff * diff).mean()
 
 

@@ -1,0 +1,421 @@
+"""Graph layer of the lazy compute core: buffers, op nodes, mode switch.
+
+`repro.nn` no longer executes every op eagerly.  A :class:`Tensor` op
+records a :class:`LazyBuffer` node (kind, inputs, shape/dtype, kwargs)
+into a small IR instead of computing a numpy temporary; realization is
+forced at ``.numpy()`` / ``.data`` access, ``.backward()`` finalization,
+and any other control-flow boundary that needs concrete values.  The
+scheduler in :mod:`repro.nn.schedule` then fuses elementwise chains into
+single compiled kernels, eliminates dead and duplicate subgraphs, and
+recycles intermediate buffers; :mod:`repro.nn.jit` replays a traced
+schedule without re-recording the graph.
+
+Every helper in this module is dual-mode: given plain ndarrays it
+computes immediately with the exact formula the old eager engine used,
+given a :class:`LazyBuffer` it builds a node.  ``REPRO_NN_EAGER=1`` (or
+:func:`set_lazy` / :func:`eager_mode`) keeps the whole framework on the
+eager path as a fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+#: The standard compute dtype; float64 creeps in only when the caller
+#: explicitly provides float64 arrays (e.g. finite-difference checks).
+DEFAULT_DTYPE = np.dtype(np.float32)
+
+#: Additive mask value for attention/softmax padding (float32-safe).
+NEG_INF = -1e9
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_state = {"lazy": os.environ.get("REPRO_NN_EAGER", "").lower() not in _TRUTHY}
+
+
+def lazy_enabled() -> bool:
+    """Whether new tensors record into the lazy op graph."""
+    return _state["lazy"]
+
+
+def set_lazy(flag: bool) -> None:
+    """Globally enable/disable lazy graph recording for new tensors."""
+    _state["lazy"] = bool(flag)
+
+
+@contextmanager
+def eager_mode():
+    """Force eager execution for tensors created inside the block."""
+    prev = _state["lazy"]
+    _state["lazy"] = False
+    try:
+        yield
+    finally:
+        _state["lazy"] = prev
+
+
+@contextmanager
+def lazy_mode():
+    """Force lazy recording for tensors created inside the block."""
+    prev = _state["lazy"]
+    _state["lazy"] = True
+    try:
+        yield
+    finally:
+        _state["lazy"] = prev
+
+
+def sigmoid_clip(dtype) -> float:
+    """Pre-exp clamp keeping ``exp`` finite in the given dtype."""
+    return 88.0 if np.dtype(dtype).itemsize <= 4 else 500.0
+
+
+# ----------------------------------------------------------------------
+# IR node
+# ----------------------------------------------------------------------
+class LazyBuffer:
+    """One node of the op graph: kind, inputs, shape/dtype, kwargs.
+
+    ``realized`` caches the concrete ndarray once the scheduler has
+    executed the node (always set for ``const`` leaves).
+    """
+
+    __slots__ = ("kind", "srcs", "arg", "shape", "dtype", "realized")
+
+    def __init__(self, kind, srcs, arg, shape, dtype, realized=None):
+        self.kind = kind
+        self.srcs = srcs
+        self.arg = arg
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.realized = realized
+
+    @staticmethod
+    def const(array: np.ndarray) -> "LazyBuffer":
+        array = np.asarray(array)
+        return LazyBuffer("const", (), None, array.shape, array.dtype, array)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "realized" if self.realized is not None else "lazy"
+        return f"LazyBuffer({self.kind}, shape={self.shape}, {state})"
+
+
+BufLike = Union[LazyBuffer, np.ndarray, int, float]
+
+
+def is_buffer(x) -> bool:
+    return isinstance(x, LazyBuffer)
+
+
+def _lift(x: BufLike, ref_dtype=None) -> LazyBuffer:
+    """Wrap an ndarray/scalar as a const node (weak-typed scalars)."""
+    if isinstance(x, LazyBuffer):
+        return x
+    if isinstance(x, (int, float)) and ref_dtype is not None:
+        return LazyBuffer.const(np.asarray(x, dtype=ref_dtype))
+    return LazyBuffer.const(np.asarray(x))
+
+
+def _result_dtype(a: LazyBuffer, b: LazyBuffer):
+    return np.result_type(a.dtype, b.dtype)
+
+
+# ----------------------------------------------------------------------
+# Elementwise ops
+# ----------------------------------------------------------------------
+def _binary(kind: str, np_fn, a: BufLike, b: BufLike):
+    if isinstance(a, LazyBuffer) or isinstance(b, LazyBuffer):
+        ref = a.dtype if isinstance(a, LazyBuffer) else b.dtype
+        a, b = _lift(a, ref), _lift(b, ref)
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        return LazyBuffer(kind, (a, b), None, shape, _result_dtype(a, b))
+    return np_fn(a, b)
+
+
+def _unary(kind: str, np_fn, a: BufLike, dtype=None):
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer(kind, (a,), None, a.shape, dtype or a.dtype)
+    return np_fn(a)
+
+
+def add(a, b):
+    return _binary("add", np.add, a, b)
+
+
+def sub(a, b):
+    return _binary("sub", np.subtract, a, b)
+
+
+def mul(a, b):
+    return _binary("mul", np.multiply, a, b)
+
+
+def div(a, b):
+    return _binary("div", np.divide, a, b)
+
+
+def maximum(a, b):
+    return _binary("maximum", np.maximum, a, b)
+
+
+def eq(a, b):
+    """Elementwise equality as a float mask (not a bool array)."""
+    if isinstance(a, LazyBuffer) or isinstance(b, LazyBuffer):
+        ref = a.dtype if isinstance(a, LazyBuffer) else b.dtype
+        a, b = _lift(a, ref), _lift(b, ref)
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        return LazyBuffer("cmp_eq", (a, b), None, shape, _result_dtype(a, b))
+    a_arr, b_arr = np.asarray(a), np.asarray(b)
+    if isinstance(b, (int, float)):  # weak scalar: keep the array dtype
+        out_dtype = a_arr.dtype
+    elif isinstance(a, (int, float)):
+        out_dtype = b_arr.dtype
+    else:
+        out_dtype = np.result_type(a_arr.dtype, b_arr.dtype)
+    return np.equal(a_arr, b_arr).astype(out_dtype)
+
+
+def neg(a):
+    return _unary("neg", np.negative, a)
+
+
+def exp(a):
+    return _unary("exp", np.exp, a)
+
+
+def log(a):
+    return _unary("log", np.log, a)
+
+
+def sqrt(a):
+    return _unary("sqrt", np.sqrt, a)
+
+
+def tanh(a):
+    return _unary("tanh", np.tanh, a)
+
+
+def sigmoid(a):
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer("sigmoid", (a,), None, a.shape, a.dtype)
+    clip = sigmoid_clip(np.asarray(a).dtype)
+    return 1.0 / (1.0 + np.exp(-np.clip(a, -clip, clip)))
+
+
+def relu(a):
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer("relu", (a,), None, a.shape, a.dtype)
+    return np.maximum(a, 0.0)
+
+
+def gtz(a):
+    """``(a > 0)`` as a float mask of ``a``'s dtype (the relu gradient)."""
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer("gtz", (a,), None, a.shape, a.dtype)
+    a = np.asarray(a)
+    return np.greater(a, 0).astype(a.dtype)
+
+
+def pow_scalar(a, exponent: float):
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer("pows", (a,), float(exponent), a.shape, a.dtype)
+    return np.power(a, float(exponent))
+
+
+# ----------------------------------------------------------------------
+# Reductions, matmul, movement
+# ----------------------------------------------------------------------
+def _norm_axes(axis, ndim):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(sorted(a % ndim for a in axis))
+
+
+def reduce_shape(shape, axis, keepdims):
+    """Output shape of a sum/max reduction over ``axis``."""
+    axes = _norm_axes(axis, len(shape))
+    if axes is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
+def sum_(a, axis=None, keepdims=False):
+    if isinstance(a, LazyBuffer):
+        shape = reduce_shape(a.shape, axis, keepdims)
+        return LazyBuffer("sum", (a,), (axis, keepdims), shape, a.dtype)
+    return a.sum(axis=axis, keepdims=keepdims)
+
+
+def max_(a, axis, keepdims=False):
+    if isinstance(a, LazyBuffer):
+        shape = reduce_shape(a.shape, axis, keepdims)
+        return LazyBuffer("max", (a,), (axis, keepdims), shape, a.dtype)
+    return a.max(axis=axis, keepdims=keepdims)
+
+
+def cumsum(a, axis):
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer("cumsum", (a,), axis, a.shape, a.dtype)
+    return np.cumsum(a, axis=axis)
+
+
+def matmul_shape(s1, s2):
+    if len(s1) < 2 or len(s2) < 2:
+        raise ValueError("matmul requires ndim >= 2 operands")
+    if s1[-1] != s2[-2]:
+        raise ValueError(f"matmul shape mismatch: {s1} @ {s2}")
+    batch = np.broadcast_shapes(s1[:-2], s2[:-2])
+    return batch + (s1[-2], s2[-1])
+
+
+def matmul(a, b):
+    if isinstance(a, LazyBuffer) or isinstance(b, LazyBuffer):
+        a, b = _lift(a), _lift(b)
+        shape = matmul_shape(a.shape, b.shape)
+        return LazyBuffer("matmul", (a, b), None, shape, _result_dtype(a, b))
+    return np.matmul(a, b)
+
+
+def reshape(a, shape):
+    if isinstance(a, LazyBuffer):
+        shape = tuple(shape)
+        if -1 in shape:
+            known = 1
+            for s in shape:
+                if s != -1:
+                    known *= s
+            shape = tuple(a.size // max(1, known) if s == -1 else s for s in shape)
+        return LazyBuffer("reshape", (a,), shape, shape, a.dtype)
+    return a.reshape(shape)
+
+
+def transpose(a, axes):
+    if isinstance(a, LazyBuffer):
+        axes = tuple(ax % len(a.shape) for ax in axes)
+        shape = tuple(a.shape[ax] for ax in axes)
+        return LazyBuffer("transpose", (a,), axes, shape, a.dtype)
+    return a.transpose(axes)
+
+
+def swapaxes(a, ax1, ax2):
+    if isinstance(a, LazyBuffer):
+        shape = list(a.shape)
+        shape[ax1], shape[ax2] = shape[ax2], shape[ax1]
+        return LazyBuffer("swapaxes", (a,), (ax1, ax2), shape, a.dtype)
+    return a.swapaxes(ax1, ax2)
+
+
+def broadcast_to(a, shape):
+    if isinstance(a, LazyBuffer):
+        shape = tuple(shape)
+        if a.shape == shape:
+            return a
+        return LazyBuffer("expand", (a,), shape, shape, a.dtype)
+    return np.broadcast_to(a, shape)
+
+
+def index_shape(shape, index):
+    """Result shape of ``array[index]`` without touching real data."""
+    probe = np.broadcast_to(np.zeros((), dtype=np.bool_), shape)
+    return probe[index].shape
+
+
+def getitem(a, index):
+    if isinstance(a, LazyBuffer):
+        shape = index_shape(a.shape, index)
+        return LazyBuffer("getitem", (a,), index, shape, a.dtype)
+    return a[index]
+
+
+def scatter_add(a, index, shape, dtype=None):
+    """``out = zeros(shape); np.add.at(out, index, a)`` (getitem adjoint)."""
+    if isinstance(a, LazyBuffer):
+        return LazyBuffer(
+            "scatter", (a,), (index, tuple(shape)), shape, dtype or a.dtype
+        )
+    out = np.zeros(shape, dtype=dtype or a.dtype)
+    np.add.at(out, index, a)
+    return out
+
+
+def cat(parts: Sequence[BufLike], axis: int):
+    if any(isinstance(p, LazyBuffer) for p in parts):
+        parts = tuple(_lift(p) for p in parts)
+        axis_n = axis % len(parts[0].shape)
+        shape = list(parts[0].shape)
+        shape[axis_n] = sum(p.shape[axis_n] for p in parts)
+        dtype = np.result_type(*[p.dtype for p in parts])
+        return LazyBuffer("cat", parts, axis, shape, dtype)
+    return np.concatenate(list(parts), axis=axis)
+
+
+def stack(parts: Sequence[BufLike], axis: int):
+    if any(isinstance(p, LazyBuffer) for p in parts):
+        parts = tuple(_lift(p) for p in parts)
+        shape = list(parts[0].shape)
+        axis_n = axis % (len(shape) + 1)
+        shape.insert(axis_n, len(parts))
+        dtype = np.result_type(*[p.dtype for p in parts])
+        return LazyBuffer("stack", parts, axis, shape, dtype)
+    return np.stack(list(parts), axis=axis)
+
+
+def gen(fn: Callable[[], np.ndarray], shape, dtype) -> LazyBuffer:
+    """A per-execution generated leaf (e.g. a fresh dropout mask).
+
+    The callable runs once per schedule execution — a JIT replay invokes
+    it again rather than freezing the traced value.
+    """
+    return LazyBuffer("gen", (), fn, shape, dtype)
+
+
+def unbroadcast(g: BufLike, shape) -> BufLike:
+    """Sum ``g`` down to ``shape`` (inverse of numpy broadcasting)."""
+    shape = tuple(shape)
+    g_shape = g.shape
+    if g_shape == shape:
+        return g
+    extra = len(g_shape) - len(shape)
+    if extra > 0:
+        g = sum_(g, axis=tuple(range(extra)))
+        g_shape = g.shape
+    axes = tuple(
+        i for i, s in enumerate(shape) if s == 1 and g_shape[i] != 1
+    )
+    if axes:
+        g = sum_(g, axis=axes, keepdims=True)
+    return reshape(g, shape)
+
+
+# ----------------------------------------------------------------------
+# Realization boundary
+# ----------------------------------------------------------------------
+def realize_buffers(buffers: Sequence[LazyBuffer]) -> list[np.ndarray]:
+    """Force a batch of buffers to concrete ndarrays (one schedule)."""
+    from repro.nn import schedule
+
+    return schedule.realize_buffers(list(buffers))
+
+
+def realize(buffer: BufLike) -> np.ndarray:
+    """Force one buffer; ndarrays pass through untouched."""
+    if not isinstance(buffer, LazyBuffer):
+        return np.asarray(buffer)
+    if buffer.realized is not None:
+        return buffer.realized
+    return realize_buffers([buffer])[0]

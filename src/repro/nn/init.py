@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.graph import DEFAULT_DTYPE
+
 _GLOBAL_SEED = np.random.default_rng(0)
 
 
@@ -12,7 +14,7 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = Non
     rng = rng or _GLOBAL_SEED
     fan_in, fan_out = _fans(shape)
     limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
@@ -20,13 +22,13 @@ def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = No
     rng = rng or _GLOBAL_SEED
     fan_in, _ = _fans(shape)
     limit = float(np.sqrt(6.0 / fan_in))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
 
 
 def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
     """Zero-mean Gaussian init."""
     rng = rng or _GLOBAL_SEED
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(DEFAULT_DTYPE)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -1,0 +1,421 @@
+"""Replay layer: trace a step once, then replay its fused schedule.
+
+:class:`TracedStep` wraps a function that takes numpy arrays, does its
+work through :class:`~repro.nn.Tensor` ops, and returns numpy arrays
+(realized outputs).  The first call for a given input-shape/dtype
+signature executes normally with a :class:`~repro.nn.schedule.PlanRecorder`
+installed, capturing every scheduled kernel into a slot program.  Later
+calls with the same signature skip Python graph construction, autograd
+bookkeeping, and scheduling entirely: the recorded kernels are re-run
+over a slot table with the new input buffers.
+
+Side effects that replays must reproduce are handled explicitly:
+
+- **parameters** — slots holding a parameter's array re-read ``p.data``
+  every replay, so ``load_state_dict`` (which swaps arrays) keeps working;
+- **gradients** — after a traced ``backward()``, each parameter's grad
+  slot is written back to ``p.grad`` at the end of every replay;
+- **randomness** — ``gen`` nodes (dropout masks) re-invoke their callable
+  per replay, advancing the module's RNG exactly as eager mode would;
+- **buffer reuse** — intermediates whose alias group is dead are donated
+  as ``out=`` targets for later shape/dtype-matching kernels.
+
+When lazy mode is disabled (``REPRO_NN_EAGER=1``) the wrapped function is
+called directly and nothing is traced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.graph import lazy_enabled
+from repro.nn.schedule import PlanRecorder, pop_recorder, push_recorder
+
+
+class _Plan:
+    """A finalized replayable program for one input signature."""
+
+    __slots__ = (
+        "steps",
+        "slot_arrays",
+        "input_slots",
+        "param_slots",
+        "grad_slots",
+        "output_slots",
+        "single_output",
+        "n_donated",
+        "run",
+    )
+
+    def __init__(self):
+        self.steps = []  # (fn, in_slots, out_slot, donate_slot, is_gen, dtype)
+        self.slot_arrays = []
+        self.input_slots = []
+        self.param_slots = []  # (slot, param)
+        self.grad_slots = []  # (slot, param)
+        self.output_slots = []
+        self.single_output = True
+        self.n_donated = 0
+        self.run = None  # compiled straight-line replay program
+
+
+def _signature(arrays: Sequence[np.ndarray]):
+    return tuple((a.shape, a.dtype.str) for a in arrays)
+
+
+def _plan_donation(plan: _Plan) -> None:
+    """Assign ``out=`` donation targets to out-capable steps.
+
+    A produced slot's buffer may be reused once its *alias group* (itself
+    plus any movement-op views taken of it) is dead and no member is an
+    input, parameter, output, or gradient slot.  Donation targets are
+    always arrays produced earlier in the same replay, never trace-time
+    constants, so concurrent replays of one plan cannot alias.
+    """
+    n_slots = len(plan.slot_arrays)
+    parent = list(range(n_slots))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    protected = set()
+    for slot in plan.input_slots:
+        if slot is not None:
+            protected.add(slot)
+    protected.update(slot for slot, _ in plan.param_slots)
+    protected.update(slot for slot, _ in plan.grad_slots)
+    protected.update(plan.output_slots)
+    produced_at: dict[int, int] = {}
+    last_use: dict[int, int] = {}
+    for t, (fn, in_slots, out_slot, out_capable, is_movement, is_gen, dtype) in (
+        enumerate(plan.steps)
+    ):
+        for s in in_slots:
+            last_use[s] = t
+        produced_at[out_slot] = t
+        if is_movement and in_slots:
+            parent[find(out_slot)] = find(in_slots[0])
+
+    # Trace-time constants (leaf slots never produced by a step) must not
+    # be written into: they are shared with live tensors and the graph.
+    for slot in range(n_slots):
+        if slot not in produced_at:
+            protected.add(slot)
+
+    group_last: dict[int, int] = {}
+    group_protected: set[int] = set()
+    for slot in range(n_slots):
+        root = find(slot)
+        use = last_use.get(slot, -1)
+        if use > group_last.get(root, -1):
+            group_last[root] = use
+        if slot in protected or (
+            slot in produced_at
+            and plan.steps[produced_at[slot]][4]  # movement output: a view
+        ):
+            group_protected.add(root)
+
+    # Walk the steps, freeing dead groups and matching them to later
+    # out-capable steps of identical shape and dtype.
+    free: dict[tuple, list[int]] = {}
+    shape_of = [None if a is None else a.shape for a in plan.slot_arrays]
+    for t, step in enumerate(plan.steps):
+        fn, in_slots, out_slot, out_capable, is_movement, is_gen, dtype = step
+        donate = None
+        if out_capable:
+            bucket = free.get((shape_of[out_slot], dtype.str))
+            if bucket:
+                donate = bucket.pop()
+                plan.n_donated += 1
+        plan.steps[t] = (fn, in_slots, out_slot, donate, is_gen, dtype)
+        for s in set(in_slots):
+            root = find(s)
+            if (
+                group_last.get(root) == t
+                and root not in group_protected
+                and s in produced_at
+                and s != out_slot
+            ):
+                free.setdefault((shape_of[s], dtype_of(plan, s)), []).append(s)
+
+
+def dtype_of(plan: _Plan, slot: int) -> str:
+    arr = plan.slot_arrays[slot]
+    return arr.dtype.str if arr is not None else ""
+
+
+def _render_sum(arg, src: str, a: np.ndarray, namespace: dict) -> str | None:
+    """BLAS rendering for a contiguous sum over leading or trailing axes.
+
+    ``ufunc.reduce`` with an explicit axis costs ~10µs in dispatch alone,
+    several times the actual summation on LocMatcher-sized batches.  When
+    the trace-time input is C-contiguous and the reduced axes form a
+    leading or trailing block, the sum is a single gemv against a cached
+    ones vector; shapes are fixed per plan, so the reshape dimensions can
+    be baked into the source.
+    """
+    axis, keepdims = arg
+    ndim = a.ndim
+    if ndim == 0 or a.size == 0 or a.dtype.kind != "f" or not a.flags.c_contiguous:
+        return None
+    if axis is None:
+        axes = tuple(range(ndim))
+    else:
+        raw = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(sorted(ax % ndim for ax in raw))
+    if len(set(axes)) != len(axes):
+        return None
+
+    def ones(n: int) -> str:
+        name = f"_ones{n}{a.dtype.char}"
+        namespace[name] = np.ones(n, dtype=a.dtype)
+        return name
+
+    if axes == tuple(range(ndim)):
+        # Full reduction to a scalar; the shape-() coercion line that the
+        # compiler emits after every scalar-producing step re-wraps it.
+        return None if keepdims else f"({src}.reshape(-1) @ {ones(a.size)})"
+    red = 1
+    for d in axes:
+        red *= a.shape[d]
+    rest = a.size // red
+    if axes == tuple(range(len(axes))):  # leading block
+        expr = f"({ones(red)} @ {src}.reshape({red}, {rest}))"
+    elif axes == tuple(range(ndim - len(axes), ndim)):  # trailing block
+        expr = f"({src}.reshape({rest}, {red}) @ {ones(red)})"
+    else:
+        return None
+    if keepdims:
+        out_shape = tuple(1 if d in axes else a.shape[d] for d in range(ndim))
+    else:
+        out_shape = tuple(a.shape[d] for d in range(ndim) if d not in axes)
+    if out_shape == (rest,):
+        return expr
+    return f"{expr}.reshape({out_shape!r})"
+
+
+def _render_inline(kind: str, arg, args: list[str]) -> str | None:
+    """Direct numpy source for an interpreted step (None: call the fn).
+
+    Args whose ``repr`` is exact (ints, bools, None, tuples thereof) are
+    baked into the source; anything else (e.g. ``getitem`` slices) keeps
+    the closure call.
+    """
+    if kind == "matmul":
+        return f"np.matmul({args[0]}, {args[1]})"
+    if kind == "sum":
+        axis, keepdims = arg
+        return f"np.add.reduce({args[0]}, axis={axis!r}, keepdims={keepdims!r})"
+    if kind == "max":
+        axis, keepdims = arg
+        return f"np.maximum.reduce({args[0]}, axis={axis!r}, keepdims={keepdims!r})"
+    if kind == "cumsum":
+        return f"np.cumsum({args[0]}, axis={arg!r})"
+    if kind == "reshape":
+        return f"{args[0]}.reshape({arg!r})"
+    if kind == "transpose":
+        return f"{args[0]}.transpose({arg!r})"
+    if kind == "swapaxes":
+        return f"{args[0]}.swapaxes({arg[0]!r}, {arg[1]!r})"
+    if kind == "expand":
+        return f"np.broadcast_to({args[0]}, {arg!r})"
+    if kind == "cat":
+        return f"np.concatenate(({', '.join(args)},), axis={arg!r})"
+    if kind == "stack":
+        return f"np.stack(({', '.join(args)},), axis={arg!r})"
+    return None
+
+
+def _compile_program(plan: _Plan) -> Callable:
+    """Unroll the plan into one generated function over local variables.
+
+    The interpreted replay loop pays per step for tuple unpacking, slot
+    list indexing, and branch dispatch — on LocMatcher-sized plans
+    (hundreds of steps per batch) that overhead rivals the numpy work.
+    Generating straight-line code (``v12 = f3(v4, v7)``) keeps every
+    intermediate in a Python local and bakes donation targets, gen
+    re-rolls, and dtype guards into the source.  The function reads leaf
+    and input slots from ``slots`` and writes back only the slots read
+    afterwards (gradients and outputs).
+    """
+    lines = ["def _program(slots):"]
+    namespace: dict = {"np": np, "_nd": np.ndarray, "_asarray": np.asarray}
+    written: set[int] = set()
+    loaded: set[int] = set()
+
+    def ensure(slot: int) -> None:
+        if slot not in written and slot not in loaded:
+            lines.append(f"    v{slot} = slots[{slot}]")
+            loaded.add(slot)
+
+    for t, (fn, in_slots, out_slot, donate, is_gen, dtype) in enumerate(plan.steps):
+        namespace[f"d{t}"] = dtype
+        for s in in_slots:
+            ensure(s)
+        if donate is not None:
+            ensure(donate)
+        arg_names = [f"v{s}" for s in in_slots]
+        args = ", ".join(arg_names)
+        call = None
+        if is_gen:
+            call = f"f{t}()"
+        elif donate is not None:
+            call = f"f{t}({args}, _out=v{donate})"
+        else:
+            kind = getattr(fn, "_kind", None)
+            if kind == "sum":
+                a = plan.slot_arrays[in_slots[0]]
+                if a is not None:
+                    call = _render_sum(fn._arg, arg_names[0], a, namespace)
+            if call is None and kind is not None:
+                call = _render_inline(kind, fn._arg, arg_names)
+            if call is None:
+                call = f"f{t}({args})"
+        if f"f{t}(" in call:
+            namespace[f"f{t}"] = fn
+        lines.append(f"    v{out_slot} = {call}")
+        out_arr = plan.slot_arrays[out_slot]
+        if out_arr is not None and out_arr.shape == ():
+            # Full reductions yield numpy scalars, not ndarrays.
+            lines.append(
+                f"    if not isinstance(v{out_slot}, _nd):"
+                f" v{out_slot} = _asarray(v{out_slot})"
+            )
+        lines.append(
+            f"    if v{out_slot}.dtype != d{t}:"
+            f" v{out_slot} = v{out_slot}.astype(d{t})"
+        )
+        written.add(out_slot)
+    for slot in {*plan.output_slots, *(s for s, _ in plan.grad_slots)}:
+        ensure(slot)
+        lines.append(f"    slots[{slot}] = v{slot}")
+    src = "\n".join(lines) + "\n"
+    exec(src, namespace)  # noqa: S102 - generated from recorded plan steps
+    program = namespace["_program"]
+    program.__doc__ = src
+    return program
+
+
+class TracedStep:
+    """Trace-and-replay wrapper around an array-in/array-out step function.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(*arrays) -> ndarray | tuple[ndarray, ...]``.  Must consume
+        every input through Tensor ops (an unused or silently copied
+        input would be frozen into the trace) and return realized
+        arrays (e.g. ``loss.numpy()``).
+    params:
+        Parameters whose ``.data`` slots are refreshed and whose ``.grad``
+        (if produced by the trace) is written back on every replay.
+    """
+
+    def __init__(self, fn: Callable, params: Iterable = ()) -> None:
+        self.fn = fn
+        self.params = list(params)
+        self.plans: dict[tuple, _Plan] = {}
+        self._lock = threading.RLock()
+
+    def reset(self) -> None:
+        """Drop all traced plans (e.g. after changing the architecture)."""
+        with self._lock:
+            self.plans.clear()
+
+    @property
+    def n_plans(self) -> int:
+        return len(self.plans)
+
+    def __call__(self, *arrays: np.ndarray):
+        if not lazy_enabled():
+            return self.fn(*arrays)
+        key = _signature(arrays)
+        with self._lock:
+            plan = self.plans.get(key)
+            if plan is None:
+                plan = self._trace(arrays)
+                self.plans[key] = plan
+                return self._structure(plan, [plan.slot_arrays[s] for s in plan.output_slots])
+            return self._replay(plan, arrays)
+
+    # ------------------------------------------------------------------
+    def _trace(self, arrays: Sequence[np.ndarray]) -> _Plan:
+        for p in self.params:
+            p.grad = None
+        recorder = PlanRecorder()
+        push_recorder(recorder)
+        try:
+            outputs = self.fn(*arrays)
+        finally:
+            pop_recorder()
+        plan = _Plan()
+        plan.steps = list(recorder.steps)
+        plan.slot_arrays = list(recorder.slot_arrays)
+        single = not isinstance(outputs, (tuple, list))
+        out_arrays = [outputs] if single else list(outputs)
+        plan.single_output = single
+        for i, out in enumerate(out_arrays):
+            slot = recorder.slot_of_array(np.asarray(out))
+            if slot is None:
+                raise RuntimeError(
+                    f"traced output {i} is not a realized graph array; "
+                    "return Tensor.numpy() results from the traced fn"
+                )
+            plan.output_slots.append(slot)
+        for i, arr in enumerate(arrays):
+            slot = recorder.slot_of_array(arr)
+            if slot is None:
+                raise RuntimeError(
+                    f"traced input {i} (shape {arr.shape}) never reached the "
+                    "graph — it was unused or copied (dtype/layout mismatch?)"
+                )
+            plan.input_slots.append(slot)
+        for p in self.params:
+            slot = recorder.slot_of_array(p.data)
+            if slot is not None:
+                plan.param_slots.append((slot, p))
+            gslot = recorder.slot_of_array(p.grad)
+            if gslot is not None:
+                plan.grad_slots.append((gslot, p))
+        _plan_donation(plan)
+        plan.run = _compile_program(plan)
+        return plan
+
+    def _replay(self, plan: _Plan, arrays: Sequence[np.ndarray]):
+        slots = list(plan.slot_arrays)
+        for slot, p in plan.param_slots:
+            slots[slot] = p.data
+        for pos, slot in enumerate(plan.input_slots):
+            slots[slot] = arrays[pos]
+        plan.run(slots)
+        for slot, p in plan.grad_slots:
+            g = slots[slot]
+            p.grad = g if g.flags.writeable else g.copy()
+        return self._structure(plan, [slots[s] for s in plan.output_slots])
+
+    @staticmethod
+    def _structure(plan: _Plan, outs: list):
+        return outs[0] if plan.single_output else tuple(outs)
+
+
+def jit(params: Iterable = ()) -> Callable:
+    """Decorator form of :class:`TracedStep`.
+
+    ::
+
+        @jit(params=model.parameters())
+        def step(x, y):
+            ...
+            return loss.numpy()
+    """
+
+    def wrap(fn: Callable) -> TracedStep:
+        return TracedStep(fn, params=params)
+
+    return wrap

@@ -114,7 +114,10 @@ class Module:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, array in state.items():
             p = params[name]
-            array = np.asarray(array, dtype=np.float64)
+            # Cast to the parameter's dtype (float32 end-to-end policy):
+            # states saved under either engine load into the same precision
+            # the model computes in.
+            array = np.asarray(array, dtype=p.data.dtype)
             if array.shape != p.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {array.shape} vs {p.data.shape}")
             p.data = array.copy()

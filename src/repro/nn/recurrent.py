@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import init
+from repro.nn.graph import DEFAULT_DTYPE
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, stack
 
@@ -28,7 +29,7 @@ class LSTM(Module):
         self.hidden_size = hidden_size
         self.w_x = Tensor(init.xavier_uniform((input_size, 4 * hidden_size), rng), requires_grad=True)
         self.w_h = Tensor(init.xavier_uniform((hidden_size, 4 * hidden_size), rng), requires_grad=True)
-        bias = np.zeros(4 * hidden_size)
+        bias = np.zeros(4 * hidden_size, dtype=DEFAULT_DTYPE)
         bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
         self.bias = Tensor(bias, requires_grad=True)
 
@@ -40,8 +41,8 @@ class LSTM(Module):
         b, t, _ = x.shape
         h_dim = self.hidden_size
         if state is None:
-            h = Tensor(np.zeros((b, h_dim)))
-            c = Tensor(np.zeros((b, h_dim)))
+            h = Tensor(np.zeros((b, h_dim), dtype=x.dtype))
+            c = Tensor(np.zeros((b, h_dim), dtype=x.dtype))
         else:
             h, c = state
         outputs = []
@@ -76,7 +77,7 @@ class GRU(Module):
         self.hidden_size = hidden_size
         self.w_x = Tensor(init.xavier_uniform((input_size, 3 * hidden_size), rng), requires_grad=True)
         self.w_h = Tensor(init.xavier_uniform((hidden_size, 3 * hidden_size), rng), requires_grad=True)
-        self.bias = Tensor(np.zeros(3 * hidden_size), requires_grad=True)
+        self.bias = Tensor(np.zeros(3 * hidden_size, dtype=DEFAULT_DTYPE), requires_grad=True)
 
     def forward(
         self, x: Tensor, state: Tensor | None = None
@@ -85,7 +86,7 @@ class GRU(Module):
             raise ValueError(f"expected (B, T, {self.input_size}), got {x.shape}")
         b, t, _ = x.shape
         h_dim = self.hidden_size
-        h = Tensor(np.zeros((b, h_dim))) if state is None else state
+        h = Tensor(np.zeros((b, h_dim), dtype=x.dtype)) if state is None else state
         outputs = []
         for step in range(t):
             x_t = x[:, step, :]

@@ -1,0 +1,549 @@
+"""Scheduler/fusion layer: turn an op graph into fused kernel executions.
+
+Given the roots to realize, the scheduler
+
+1. topologically orders the unrealized subgraph (dead nodes are simply
+   never visited — that is the dead-code elimination),
+2. merges duplicate subgraphs by structural hashing (CSE),
+3. fuses maximal single-consumer elementwise chains into one *compiled
+   kernel* — a generated Python closure evaluating a single numpy
+   expression — so a chain like ``relu(x @ w + b)`` runs as one call
+   instead of one dispatch per op, and
+4. executes the plan in topological order.
+
+When a :class:`PlanRecorder` is active (installed by :mod:`repro.nn.jit`)
+every executed step is also appended to a replayable slot-based program;
+the JIT layer adds buffer donation there, where slot lifetimes are known.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.graph import LazyBuffer, sigmoid_clip
+
+#: Ops a fused kernel may contain.
+ELEMENTWISE = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "maximum",
+        "neg",
+        "exp",
+        "log",
+        "sqrt",
+        "tanh",
+        "sigmoid",
+        "relu",
+        "gtz",
+        "pows",
+        "cmp_eq",
+    }
+)
+
+#: Kinds whose output may alias their input memory (numpy views).  Their
+#: outputs must never be donated as scratch space by the replay layer.
+MOVEMENT = frozenset({"reshape", "transpose", "swapaxes", "expand", "getitem"})
+
+_INFIX = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+_UNARY_FN = {"exp": "np.exp", "log": "np.log", "sqrt": "np.sqrt", "tanh": "np.tanh"}
+#: Top-level renderings that accept an ``out=`` keyword.
+_OUT_UFUNC = {
+    "add": "np.add",
+    "sub": "np.subtract",
+    "mul": "np.multiply",
+    "div": "np.divide",
+    "maximum": "np.maximum",
+    "neg": "np.negative",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sqrt": "np.sqrt",
+    "tanh": "np.tanh",
+}
+
+_KERNEL_CACHE: dict[str, Callable] = {}
+_KERNEL_LOCK = threading.Lock()
+
+
+def _render(node: LazyBuffer, operand_expr: list[str]) -> str:
+    """Expression string for one elementwise node (operands pre-rendered)."""
+    kind = node.kind
+    if kind in _INFIX:
+        a, b = operand_expr
+        return f"({a} {_INFIX[kind]} {b})"
+    if kind in _UNARY_FN:
+        return f"{_UNARY_FN[kind]}({operand_expr[0]})"
+    if kind == "neg":
+        return f"(-{operand_expr[0]})"
+    if kind == "maximum":
+        return f"np.maximum({operand_expr[0]}, {operand_expr[1]})"
+    if kind == "relu":
+        return f"np.maximum({operand_expr[0]}, 0.0)"
+    if kind == "sigmoid":
+        clip = sigmoid_clip(node.dtype)
+        return f"(1.0 / (1.0 + np.exp(-np.clip({operand_expr[0]}, -{clip}, {clip}))))"
+    if kind == "gtz":
+        return f"np.greater({operand_expr[0]}, 0).astype(np.{node.dtype.name})"
+    if kind == "cmp_eq":
+        return (
+            f"np.equal({operand_expr[0]}, {operand_expr[1]})"
+            f".astype(np.{node.dtype.name})"
+        )
+    if kind == "pows":
+        return f"np.power({operand_expr[0]}, {node.arg!r})"
+    raise ValueError(f"not an elementwise kind: {kind}")
+
+
+def _render_out_capable(node: LazyBuffer, operand_expr: list[str]) -> str | None:
+    """Top-level rendering writing into ``_out`` (None if unsupported)."""
+    kind = node.kind
+    if kind in _OUT_UFUNC:
+        args = ", ".join(operand_expr)
+        return f"{_OUT_UFUNC[kind]}({args}, out=_out)"
+    if kind == "relu":
+        return f"np.maximum({operand_expr[0]}, 0.0, out=_out)"
+    if kind == "pows":
+        return f"np.power({operand_expr[0]}, {node.arg!r}, out=_out)"
+    return None
+
+
+def _compile_kernel(expr: str, out_expr: str | None, arity: int) -> Callable:
+    """Compile (with caching) a fused kernel ``f(i0, .., _out=None)``."""
+    key = f"{arity}|{expr}|{out_expr}"
+    fn = _KERNEL_CACHE.get(key)
+    if fn is not None:
+        return fn
+    with _KERNEL_LOCK:
+        fn = _KERNEL_CACHE.get(key)
+        if fn is not None:
+            return fn
+        args = ", ".join(f"i{j}" for j in range(arity))
+        if out_expr is None:
+            body = f"    return {expr}\n"
+        else:
+            body = (
+                "    if _out is None:\n"
+                f"        return {expr}\n"
+                f"    return {out_expr}\n"
+            )
+        src = f"def _kernel({args}{', ' if args else ''}_out=None):\n{body}"
+        namespace: dict = {"np": np}
+        exec(src, namespace)  # noqa: S102 - generated from a closed op set
+        fn = namespace["_kernel"]
+        fn.__doc__ = expr
+        _KERNEL_CACHE[key] = fn
+    return fn
+
+
+def kernel_cache_size() -> int:
+    return len(_KERNEL_CACHE)
+
+
+# ----------------------------------------------------------------------
+# Interpreted (non-fusable) kinds
+# ----------------------------------------------------------------------
+def _exec_matmul(arg, a, b):
+    return np.matmul(a, b)
+
+
+def _exec_sum(arg, a):
+    axis, keepdims = arg
+    return a.sum(axis=axis, keepdims=keepdims)
+
+
+def _exec_max(arg, a):
+    axis, keepdims = arg
+    return a.max(axis=axis, keepdims=keepdims)
+
+
+def _exec_cumsum(arg, a):
+    return np.cumsum(a, axis=arg)
+
+
+def _exec_reshape(arg, a):
+    return a.reshape(arg)
+
+
+def _exec_transpose(arg, a):
+    return a.transpose(arg)
+
+
+def _exec_swapaxes(arg, a):
+    return a.swapaxes(*arg)
+
+
+def _exec_expand(arg, a):
+    return np.broadcast_to(a, arg)
+
+
+def _exec_getitem(arg, a):
+    return a[arg]
+
+
+def _exec_cat(arg, *parts):
+    return np.concatenate(parts, axis=arg)
+
+
+def _exec_stack(arg, *parts):
+    return np.stack(parts, axis=arg)
+
+
+_EXEC = {
+    "matmul": _exec_matmul,
+    "sum": _exec_sum,
+    "max": _exec_max,
+    "cumsum": _exec_cumsum,
+    "reshape": _exec_reshape,
+    "transpose": _exec_transpose,
+    "swapaxes": _exec_swapaxes,
+    "expand": _exec_expand,
+    "getitem": _exec_getitem,
+    "cat": _exec_cat,
+    "stack": _exec_stack,
+}
+
+
+def _bind_exec(node: LazyBuffer) -> Callable:
+    """A positional callable for one interpreted node (arg pre-bound)."""
+    kind = node.kind
+    if kind == "gen":
+        gen_fn = node.arg
+
+        def run_gen(*_ignored, _out=None):
+            return gen_fn()
+
+        return run_gen
+    if kind == "scatter":
+        (index, shape), dtype = node.arg, node.dtype
+
+        def run_scatter(a, _out=None):
+            out = np.zeros(shape, dtype=dtype)
+            np.add.at(out, index, a)
+            return out
+
+        return run_scatter
+    base, arg = _EXEC[kind], node.arg
+
+    def run(*inputs, _out=None):
+        return base(arg, *inputs)
+
+    # The JIT program compiler inlines interpreted kinds as direct numpy
+    # calls; the tags let it recover the op from the bound closure.
+    run._kind = kind
+    run._arg = arg
+    return run
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+class _Step:
+    """One executable unit: a fused kernel or an interpreted op."""
+
+    __slots__ = ("node", "fn", "inputs", "fused_ops", "out_capable")
+
+    def __init__(self, node, fn, inputs, fused_ops, out_capable):
+        self.node = node
+        self.fn = fn
+        self.inputs = inputs  # tuple[LazyBuffer] — leaves or prior outputs
+        self.fused_ops = fused_ops
+        self.out_capable = out_capable
+
+
+def _arg_cse_key(node: LazyBuffer):
+    """Hashable arg key, or None when the arg defeats hashing."""
+    try:
+        hash(node.arg)
+    except TypeError:
+        return None
+    return node.arg
+
+
+def _build_steps(roots: Sequence[LazyBuffer]):
+    """Topo-sort, CSE, and fuse the unrealized graph under ``roots``.
+
+    Returns ``(steps, dup_pairs, cse_merged)`` where ``dup_pairs`` lists
+    ``(duplicate_node, representative_node)`` so the executor can
+    propagate realized arrays onto merged-away duplicates.
+    """
+    # --- topological order over unrealized nodes (DCE by construction).
+    order: list[LazyBuffer] = []
+    state: set[int] = set()
+    stack: list[tuple[LazyBuffer, bool]] = [(r, False) for r in roots]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in state or node.realized is not None:
+            continue
+        state.add(id(node))
+        stack.append((node, True))
+        for src in node.srcs:
+            if id(src) not in state and src.realized is None:
+                stack.append((src, False))
+
+    # --- CSE: map structurally identical nodes to one representative.
+    # The same map also carries algebraic no-op folds (``x * 1.0``,
+    # ``x + 0.0`` — the autograd seed and unbroadcast paths emit these),
+    # which eager mode executes but a schedule can simply skip.
+    rep: dict[int, LazyBuffer] = {}
+    dup_pairs: list[tuple[LazyBuffer, LazyBuffer]] = []
+    table: dict[tuple, LazyBuffer] = {}
+
+    def const_scalar(node: LazyBuffer) -> float | None:
+        arr = node.realized
+        if arr is not None and arr.size == 1:
+            return float(arr.reshape(()))
+        return None
+
+    for node in order:  # children first
+        if node.kind in ("const", "gen"):
+            continue
+        if node.kind in ("mul", "add", "sub", "div") and len(node.srcs) == 2:
+            a, b = (rep.get(id(s), s) for s in node.srcs)
+            target = None
+            vb = const_scalar(b)
+            if vb == 1.0 and node.kind in ("mul", "div"):
+                target = a
+            elif vb == 0.0 and node.kind in ("add", "sub"):
+                target = a
+            elif node.kind in ("mul", "add"):
+                va = const_scalar(a)
+                if (va == 1.0 and node.kind == "mul") or (va == 0.0 and node.kind == "add"):
+                    target = b
+            if (
+                target is not None
+                and target.shape == node.shape
+                and target.dtype == node.dtype
+            ):
+                rep[id(node)] = target
+                dup_pairs.append((node, target))
+                continue
+        arg_key = _arg_cse_key(node)
+        if arg_key is None and node.arg is not None:
+            continue  # unhashable arg (e.g. slices) — keep unique
+        srcs = tuple(rep.get(id(s), s) for s in node.srcs)
+        key = (node.kind, arg_key, tuple(id(s) for s in srcs))
+        found = table.get(key)
+        if found is not None and found is not node:
+            rep[id(node)] = found
+            dup_pairs.append((node, found))
+        else:
+            table[key] = node
+
+    def resolve(node: LazyBuffer) -> LazyBuffer:
+        return rep.get(id(node), node)
+
+    # --- consumer counts over the representative graph.
+    consumers: dict[int, int] = {}
+    single_consumer: dict[int, LazyBuffer] = {}
+    seen: set[int] = set()
+    root_ids = {id(resolve(r)) for r in roots}
+    dfs = [resolve(r) for r in roots]
+    while dfs:
+        node = dfs.pop()
+        if id(node) in seen or node.realized is not None:
+            continue
+        seen.add(id(node))
+        for src in node.srcs:
+            src = resolve(src)
+            if src.realized is not None:
+                continue
+            consumers[id(src)] = consumers.get(id(src), 0) + 1
+            single_consumer[id(src)] = node
+            if id(src) not in seen:
+                dfs.append(src)
+
+    def inlined(node: LazyBuffer) -> bool:
+        if node.kind not in ELEMENTWISE or id(node) in root_ids:
+            return False
+        if consumers.get(id(node), 0) != 1:
+            return False
+        return single_consumer[id(node)].kind in ELEMENTWISE
+
+    # --- emit steps in topological order (children before parents).
+    steps: list[_Step] = []
+    for node in order:
+        if resolve(node) is not node or id(node) not in seen:
+            continue  # merged away, or dead code never reached from roots
+        if inlined(node):
+            continue
+        if node.kind in ELEMENTWISE:
+            operands: list[LazyBuffer] = []
+            operand_ids: dict[int, int] = {}
+            n_ops = 0
+
+            def render(n: LazyBuffer) -> str:
+                nonlocal n_ops
+                n = resolve(n)
+                if n.realized is not None or not inlined(n):
+                    slot = operand_ids.get(id(n))
+                    if slot is None:
+                        slot = len(operands)
+                        operand_ids[id(n)] = slot
+                        operands.append(n)
+                    return f"i{slot}"
+                n_ops += 1
+                return _render(n, [render(s) for s in n.srcs])
+
+            n_ops += 1
+            top = [render(s) for s in node.srcs]
+            expr = _render(node, top)
+            out_expr = _render_out_capable(node, top)
+            fn = _compile_kernel(expr, out_expr, len(operands))
+            steps.append(_Step(node, fn, tuple(operands), n_ops, out_expr is not None))
+        else:
+            srcs = tuple(resolve(s) for s in node.srcs)
+            steps.append(_Step(node, _bind_exec(node), srcs, 1, False))
+
+    return steps, dup_pairs, len(dup_pairs)
+
+
+def describe(roots: Sequence[LazyBuffer]) -> dict:
+    """Dry-run schedule introspection for tests and benchmarks."""
+    steps, _dups, cse_merged = _build_steps([r for r in roots if r.realized is None])
+    return {
+        "n_steps": len(steps),
+        "n_fused_kernels": sum(1 for s in steps if s.fused_ops > 1),
+        "n_fused_ops": sum(s.fused_ops for s in steps if s.fused_ops > 1),
+        "n_cse_merged": cse_merged,
+        "kinds": [s.node.kind for s in steps],
+        "exprs": [s.fn.__doc__ for s in steps if s.fused_ops > 1],
+    }
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class PlanRecorder:
+    """Collects executed steps into a replayable slot program (for JIT)."""
+
+    def __init__(self) -> None:
+        #: (fn, input_slots, output_slot, out_capable, is_movement, is_gen, dtype)
+        self.steps: list[tuple] = []
+        self.slot_of_node: dict[int, int] = {}
+        self.slot_arrays: list[np.ndarray | None] = []
+        self._arr_slot: dict[int, int] = {}
+        # Both maps key by id(); every registered node/array must stay
+        # alive for the recorder's lifetime or a temporary dying mid-trace
+        # lets a new object reuse its id and silently steal its slot.
+        self._pinned: list = []
+
+    def _slot(self, node: LazyBuffer) -> int:
+        slot = self.slot_of_node.get(id(node))
+        if slot is None:
+            slot = len(self.slot_arrays)
+            self.slot_arrays.append(None)
+            self.slot_of_node[id(node)] = slot
+            self._pinned.append(node)
+        return slot
+
+    def on_leaf(self, node: LazyBuffer, array: np.ndarray) -> int:
+        slot = self.slot_of_node.get(id(node))
+        if slot is None:
+            # A node realized to an already-tracked array (CSE duplicate or
+            # a cross-pass leaf) must share that slot, or replays would feed
+            # the stale trace-time array while the producer slot updates.
+            slot = self._arr_slot.get(id(array))
+            if slot is None:
+                slot = len(self.slot_arrays)
+                self.slot_arrays.append(None)
+            self.slot_of_node[id(node)] = slot
+            self._pinned.append(node)
+        self.slot_arrays[slot] = array
+        if id(array) not in self._arr_slot:
+            self._arr_slot[id(array)] = slot
+            self._pinned.append(array)
+        return slot
+
+    def on_step(self, step: _Step, array: np.ndarray) -> None:
+        in_slots = tuple(self.slot_of_node[id(src)] for src in step.inputs)
+        out_slot = self._slot(step.node)
+        self.steps.append(
+            (
+                step.fn,
+                in_slots,
+                out_slot,
+                step.out_capable,
+                step.node.kind in MOVEMENT,
+                step.node.kind == "gen",
+                step.node.dtype,
+            )
+        )
+        self.slot_arrays[out_slot] = array
+        if id(array) not in self._arr_slot:
+            self._arr_slot[id(array)] = out_slot
+            self._pinned.append(array)
+
+    def slot_of_array(self, array: np.ndarray | None) -> int | None:
+        if array is None:
+            return None
+        return self._arr_slot.get(id(array))
+
+
+_RECORDER: list[PlanRecorder] = []
+
+
+def push_recorder(recorder: PlanRecorder) -> None:
+    _RECORDER.append(recorder)
+
+
+def pop_recorder() -> PlanRecorder:
+    return _RECORDER.pop()
+
+
+def recorder_active() -> bool:
+    return bool(_RECORDER)
+
+
+#: Introspection counters from the most recent executed schedule.
+last_schedule_info: dict[str, int] = {}
+
+
+def realize_buffers(roots: list[LazyBuffer]) -> list[np.ndarray]:
+    """Realize ``roots`` (and everything they need), returning ndarrays."""
+    todo = [r for r in roots if r.realized is None]
+    if todo:
+        steps, dup_pairs, cse_merged = _build_steps(todo)
+        recorder = _RECORDER[-1] if _RECORDER else None
+        n_fused = 0
+        for step in steps:
+            inputs = []
+            for src in step.inputs:
+                value = src.realized
+                if value is None:  # pragma: no cover - scheduler invariant
+                    raise RuntimeError(f"unrealized input {src.kind!r} in schedule")
+                if recorder is not None and id(src) not in recorder.slot_of_node:
+                    recorder.on_leaf(src, value)
+                inputs.append(value)
+            out = step.fn(*inputs)
+            if not isinstance(out, np.ndarray):
+                out = np.asarray(out)  # full reductions yield numpy scalars
+            node = step.node
+            if out.dtype != node.dtype:
+                out = out.astype(node.dtype)
+            node.realized = out
+            if step.fused_ops > 1:
+                n_fused += step.fused_ops
+            if recorder is not None:
+                recorder.on_step(step, out)
+        for dup, keeper in dup_pairs:
+            if dup.realized is None:
+                dup.realized = keeper.realized
+        if recorder is not None:
+            # A root folded away entirely (e.g. ``x * 1.0``) realizes to
+            # an array no step produced; register it so the replay layer
+            # can still find its slot.
+            for r in todo:
+                if r.realized is not None and id(r) not in recorder.slot_of_node:
+                    recorder.on_leaf(r, r.realized)
+        last_schedule_info.update(
+            n_steps=len(steps), n_fused_ops=n_fused, n_cse_merged=cse_merged
+        )
+    return [r.realized for r in roots]

@@ -1,19 +1,28 @@
-"""Reverse-mode autodiff on numpy arrays.
+"""Reverse-mode autodiff over the lazy op graph.
 
-A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
-it; :meth:`Tensor.backward` walks the recorded graph in reverse topological
-order accumulating gradients.  Broadcasting is supported: gradients are
-summed back down to each operand's shape.
+A :class:`Tensor` wraps a :class:`~repro.nn.graph.LazyBuffer` and records
+the operations applied to it.  In lazy mode (the default) an op builds an
+IR node and returns immediately; the scheduler in
+:mod:`repro.nn.schedule` fuses and executes the graph when a concrete
+value is demanded (``.numpy()`` / ``.data`` / ``.item()``), or when
+:meth:`Tensor.backward` finalizes leaf gradients.  With
+``REPRO_NN_EAGER=1`` every op computes immediately with the exact
+formulas of the original eager engine.
 
 This is the substrate replacing PyTorch for the paper's neural models
-(LocMatcher's transformer, the LSTM pointer variant, and the UNet baseline).
+(LocMatcher's transformer, the LSTM pointer variant, and the UNet
+baseline).
 
-Gradient flow: every op output carries a ``_backward`` closure that, given
-the output gradient, deposits contributions into each parent's ``_pending``
-slot via :meth:`Tensor._receive`.  The engine in :meth:`Tensor.backward`
-drains ``_pending`` in reverse topological order, so each closure runs
-exactly once with the fully accumulated gradient.  Leaves (no ``_backward``)
-accumulate into ``.grad``.
+Gradient flow: every op output carries a ``_backward`` closure that,
+given the output gradient (itself a buffer in lazy mode, so the whole
+backward pass is traceable), deposits contributions into each parent's
+``_pending`` slot via :meth:`Tensor._receive`.  The engine in
+:meth:`Tensor.backward` drains ``_pending`` in reverse topological order,
+then realizes all leaf gradients in a single fused schedule.
+
+Dtype policy: an explicit ``dtype=`` wins; floating-point input arrays
+keep their precision (finite-difference checks hand in float64);
+everything else is cast to float32, the standard compute dtype.
 """
 
 from __future__ import annotations
@@ -22,27 +31,22 @@ from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
+from repro.nn import graph
+from repro.nn.graph import DEFAULT_DTYPE, LazyBuffer, lazy_enabled
+
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
-    if grad.shape == shape:
-        return grad
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+    return graph.unbroadcast(grad, shape)
 
 
 class Tensor:
-    """A numpy array with an autograd tape."""
+    """An array value (lazy or concrete) with an autograd tape."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_pending", "name")
+    __slots__ = ("_buf", "grad", "requires_grad", "_backward", "_parents", "_pending", "name")
     __array_priority__ = 100  # make numpy defer to our __r*__ operators
 
     def __init__(
@@ -50,63 +54,118 @@ class Tensor:
         data: TensorLike,
         requires_grad: bool = False,
         name: str | None = None,
+        dtype=None,
     ) -> None:
         if isinstance(data, Tensor):
-            data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+            buf = data._buf
+            if dtype is not None and np.dtype(dtype) != buf.dtype:
+                buf = LazyBuffer.const(graph.realize(buf).astype(dtype))
+        else:
+            arr = np.asarray(data)
+            if dtype is not None:
+                arr = np.asarray(arr, dtype=dtype)
+            elif arr.dtype.kind != "f":
+                arr = arr.astype(DEFAULT_DTYPE)
+            buf = LazyBuffer.const(arr)
+        self._buf = buf
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[np.ndarray], None] | None = None
+        self._backward: Callable | None = None
         self._parents: tuple[Tensor, ...] = ()
-        self._pending: np.ndarray | None = None
+        self._pending = None  # ndarray or LazyBuffer during backward()
         self.name = name
+
+    @classmethod
+    def _from_buf(cls, buf: LazyBuffer) -> "Tensor":
+        out = cls.__new__(cls)
+        out._buf = buf
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out._pending = None
+        out.name = None
+        return out
+
+    # ------------------------------------------------------------------
+    # Realization boundary
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The concrete array; forces realization of the lazy graph."""
+        return graph.realize(self._buf)
+
+    @data.setter
+    def data(self, value) -> None:
+        # Rewraps without copying so `p.data -= ...` keeps array identity
+        # (the JIT's parameter slots rely on in-place updates).
+        self._buf = LazyBuffer.const(np.asarray(value))
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, not copied); realizes if lazy."""
+        return graph.realize(self._buf)
+
+    def item(self) -> float:
+        """The scalar value; raises if not a one-element tensor."""
+        if self.size != 1:
+            raise ValueError("item() requires a one-element tensor")
+        return float(graph.realize(self._buf).reshape(-1)[0])
+
+    def realize(self) -> "Tensor":
+        """Force computation of this tensor's value (no-op when eager)."""
+        graph.realize(self._buf)
+        return self
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        return self._buf.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self._buf.shape)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self._buf.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._buf.dtype
 
     def __len__(self) -> int:
-        return len(self.data)
+        if not self._buf.shape:
+            raise TypeError("len() of a 0-d tensor")
+        return self._buf.shape[0]
 
     def __repr__(self) -> str:
         flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}{flag})"
 
-    def item(self) -> float:
-        """The scalar value; raises if not a one-element tensor."""
-        if self.data.size != 1:
-            raise ValueError("item() requires a one-element tensor")
-        return float(self.data.reshape(-1)[0])
-
-    def numpy(self) -> np.ndarray:
-        """The underlying array (shared, not copied)."""
-        return self.data
-
     # ------------------------------------------------------------------
     # Graph plumbing
     # ------------------------------------------------------------------
     @staticmethod
-    def _lift(value: TensorLike) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(value: TensorLike, ref_dtype=None) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        if ref_dtype is not None and isinstance(value, (int, float)):
+            # Weak scalar: adopt the other operand's dtype so python
+            # constants never promote float32 graphs to float64.
+            return Tensor(np.asarray(value, dtype=ref_dtype))
+        return Tensor(value)
 
-    def _make(
-        self,
-        data: np.ndarray,
-        parents: tuple["Tensor", ...],
-        backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
-        out = Tensor(data)
+    def _val(self):
+        """The op operand: the buffer in lazy mode, the array in eager."""
+        if lazy_enabled():
+            return self._buf
+        return graph.realize(self._buf)
+
+    def _make(self, value, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        buf = value if isinstance(value, LazyBuffer) else LazyBuffer.const(value)
+        out = Tensor._from_buf(buf)
         if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -114,41 +173,34 @@ class Tensor:
         return out
 
     def detach(self) -> "Tensor":
-        """A tensor sharing the same data but cut off from the graph."""
-        return Tensor(self.data)
+        """A tensor sharing the same (possibly lazy) value, off the graph."""
+        return Tensor._from_buf(self._buf)
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
         self.grad = None
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
-        else:
-            self.grad = self.grad + grad
-
-    def _receive(self, grad: np.ndarray) -> None:
+    def _receive(self, g) -> None:
         """Deposit a gradient contribution (called by child op closures)."""
-        if self._pending is None:
-            self._pending = np.array(grad, dtype=np.float64, copy=True)
-        else:
-            self._pending = self._pending + grad
+        self._pending = g if self._pending is None else graph.add(self._pending, g)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones, so a scalar loss needs no argument.
         Leaf tensors with ``requires_grad`` end up with ``.grad`` set.
+        In lazy mode the whole backward pass is recorded as graph nodes
+        and all leaf gradients realize in one fused schedule.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
-            grad = np.ones_like(self.data)
+            grad = np.ones(self.shape, dtype=self.dtype)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
-            if grad.shape != self.data.shape:
+            grad = np.array(grad, dtype=self.dtype, copy=True)
+            if grad.shape != self.shape:
                 raise ValueError(
-                    f"gradient shape {grad.shape} does not match tensor {self.data.shape}"
+                    f"gradient shape {grad.shape} does not match tensor {self.shape}"
                 )
 
         topo: list[Tensor] = []
@@ -168,183 +220,207 @@ class Tensor:
                     stack.append((parent, False))
 
         self._receive(grad)
+        leaves: list[tuple[Tensor, object]] = []
         for node in reversed(topo):
             g = node._pending
             node._pending = None
             if g is None:
                 continue
             if node._backward is None:
-                node._accumulate(g)
+                leaves.append((node, g))
             else:
                 node._backward(g)
+
+        # Realize every leaf gradient in one schedule, then assign.
+        graph.realize_buffers([g for _, g in leaves if isinstance(g, LazyBuffer)])
+        assigned: set[int] = set()
+        for leaf, g in leaves:
+            arr = graph.realize(g) if isinstance(g, LazyBuffer) else np.asarray(g)
+            if id(arr) in assigned or not arr.flags.writeable:
+                arr = arr.copy()  # clip utilities mutate grads in place
+            assigned.add(id(arr))
+            leaf.grad = arr if leaf.grad is None else leaf.grad + arr
 
     # ------------------------------------------------------------------
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other: TensorLike) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.dtype)
         a, b = self, other
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             if a.requires_grad:
-                a._receive(_unbroadcast(g, a.shape))
+                a._receive(graph.unbroadcast(g, a.shape))
             if b.requires_grad:
-                b._receive(_unbroadcast(g, b.shape))
+                b._receive(graph.unbroadcast(g, b.shape))
 
-        return self._make(a.data + b.data, (a, b), backward)
+        return self._make(graph.add(a._val(), b._val()), (a, b), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         a = self
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(-g)
+        def backward(g) -> None:
+            a._receive(graph.neg(g))
 
-        return self._make(-a.data, (a,), backward)
+        return self._make(graph.neg(a._val()), (a,), backward)
 
     def __sub__(self, other: TensorLike) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.dtype)
         a, b = self, other
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             if a.requires_grad:
-                a._receive(_unbroadcast(g, a.shape))
+                a._receive(graph.unbroadcast(g, a.shape))
             if b.requires_grad:
-                b._receive(_unbroadcast(-g, b.shape))
+                b._receive(graph.unbroadcast(graph.neg(g), b.shape))
 
-        return self._make(a.data - b.data, (a, b), backward)
+        return self._make(graph.sub(a._val(), b._val()), (a, b), backward)
 
     def __rsub__(self, other: TensorLike) -> "Tensor":
-        return self._lift(other).__sub__(self)
+        return self._lift(other, self.dtype).__sub__(self)
 
     def __mul__(self, other: TensorLike) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.dtype)
         a, b = self, other
+        a_val, b_val = a._val(), b._val()
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             if a.requires_grad:
-                a._receive(_unbroadcast(g * b.data, a.shape))
+                a._receive(graph.unbroadcast(graph.mul(g, b_val), a.shape))
             if b.requires_grad:
-                b._receive(_unbroadcast(g * a.data, b.shape))
+                b._receive(graph.unbroadcast(graph.mul(g, a_val), b.shape))
 
-        return self._make(a.data * b.data, (a, b), backward)
+        return self._make(graph.mul(a_val, b_val), (a, b), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: TensorLike) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.dtype)
         a, b = self, other
+        a_val, b_val = a._val(), b._val()
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             if a.requires_grad:
-                a._receive(_unbroadcast(g / b.data, a.shape))
+                a._receive(graph.unbroadcast(graph.div(g, b_val), a.shape))
             if b.requires_grad:
-                b._receive(_unbroadcast(-g * a.data / (b.data * b.data), b.shape))
+                num = graph.mul(graph.neg(g), a_val)
+                den = graph.mul(b_val, b_val)
+                b._receive(graph.unbroadcast(graph.div(num, den), b.shape))
 
-        return self._make(a.data / b.data, (a, b), backward)
+        return self._make(graph.div(a_val, b_val), (a, b), backward)
 
     def __rtruediv__(self, other: TensorLike) -> "Tensor":
-        return self._lift(other).__truediv__(self)
+        return self._lift(other, self.dtype).__truediv__(self)
 
     def __pow__(self, exponent: Scalar) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         a = self
+        a_val = a._val()
+        exponent = float(exponent)
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g * exponent * np.power(a.data, exponent - 1))
+        def backward(g) -> None:
+            a._receive(
+                graph.mul(graph.mul(g, exponent), graph.pow_scalar(a_val, exponent - 1.0))
+            )
 
-        return self._make(np.power(a.data, float(exponent)), (a,), backward)
+        return self._make(graph.pow_scalar(a_val, exponent), (a,), backward)
 
     def __matmul__(self, other: TensorLike) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.dtype)
         a, b = self, other
         if a.ndim < 2 or b.ndim < 2:
             raise ValueError("matmul requires tensors with ndim >= 2")
+        a_val, b_val = a._val(), b._val()
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             if a.requires_grad:
-                ga = np.matmul(g, b.data.swapaxes(-1, -2))
-                a._receive(_unbroadcast(ga, a.shape))
+                ga = graph.matmul(g, graph.swapaxes(b_val, -1, -2))
+                a._receive(graph.unbroadcast(ga, a.shape))
             if b.requires_grad:
-                gb = np.matmul(a.data.swapaxes(-1, -2), g)
-                b._receive(_unbroadcast(gb, b.shape))
+                gb = graph.matmul(graph.swapaxes(a_val, -1, -2), g)
+                b._receive(graph.unbroadcast(gb, b.shape))
 
-        return self._make(np.matmul(a.data, b.data), (a, b), backward)
+        return self._make(graph.matmul(a_val, b_val), (a, b), backward)
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         a = self
-        out_data = np.exp(a.data)
+        out_val = graph.exp(a._val())
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g * out_data)
+        def backward(g) -> None:
+            a._receive(graph.mul(g, out_val))
 
-        return self._make(out_data, (a,), backward)
+        return self._make(out_val, (a,), backward)
 
     def log(self) -> "Tensor":
         a = self
+        a_val = a._val()
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g / a.data)
+        def backward(g) -> None:
+            a._receive(graph.div(g, a_val))
 
-        return self._make(np.log(a.data), (a,), backward)
+        return self._make(graph.log(a_val), (a,), backward)
 
     def sqrt(self) -> "Tensor":
         a = self
-        out_data = np.sqrt(a.data)
+        out_val = graph.sqrt(a._val())
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g / (2.0 * out_data))
+        def backward(g) -> None:
+            a._receive(graph.div(g, graph.mul(out_val, 2.0)))
 
-        return self._make(out_data, (a,), backward)
+        return self._make(out_val, (a,), backward)
 
     def tanh(self) -> "Tensor":
         a = self
-        out_data = np.tanh(a.data)
+        out_val = graph.tanh(a._val())
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g * (1.0 - out_data * out_data))
+        def backward(g) -> None:
+            a._receive(graph.mul(g, graph.sub(1.0, graph.mul(out_val, out_val))))
 
-        return self._make(out_data, (a,), backward)
+        return self._make(out_val, (a,), backward)
 
     def sigmoid(self) -> "Tensor":
         a = self
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500)))
+        out_val = graph.sigmoid(a._val())
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g * out_data * (1.0 - out_data))
+        def backward(g) -> None:
+            a._receive(graph.mul(graph.mul(g, out_val), graph.sub(1.0, out_val)))
 
-        return self._make(out_data, (a,), backward)
+        return self._make(out_val, (a,), backward)
 
     def relu(self) -> "Tensor":
         a = self
-        mask = a.data > 0
+        a_val = a._val()
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g * mask)
+        def backward(g) -> None:
+            a._receive(graph.mul(g, graph.gtz(a_val)))
 
-        return self._make(a.data * mask, (a,), backward)
+        return self._make(graph.relu(a_val), (a,), backward)
 
     # ------------------------------------------------------------------
     # Reductions and shape ops
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         a = self
-        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+        a_shape = a.shape
 
-        def backward(g: np.ndarray) -> None:
-            grad = g
+        def backward(g) -> None:
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else axis
-                for ax in sorted(ax % a.ndim for ax in axes):
-                    grad = np.expand_dims(grad, ax)
-            a._receive(np.broadcast_to(grad, a.shape))
+                keep = list(g.shape)
+                for ax in sorted(ax % len(a_shape) for ax in axes):
+                    keep.insert(ax, 1)
+                g = graph.reshape(g, tuple(keep))
+            elif axis is None and not keepdims:
+                g = graph.reshape(g, tuple(1 for _ in a_shape))
+            a._receive(graph.broadcast_to(g, a_shape))
 
-        return self._make(out_data, (a,), backward)
+        return self._make(graph.sum_(a._val(), axis=axis, keepdims=keepdims), (a,), backward)
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -357,17 +433,27 @@ class Tensor:
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
         """Max along ``axis``; gradient flows to the first argmax per slice."""
         a = self
-        out_keep = a.data.max(axis=axis, keepdims=True)
-        mask = a.data == out_keep
-        first = np.cumsum(mask, axis=axis) == 1
-        mask = mask & first
+        a_val = a._val()
+        a_shape = a.shape
+        out_keep = graph.max_(a_val, axis=axis, keepdims=True)
 
-        def backward(g: np.ndarray) -> None:
-            grad = g if keepdims else np.expand_dims(g, axis)
-            a._receive(np.broadcast_to(grad, a.shape) * mask)
+        def backward(g) -> None:
+            hit = graph.eq(a_val, graph.broadcast_to(out_keep, a_shape))
+            first = graph.eq(graph.cumsum(hit, axis), 1.0)
+            mask = graph.mul(hit, first)
+            if not keepdims:
+                keep = list(g.shape)
+                keep.insert(axis % len(a_shape), 1)
+                g = graph.reshape(g, tuple(keep))
+            a._receive(graph.mul(graph.broadcast_to(g, a_shape), mask))
 
-        out_data = out_keep if keepdims else out_keep.squeeze(axis)
-        return self._make(out_data, (a,), backward)
+        if keepdims:
+            out_val = out_keep
+        else:
+            out_val = graph.reshape(
+                out_keep, graph.reduce_shape(a_shape, axis, False)
+            ) if isinstance(out_keep, LazyBuffer) else out_keep.squeeze(axis)
+        return self._make(out_val, (a,), backward)
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -375,39 +461,38 @@ class Tensor:
         a = self
         old_shape = a.shape
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g.reshape(old_shape))
+        def backward(g) -> None:
+            a._receive(graph.reshape(g, old_shape))
 
-        return self._make(a.data.reshape(shape), (a,), backward)
+        return self._make(graph.reshape(a._val(), shape), (a,), backward)
 
     def transpose(self, *axes: int) -> "Tensor":
         a = self
         if not axes:
             axes = tuple(reversed(range(a.ndim)))
-        inverse = tuple(np.argsort(axes))
+        inverse = tuple(int(i) for i in np.argsort(axes))
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g.transpose(inverse))
+        def backward(g) -> None:
+            a._receive(graph.transpose(g, inverse))
 
-        return self._make(a.data.transpose(axes), (a,), backward)
+        return self._make(graph.transpose(a._val(), axes), (a,), backward)
 
     def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
         a = self
 
-        def backward(g: np.ndarray) -> None:
-            a._receive(g.swapaxes(ax1, ax2))
+        def backward(g) -> None:
+            a._receive(graph.swapaxes(g, ax1, ax2))
 
-        return self._make(a.data.swapaxes(ax1, ax2), (a,), backward)
+        return self._make(graph.swapaxes(a._val(), ax1, ax2), (a,), backward)
 
     def __getitem__(self, index) -> "Tensor":
         a = self
+        a_shape, a_dtype = a.shape, a.dtype
 
-        def backward(g: np.ndarray) -> None:
-            grad = np.zeros_like(a.data)
-            np.add.at(grad, index, g)
-            a._receive(grad)
+        def backward(g) -> None:
+            a._receive(graph.scatter_add(g, index, a_shape, a_dtype))
 
-        return self._make(a.data[index], (a,), backward)
+        return self._make(graph.getitem(a._val(), index), (a,), backward)
 
 
 def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -415,21 +500,25 @@ def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     ts = [Tensor._lift(t) for t in tensors]
     if not ts:
         raise ValueError("cat() of no tensors")
-    data = np.concatenate([t.data for t in ts], axis=axis)
+    vals = [t._val() for t in ts]
+    out_val = graph.cat(vals, axis=axis)
     sizes = [t.shape[axis] for t in ts]
     offsets = np.cumsum([0] + sizes)
+    ndim = len(ts[0].shape)
 
-    out = Tensor(data)
+    out = Tensor._from_buf(
+        out_val if isinstance(out_val, LazyBuffer) else LazyBuffer.const(out_val)
+    )
     if any(t.requires_grad for t in ts):
         out.requires_grad = True
         out._parents = tuple(t for t in ts if t.requires_grad)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             for t, start, stop in zip(ts, offsets[:-1], offsets[1:]):
                 if t.requires_grad:
-                    index = [slice(None)] * g.ndim
-                    index[axis % g.ndim] = slice(start, stop)
-                    t._receive(g[tuple(index)])
+                    index = [slice(None)] * ndim
+                    index[axis % ndim] = slice(int(start), int(stop))
+                    t._receive(graph.getitem(g, tuple(index)))
 
         out._backward = backward
     return out
@@ -440,17 +529,25 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     ts = [Tensor._lift(t) for t in tensors]
     if not ts:
         raise ValueError("stack() of no tensors")
-    data = np.stack([t.data for t in ts], axis=axis)
-    out = Tensor(data)
+    vals = [t._val() for t in ts]
+    out_val = graph.stack(vals, axis=axis)
+    ndim = len(ts[0].shape) + 1
+    axis_n = axis % ndim
+
+    out = Tensor._from_buf(
+        out_val if isinstance(out_val, LazyBuffer) else LazyBuffer.const(out_val)
+    )
     if any(t.requires_grad for t in ts):
         out.requires_grad = True
         out._parents = tuple(t for t in ts if t.requires_grad)
 
-        def backward(g: np.ndarray) -> None:
-            slices = np.moveaxis(g, axis, 0)
-            for t, gs in zip(ts, slices):
+        def backward(g) -> None:
+            for i, t in enumerate(ts):
                 if t.requires_grad:
-                    t._receive(gs)
+                    index = tuple(
+                        i if d == axis_n else slice(None) for d in range(ndim)
+                    )
+                    t._receive(graph.getitem(g, index))
 
         out._backward = backward
     return out

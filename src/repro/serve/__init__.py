@@ -29,6 +29,7 @@ from repro.serve.loadgen import (
     poisson_schedule,
 )
 from repro.serve.router import QueryRouter, RoutedResult
+from repro.serve.scoring import ModelScoringTier
 from repro.serve.server import (
     PendingQuery,
     QueryServer,
@@ -58,6 +59,7 @@ __all__ = [
     "poisson_schedule",
     "QueryRouter",
     "RoutedResult",
+    "ModelScoringTier",
     "PendingQuery",
     "QueryServer",
     "ServeResponse",

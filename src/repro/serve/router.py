@@ -58,14 +58,22 @@ class QueryRouter:
         cache_ttl_s: float = 30.0,
         batch_window_s: float = 0.0,
         batch_max: int = 32,
+        batch_fn=None,
     ) -> "QueryRouter":
-        """Assemble the standard chain; zero/negative knobs disable a part."""
+        """Assemble the standard chain; zero/negative knobs disable a part.
+
+        ``batch_fn`` replaces the store's snapshot pass as the batched
+        cold-miss evaluator (e.g. a
+        :class:`~repro.serve.scoring.ModelScoringTier`); passing one
+        enables the micro-batcher even at a zero batching window, since a
+        custom evaluator is useless without the batcher in front of it.
+        """
         cache = (
             TTLLRUCache(cache_capacity, cache_ttl_s) if cache_capacity > 0 else None
         )
         batcher = (
-            MicroBatcher(store.query_ids_batch, batch_max, batch_window_s)
-            if batch_window_s > 0
+            MicroBatcher(batch_fn or store.query_ids_batch, batch_max, batch_window_s)
+            if batch_window_s > 0 or batch_fn is not None
             else None
         )
         return cls(store, cache=cache, batcher=batcher)

@@ -1,0 +1,70 @@
+"""Live model scoring behind the micro-batcher (the serving model tier).
+
+The table-backed store answers from the last offline refresh.  This tier
+instead answers *example-backed* addresses by running LocMatcher right in
+the serving path: the micro-batcher coalesces a burst of cold cache
+misses into one key list, and :class:`ModelScoringTier` scores every
+example-backed id in that list with a single padded, masked
+``scores_batch`` forward pass (the JIT-compiled batched path in
+:mod:`repro.core.locmatcher`).  Ids without a feature example fall back
+to the store's usual address -> building -> geocode chain, so one batch
+can mix both kinds and every key still gets an answer.
+
+This is how the batched-inference throughput (paper Figure 13) becomes an
+online capability rather than only an offline refresh speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.store import QueryResult, QuerySource, UnknownAddressError
+from repro.obs import get_registry
+from repro.serve.shard import ShardedLocationStore
+
+
+class ModelScoringTier:
+    """Batched LocMatcher scoring with store fallback for non-scorable ids.
+
+    Drop-in for the micro-batcher's ``batch_fn`` slot: takes a
+    deduplicated key list, returns ``key -> QueryResult`` (or an
+    :class:`UnknownAddressError` value for bad ids, never a raise).
+    """
+
+    def __init__(self, pipeline, store: ShardedLocationStore) -> None:
+        self.pipeline = pipeline
+        self.store = store
+        registry = get_registry()
+        self._scored = registry.counter(
+            "serve_model_scored_total", "Addresses answered by live model scoring"
+        )
+        self._fallback = registry.counter(
+            "serve_model_fallback_total",
+            "Batch keys without an example, answered by the store chain",
+        )
+
+    def query_ids_batch(
+        self, address_ids: Sequence[str]
+    ) -> dict[str, QueryResult | UnknownAddressError]:
+        """Resolve a batch: one model forward for scorable ids, store rest."""
+        examples = self.pipeline.examples
+        scorable = [a for a in address_ids if a in examples]
+        rest = [a for a in address_ids if a not in examples]
+        out: dict[str, QueryResult | UnknownAddressError] = {}
+        if scorable:
+            batch = [examples[a] for a in scorable]
+            selector = self.pipeline.selector
+            if hasattr(selector, "predict_index_batch"):
+                indices = selector.predict_index_batch(batch)
+            else:  # heuristic selectors: no batch API, score one by one
+                indices = [selector.predict_index(e) for e in batch]
+            for address_id, example, index in zip(scorable, batch, indices):
+                point = self.pipeline.extractor.candidate_point(
+                    example.candidate_ids[index]
+                )
+                out[address_id] = QueryResult(point, QuerySource.MODEL)
+            self._scored.inc(len(scorable))
+        if rest:
+            out.update(self.store.query_ids_batch(list(rest)))
+            self._fallback.inc(len(rest))
+        return out

@@ -75,7 +75,7 @@ class TestTierLabels:
 
     def test_all_labels_are_distinct_and_stable(self):
         assert {s.value for s in QuerySource} == {
-            "address", "building", "geocode",
+            "address", "building", "geocode", "model",
         }
 
 

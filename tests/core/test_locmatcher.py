@@ -134,13 +134,19 @@ class TestLocMatcherSelector:
         np.testing.assert_allclose(s1.scores(train[0]), s2.scores(train[0]))
 
     def test_batched_scores_match_single(self):
-        """Batched inference must be exactly per-example inference."""
+        """Batched inference matches per-example inference to f32 exactness.
+
+        Compute is float32 end-to-end, so BLAS blocking may differ by a
+        ulp between batch shapes; anything beyond that is a padding leak.
+        """
         train = synthetic_examples(30, seed=10)
         selector = LocMatcherSelector(config=FAST).fit(train)
         probe = synthetic_examples(23, seed=11, n_cands=(1, 9))
         batched = selector.scores_batch(probe)
         for example, scores in zip(probe, batched):
-            np.testing.assert_allclose(scores, selector.scores(example), rtol=1e-12)
+            np.testing.assert_allclose(
+                scores, selector.scores(example), rtol=1e-6, atol=1e-8
+            )
         indices = selector.predict_index_batch(probe)
         assert indices == [selector.predict_index(e) for e in probe]
 

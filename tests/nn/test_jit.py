@@ -1,0 +1,177 @@
+"""Replay layer: TracedStep plan caching, replays, params, grads, RNG."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dropout, Tensor, TracedStep, eager_mode, jit, lazy_mode
+
+
+@pytest.fixture(autouse=True)
+def force_lazy():
+    with lazy_mode():
+        yield
+
+
+class TestPlanLifecycle:
+    def test_trace_then_replay_same_values(self):
+        step = TracedStep(lambda x: ((Tensor(x) * 2.0 + 1.0).relu()).numpy())
+        a = np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32)
+        b = np.random.default_rng(1).normal(size=(4, 4)).astype(np.float32)
+        first = step(a)  # trace
+        second = step(b)  # replay
+        assert step.n_plans == 1
+        np.testing.assert_allclose(first, np.maximum(a * 2 + 1, 0))
+        np.testing.assert_allclose(second, np.maximum(b * 2 + 1, 0))
+
+    def test_new_signature_traces_new_plan(self):
+        step = TracedStep(lambda x: (Tensor(x) + 1.0).numpy())
+        step(np.zeros((2, 2), dtype=np.float32))
+        step(np.zeros((3, 3), dtype=np.float32))
+        assert step.n_plans == 2
+        step(np.ones((2, 2), dtype=np.float32))  # replays plan 1
+        assert step.n_plans == 2
+
+    def test_reset_drops_plans(self):
+        step = TracedStep(lambda x: (Tensor(x) + 1.0).numpy())
+        step(np.zeros(3, dtype=np.float32))
+        assert step.n_plans == 1
+        step.reset()
+        assert step.n_plans == 0
+
+    def test_tuple_outputs_round_trip(self):
+        def fn(x):
+            t = Tensor(x)
+            return (t * 2.0).numpy(), (t + 5.0).numpy()
+
+        step = TracedStep(fn)
+        a, b = step(np.ones(4, dtype=np.float32))
+        c, d = step(np.full(4, 2.0, dtype=np.float32))
+        np.testing.assert_allclose(a, 2.0 * np.ones(4))
+        np.testing.assert_allclose(c, 4.0 * np.ones(4))
+        np.testing.assert_allclose(d, 7.0 * np.ones(4))
+
+    def test_unused_input_is_a_loud_error(self):
+        step = TracedStep(lambda x, y: (Tensor(x) * 1.0).numpy())
+        with pytest.raises(RuntimeError, match="never reached the graph"):
+            step(np.ones(3, dtype=np.float32), np.ones(3, dtype=np.float32))
+
+    def test_unrealized_output_is_a_loud_error(self):
+        step = TracedStep(lambda x: np.asarray(x) + 1.0)  # bypasses the graph
+        with pytest.raises(RuntimeError, match="not a realized graph array"):
+            step(np.ones(3, dtype=np.float32))
+
+    def test_eager_mode_bypasses_tracing(self):
+        step = TracedStep(lambda x: (Tensor(x) + 1.0).numpy())
+        with eager_mode():
+            out = step(np.zeros(2, dtype=np.float32))
+        assert step.n_plans == 0
+        np.testing.assert_allclose(out, np.ones(2))
+
+
+class TestParamsAndGrads:
+    def test_replay_sees_in_place_param_updates(self):
+        w = Tensor(np.full(3, 2.0, dtype=np.float32), requires_grad=True)
+        step = TracedStep(lambda x: (Tensor(x) * w).numpy(), params=[w])
+        x = np.ones(3, dtype=np.float32)
+        np.testing.assert_allclose(step(x), 2.0 * np.ones(3))
+        w.data -= 1.0  # in-place, as optimizers do
+        np.testing.assert_allclose(step(x), np.ones(3))
+
+    def test_replay_sees_state_dict_swaps(self):
+        w = Tensor(np.full(3, 2.0, dtype=np.float32), requires_grad=True)
+        step = TracedStep(lambda x: (Tensor(x) * w).numpy(), params=[w])
+        x = np.ones(3, dtype=np.float32)
+        step(x)
+        w.data = np.full(3, 7.0, dtype=np.float32)  # array replaced wholesale
+        np.testing.assert_allclose(step(x), 7.0 * np.ones(3))
+
+    def test_grads_written_back_each_replay(self):
+        w = Tensor(np.full(4, 3.0, dtype=np.float32), requires_grad=True)
+
+        def train(x):
+            loss = (Tensor(x) * w).sum()
+            loss.backward()
+            return loss.numpy()
+
+        step = TracedStep(train, params=[w])
+        a = np.arange(4.0, dtype=np.float32)
+        step(a)
+        np.testing.assert_allclose(w.grad, a)
+        b = np.full(4, 5.0, dtype=np.float32)
+        step(b)  # replay must overwrite, not accumulate
+        np.testing.assert_allclose(w.grad, b)
+        assert w.grad.flags.writeable  # clip utilities mutate grads in place
+
+    def test_jitted_training_loop_matches_eager(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 4)).astype(np.float32)
+        y = rng.normal(size=(8, 1)).astype(np.float32)
+
+        def run(traced: bool):
+            w = Tensor(np.zeros((4, 1), dtype=np.float32), requires_grad=True)
+
+            def train(xb, yb):
+                err = Tensor(xb) @ w - Tensor(yb)
+                loss = (err * err).sum()
+                loss.backward()
+                return loss.numpy()
+
+            step = TracedStep(train, params=[w]) if traced else train
+            opt = Adam([w], lr=1e-2)
+            losses = []
+            for _ in range(12):
+                opt.zero_grad()
+                losses.append(float(step(x, y)))
+                opt.step()
+            return losses, w.data.copy()
+
+        with lazy_mode():
+            lazy_losses, lazy_w = run(traced=True)
+        with eager_mode():
+            eager_losses, eager_w = run(traced=False)
+        np.testing.assert_allclose(lazy_losses, eager_losses, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(lazy_w, eager_w, rtol=1e-5, atol=1e-6)
+
+
+class TestRandomness:
+    def test_gen_nodes_reroll_per_replay(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        step = TracedStep(lambda x: drop(Tensor(x)).numpy())
+        x = np.ones((64,), dtype=np.float32)
+        first = step(x)
+        second = step(x)  # replay: mask must be re-generated, not frozen
+        assert not np.array_equal(first, second)
+        assert set(np.unique(second)).issubset({0.0, 2.0})
+
+
+class TestBufferDonation:
+    def test_dead_intermediates_are_donated(self):
+        def fn(x):
+            t = Tensor(x) * 2.0
+            u = (t + 1.0) * (t - 1.0)
+            r = u.sum(axis=0, keepdims=True)
+            return (u + r).numpy()
+
+        step = TracedStep(fn)
+        a = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        expected = step(a)
+        plan = next(iter(step.plans.values()))
+        assert plan.n_donated >= 1
+        # Replays (which exercise the donated out= path) stay correct and
+        # return fresh arrays, never aliasing the previous call's output.
+        again = step(a)
+        assert again is not expected
+        np.testing.assert_allclose(again, expected, rtol=1e-6)
+
+
+class TestDecorator:
+    def test_jit_decorator_wraps_into_traced_step(self):
+        @jit()
+        def double(x):
+            return (Tensor(x) * 2.0).numpy()
+
+        assert isinstance(double, TracedStep)
+        np.testing.assert_allclose(
+            double(np.ones(3, dtype=np.float32)), 2.0 * np.ones(3)
+        )
