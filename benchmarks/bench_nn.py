@@ -111,11 +111,16 @@ def _score_parity(selector, examples):
 
 
 def _payload(examples):
+    from repro.nn import schedule
+
     eager_s, _ = _timed_fit(examples, eager_mode)
     lazy_s, selector = _timed_fit(examples, lazy_mode)
     rates = _inference_rates(selector, examples)
     parity = _score_parity(selector, examples)
     return {
+        # Counters from the last executed (non-jit) schedule: movement
+        # no-ops skipped and dying buffers reused as kernel outputs.
+        "schedule": dict(schedule.last_schedule_info),
         "n_examples": len(examples),
         "fit": {
             "epochs": FIT_EPOCHS,

@@ -53,10 +53,17 @@ class QuerySource(Enum):
 
 @dataclass(frozen=True)
 class QueryResult:
-    """A resolved delivery location and its provenance."""
+    """A resolved delivery location and its provenance.
+
+    ``confidence`` is the scorer's probability for the served candidate
+    (softmax mass under :class:`repro.serve.scoring.ModelScoringTier`,
+    or a publisher-supplied value in columnar snapshots); table lookups
+    that carry no score leave it ``None``.
+    """
 
     location: Point
     source: QuerySource
+    confidence: float | None = None
 
 
 def aggregate_building_locations(

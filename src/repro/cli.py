@@ -503,7 +503,9 @@ def _cmd_export_geojson(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import contextlib
     import random
+    import tempfile
     import threading
     import time as _time
 
@@ -511,9 +513,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         GeohashShardStrategy,
         HashShardStrategy,
         LoadGenerator,
+        ProcessRouter,
         QueryServer,
         ServerConfig,
         ShardedLocationStore,
+        SnapshotPublisher,
     )
 
     slos = []
@@ -544,7 +548,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
     )
     rng = random.Random(args.seed)
-    with QueryServer(store, config) as server:
+    with contextlib.ExitStack() as stack:
+        if args.backend == "process":
+            # Worker processes mmap a published columnar snapshot; the
+            # mid-run churn goes through the durable publish protocol
+            # (log → swap → snapshot file → version-counter flip).
+            snapshot_dir = args.snapshot_dir or stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="serve-bench-snap-")
+            )
+            publisher = SnapshotPublisher(snapshot_dir)
+            publisher.publish(store)
+            server = stack.enter_context(
+                ProcessRouter(snapshot_dir, n_workers=args.workers,
+                              config=config)
+            )
+
+            def apply_refresh() -> None:
+                publisher.refresh(store, locations)
+        else:
+            server = stack.enter_context(QueryServer(store, config))
+
+            def apply_refresh() -> None:
+                server.apply_refresh(locations)
+
         generator = LoadGenerator(server, sorted(addresses), rng)
         stop_churn = threading.Event()
         churn_thread = None
@@ -552,7 +578,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if args.refresh_every > 0:
             def churn() -> None:
                 while not stop_churn.wait(args.refresh_every):
-                    server.apply_refresh(locations)
+                    apply_refresh()
                     refreshes[0] += 1
 
             churn_thread = threading.Thread(target=churn, name="serve-churn")
@@ -572,6 +598,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             churn_thread.join()
     bench_config = {
         "command": "serve-bench", "workload": args.workload,
+        "backend": args.backend,
         "seed": args.seed, "shards": args.shards,
         "strategy": args.strategy, "workers": args.workers,
         "queue": args.queue, "cache_size": args.cache_size,
@@ -592,8 +619,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        title = (f"serve-bench: {args.workload} loop, {args.workers} workers, "
-                 f"{args.shards} {args.strategy} shards")
+        title = (f"serve-bench: {args.workload} loop, {args.workers} "
+                 f"{args.backend} workers, {args.shards} {args.strategy} shards")
         print(title)
         print("-" * len(title))
         print(report.render())
@@ -739,6 +766,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--locations", required=True,
                          help="address→location JSON (infer output or ground truth)")
     p_serve.add_argument("--workload", choices=("closed", "open"), default="closed")
+    p_serve.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="thread: in-process QueryServer pool; process: "
+                              "worker processes over a mmap'd columnar snapshot")
+    p_serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                         help="snapshot directory for --backend process "
+                              "(default: a temporary directory)")
     p_serve.add_argument("--clients", type=int, default=4,
                          help="closed-loop concurrent clients")
     p_serve.add_argument("--rate", type=float, default=200.0,

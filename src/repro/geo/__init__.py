@@ -16,10 +16,15 @@ from repro.geo.distance import (
 )
 from repro.geo.projection import LocalProjection
 from repro.geo.geohash import (
+    GeohashSpatialIndex,
     geohash_encode,
     geohash_decode,
     geohash_bbox,
     geohash_neighbors,
+    geohash_pack,
+    geohash_pack_vec,
+    geohash_ring,
+    geohash_unpack,
 )
 from repro.geo.grid import GridIndex
 from repro.geo.rtree import RTree
@@ -37,9 +42,14 @@ __all__ = [
     "haversine_m_vec",
     "euclidean_m",
     "LocalProjection",
+    "GeohashSpatialIndex",
     "geohash_encode",
     "geohash_decode",
     "geohash_bbox",
     "geohash_neighbors",
+    "geohash_pack",
+    "geohash_pack_vec",
+    "geohash_ring",
+    "geohash_unpack",
     "GridIndex",
 ]

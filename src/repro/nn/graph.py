@@ -82,9 +82,16 @@ class LazyBuffer:
 
     ``realized`` caches the concrete ndarray once the scheduler has
     executed the node (always set for ``const`` leaves).
+
+    ``refs`` counts live :class:`~repro.nn.tensor.Tensor` handles on the
+    node and ``pinned`` marks nodes captured by a stored backward
+    closure; together they tell the scheduler which intermediate arrays
+    can still be observed after a schedule finishes.  Only buffers with
+    ``refs == 0 and not pinned`` are eligible for ``out=`` reuse as
+    scratch space of a later kernel.
     """
 
-    __slots__ = ("kind", "srcs", "arg", "shape", "dtype", "realized")
+    __slots__ = ("kind", "srcs", "arg", "shape", "dtype", "realized", "refs", "pinned")
 
     def __init__(self, kind, srcs, arg, shape, dtype, realized=None):
         self.kind = kind
@@ -93,6 +100,8 @@ class LazyBuffer:
         self.shape = tuple(shape)
         self.dtype = np.dtype(dtype)
         self.realized = realized
+        self.refs = 0
+        self.pinned = False
 
     @staticmethod
     def const(array: np.ndarray) -> "LazyBuffer":

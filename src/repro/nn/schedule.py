@@ -5,11 +5,15 @@ Given the roots to realize, the scheduler
 1. topologically orders the unrealized subgraph (dead nodes are simply
    never visited — that is the dead-code elimination),
 2. merges duplicate subgraphs by structural hashing (CSE),
-3. fuses maximal single-consumer elementwise chains into one *compiled
+3. collapses trivial movement chains (same-shape reshape/expand,
+   identity transpose/swapaxes, reshape-of-reshape hops),
+4. fuses maximal single-consumer elementwise chains into one *compiled
    kernel* — a generated Python closure evaluating a single numpy
    expression — so a chain like ``relu(x @ w + b)`` runs as one call
    instead of one dispatch per op, and
-4. executes the plan in topological order.
+5. executes the plan in topological order, donating a dying input's
+   array as the ``out=`` buffer of a fused kernel when no external
+   tensor, closure, or view can still observe it.
 
 When a :class:`PlanRecorder` is active (installed by :mod:`repro.nn.jit`)
 every executed step is also appended to a replayable slot-based program;
@@ -265,11 +269,15 @@ def _arg_cse_key(node: LazyBuffer):
 
 
 def _build_steps(roots: Sequence[LazyBuffer]):
-    """Topo-sort, CSE, and fuse the unrealized graph under ``roots``.
+    """Topo-sort, CSE, collapse movement chains, and fuse under ``roots``.
 
-    Returns ``(steps, dup_pairs, cse_merged)`` where ``dup_pairs`` lists
+    Returns ``(steps, dup_pairs, info)``.  ``dup_pairs`` lists
     ``(duplicate_node, representative_node)`` so the executor can
-    propagate realized arrays onto merged-away duplicates.
+    propagate realized arrays onto merged-away duplicates; ``info``
+    carries the merge counters plus ``no_donate`` — ids of input nodes
+    whose realized arrays must never be reused as kernel output scratch
+    (movement consumers create aliasing views; externally visible
+    inlined interiors may be re-realized later and re-read them).
     """
     # --- topological order over unrealized nodes (DCE by construction).
     order: list[LazyBuffer] = []
@@ -290,11 +298,26 @@ def _build_steps(roots: Sequence[LazyBuffer]):
 
     # --- CSE: map structurally identical nodes to one representative.
     # The same map also carries algebraic no-op folds (``x * 1.0``,
-    # ``x + 0.0`` — the autograd seed and unbroadcast paths emit these),
-    # which eager mode executes but a schedule can simply skip.
+    # ``x + 0.0`` — the autograd seed and unbroadcast paths emit these)
+    # and trivial movement folds (same-shape reshape/expand, identity
+    # transpose/swapaxes, reshape-of-reshape chains — the unbroadcast
+    # and attention paths emit those), which eager mode executes but a
+    # schedule can simply skip.
     rep: dict[int, LazyBuffer] = {}
     dup_pairs: list[tuple[LazyBuffer, LazyBuffer]] = []
     table: dict[tuple, LazyBuffer] = {}
+    n_cse = 0
+    n_movement = 0
+    no_donate: set[int] = set()
+
+    def fold(node: LazyBuffer, target: LazyBuffer) -> None:
+        rep[id(node)] = target
+        dup_pairs.append((node, target))
+        if node.refs or node.pinned:
+            # The duplicate stays externally observable; its realization
+            # is propagated from the keeper, so the keeper's array (and
+            # anything a re-realization of it would read) must survive.
+            target.pinned = True
 
     def const_scalar(node: LazyBuffer) -> float | None:
         arr = node.realized
@@ -305,6 +328,32 @@ def _build_steps(roots: Sequence[LazyBuffer]):
     for node in order:  # children first
         if node.kind in ("const", "gen"):
             continue
+        if node.kind in ("reshape", "expand", "transpose", "swapaxes"):
+            src = rep.get(id(node.srcs[0]), node.srcs[0])
+            if node.kind in ("reshape", "expand"):
+                # reshape(reshape(x, s1), s2) == reshape(x, s2) and
+                # broadcastability is transitive, so hop over same-kind
+                # producers (the inner node dies by DCE if unused).
+                while src.kind == node.kind and src.realized is None:
+                    src = rep.get(id(src.srcs[0]), src.srcs[0])
+                    node.srcs = (src,)
+                    n_movement += 1
+                identity = src.shape == node.shape
+            elif node.kind == "transpose":
+                ndim = len(node.shape)
+                perm = node.arg
+                if perm is None:
+                    identity = ndim <= 1
+                else:
+                    identity = tuple(ax % ndim for ax in perm) == tuple(range(ndim))
+            else:  # swapaxes
+                ndim = len(node.shape) or 1
+                ax1, ax2 = node.arg
+                identity = ax1 % ndim == ax2 % ndim
+            if identity and src.shape == node.shape and src.dtype == node.dtype:
+                fold(node, src)
+                n_movement += 1
+                continue
         if node.kind in ("mul", "add", "sub", "div") and len(node.srcs) == 2:
             a, b = (rep.get(id(s), s) for s in node.srcs)
             target = None
@@ -322,8 +371,8 @@ def _build_steps(roots: Sequence[LazyBuffer]):
                 and target.shape == node.shape
                 and target.dtype == node.dtype
             ):
-                rep[id(node)] = target
-                dup_pairs.append((node, target))
+                fold(node, target)
+                n_cse += 1
                 continue
         arg_key = _arg_cse_key(node)
         if arg_key is None and node.arg is not None:
@@ -332,8 +381,8 @@ def _build_steps(roots: Sequence[LazyBuffer]):
         key = (node.kind, arg_key, tuple(id(s) for s in srcs))
         found = table.get(key)
         if found is not None and found is not node:
-            rep[id(node)] = found
-            dup_pairs.append((node, found))
+            fold(node, found)
+            n_cse += 1
         else:
             table[key] = node
 
@@ -378,9 +427,10 @@ def _build_steps(roots: Sequence[LazyBuffer]):
             operands: list[LazyBuffer] = []
             operand_ids: dict[int, int] = {}
             n_ops = 0
+            leaky = False
 
             def render(n: LazyBuffer) -> str:
-                nonlocal n_ops
+                nonlocal n_ops, leaky
                 n = resolve(n)
                 if n.realized is not None or not inlined(n):
                     slot = operand_ids.get(id(n))
@@ -389,6 +439,11 @@ def _build_steps(roots: Sequence[LazyBuffer]):
                         operand_ids[id(n)] = slot
                         operands.append(n)
                     return f"i{slot}"
+                if n.refs or n.pinned:
+                    # An externally held interior never realizes here; a
+                    # later realize() re-executes it and re-reads these
+                    # operand arrays — they must stay intact.
+                    leaky = True
                 n_ops += 1
                 return _render(n, [render(s) for s in n.srcs])
 
@@ -397,22 +452,34 @@ def _build_steps(roots: Sequence[LazyBuffer]):
             expr = _render(node, top)
             out_expr = _render_out_capable(node, top)
             fn = _compile_kernel(expr, out_expr, len(operands))
+            if leaky:
+                no_donate.update(id(o) for o in operands)
             steps.append(_Step(node, fn, tuple(operands), n_ops, out_expr is not None))
         else:
             srcs = tuple(resolve(s) for s in node.srcs)
+            if node.kind in MOVEMENT:
+                # The output is (or may be) a view of the input: writing
+                # into the input's array would rewrite the view.
+                no_donate.update(id(s) for s in srcs)
             steps.append(_Step(node, _bind_exec(node), srcs, 1, False))
 
-    return steps, dup_pairs, len(dup_pairs)
+    info = {
+        "n_cse_merged": n_cse,
+        "n_movement_collapsed": n_movement,
+        "no_donate": no_donate,
+    }
+    return steps, dup_pairs, info
 
 
 def describe(roots: Sequence[LazyBuffer]) -> dict:
     """Dry-run schedule introspection for tests and benchmarks."""
-    steps, _dups, cse_merged = _build_steps([r for r in roots if r.realized is None])
+    steps, _dups, info = _build_steps([r for r in roots if r.realized is None])
     return {
         "n_steps": len(steps),
         "n_fused_kernels": sum(1 for s in steps if s.fused_ops > 1),
         "n_fused_ops": sum(s.fused_ops for s in steps if s.fused_ops > 1),
-        "n_cse_merged": cse_merged,
+        "n_cse_merged": info["n_cse_merged"],
+        "n_movement_collapsed": info["n_movement_collapsed"],
         "kinds": [s.node.kind for s in steps],
         "exprs": [s.fn.__doc__ for s in steps if s.fused_ops > 1],
     }
@@ -510,9 +577,25 @@ def realize_buffers(roots: list[LazyBuffer]) -> list[np.ndarray]:
     """Realize ``roots`` (and everything they need), returning ndarrays."""
     todo = [r for r in roots if r.realized is None]
     if todo:
-        steps, dup_pairs, cse_merged = _build_steps(todo)
+        steps, dup_pairs, plan = _build_steps(todo)
         recorder = _RECORDER[-1] if _RECORDER else None
+        # Donation: when a fused kernel's input array dies at this step
+        # (last consumer, no external tensor/closure can see it, not a
+        # root, not aliased by a view) and shapes/dtypes match exactly,
+        # the kernel writes its output into that array via ``out=``
+        # instead of allocating.  Disabled while tracing — the recorder
+        # keys arrays by id, and reuse would alias its slots.
+        donate_ok = recorder is None
+        no_donate = plan["no_donate"]
+        root_ids = {id(r) for r in todo}
+        pending: dict[int, int] = {}
+        if donate_ok:
+            for step in steps:
+                for src in step.inputs:
+                    pending[id(src)] = pending.get(id(src), 0) + 1
+        produced: set[int] = set()  # nodes realized here to fresh arrays
         n_fused = 0
+        n_donated = 0
         for step in steps:
             inputs = []
             for src in step.inputs:
@@ -522,13 +605,49 @@ def realize_buffers(roots: list[LazyBuffer]) -> list[np.ndarray]:
                 if recorder is not None and id(src) not in recorder.slot_of_node:
                     recorder.on_leaf(src, value)
                 inputs.append(value)
-            out = step.fn(*inputs)
+            node = step.node
+            donor = None
+            if donate_ok:
+                for src in step.inputs:
+                    pending[id(src)] -= 1
+                if step.out_capable:
+                    for src in step.inputs:
+                        if (
+                            pending[id(src)] == 0
+                            and id(src) in produced
+                            and id(src) not in no_donate
+                            and id(src) not in root_ids
+                            and not src.refs
+                            and not src.pinned
+                            and src.shape == node.shape
+                            and src.dtype == node.dtype
+                        ):
+                            arr = src.realized
+                            if (
+                                arr.base is None
+                                and arr.flags.writeable
+                                and arr.shape == node.shape
+                                and arr.dtype == node.dtype
+                            ):
+                                donor = arr
+                                break
+            if donor is not None:
+                out = step.fn(*inputs, _out=donor)
+                n_donated += 1
+            else:
+                out = step.fn(*inputs)
             if not isinstance(out, np.ndarray):
                 out = np.asarray(out)  # full reductions yield numpy scalars
-            node = step.node
             if out.dtype != node.dtype:
                 out = out.astype(node.dtype)
             node.realized = out
+            if (
+                donate_ok
+                and node.kind not in MOVEMENT
+                and node.kind != "gen"
+                and out.base is None
+            ):
+                produced.add(id(node))
             if step.fused_ops > 1:
                 n_fused += step.fused_ops
             if recorder is not None:
@@ -544,6 +663,10 @@ def realize_buffers(roots: list[LazyBuffer]) -> list[np.ndarray]:
                 if r.realized is not None and id(r) not in recorder.slot_of_node:
                     recorder.on_leaf(r, r.realized)
         last_schedule_info.update(
-            n_steps=len(steps), n_fused_ops=n_fused, n_cse_merged=cse_merged
+            n_steps=len(steps),
+            n_fused_ops=n_fused,
+            n_cse_merged=plan["n_cse_merged"],
+            n_movement_collapsed=plan["n_movement_collapsed"],
+            n_out_donated=n_donated,
         )
     return [r.realized for r in roots]

@@ -67,6 +67,7 @@ class Tensor:
             elif arr.dtype.kind != "f":
                 arr = arr.astype(DEFAULT_DTYPE)
             buf = LazyBuffer.const(arr)
+        buf.refs += 1
         self._buf = buf
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
@@ -78,6 +79,7 @@ class Tensor:
     @classmethod
     def _from_buf(cls, buf: LazyBuffer) -> "Tensor":
         out = cls.__new__(cls)
+        buf.refs += 1
         out._buf = buf
         out.grad = None
         out.requires_grad = False
@@ -99,7 +101,16 @@ class Tensor:
     def data(self, value) -> None:
         # Rewraps without copying so `p.data -= ...` keeps array identity
         # (the JIT's parameter slots rely on in-place updates).
-        self._buf = LazyBuffer.const(np.asarray(value))
+        buf = LazyBuffer.const(np.asarray(value))
+        buf.refs += 1
+        self._buf.refs -= 1
+        self._buf = buf
+
+    def __del__(self) -> None:
+        try:
+            self._buf.refs -= 1
+        except AttributeError:  # partially constructed / interpreter teardown
+            pass
 
     def numpy(self) -> np.ndarray:
         """The underlying array (shared, not copied); realizes if lazy."""
@@ -170,6 +181,13 @@ class Tensor:
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
+            # The stored closure captures operand/output buffers directly
+            # (``a_val``/``b_val``/``out_val``), outliving their tensors;
+            # pin them so the scheduler never reuses their arrays as
+            # kernel output scratch.
+            buf.pinned = True
+            for p in parents:
+                p._buf.pinned = True
         return out
 
     def detach(self) -> "Tensor":
@@ -436,6 +454,10 @@ class Tensor:
         a_val = a._val()
         a_shape = a.shape
         out_keep = graph.max_(a_val, axis=axis, keepdims=True)
+        if a.requires_grad and isinstance(out_keep, LazyBuffer):
+            # Captured by the closure below but neither an operand nor the
+            # output buffer, so _make's pinning would miss it.
+            out_keep.pinned = True
 
         def backward(g) -> None:
             hit = graph.eq(a_val, graph.broadcast_to(out_keep, a_shape))

@@ -15,10 +15,29 @@ system (the online half of the paper's Figure 14 deployment):
 * :class:`LoadGenerator` — seeded closed-loop and open-loop (Poisson)
   workloads producing p50/p95/p99 + throughput + rejection reports
   (``repro serve-bench``).
+* :class:`ColumnarSnapshot` / :class:`SnapshotPublisher` /
+  :class:`ProcessRouter` — the multi-process backend: versioned columnar
+  snapshot files loaded zero-copy via ``np.memmap``, an append-only
+  update log with crash recovery (:meth:`ShardedLocationStore.restore`),
+  and a shard-routed worker-process pool with heartbeat + restart
+  (``repro serve-bench --backend process``).
 """
 
 from repro.serve.batching import BatchStats, MicroBatcher
 from repro.serve.cache import CacheStats, TTLLRUCache
+from repro.serve.columnar import (
+    ColumnarSnapshot,
+    SnapshotCorruptError,
+    SnapshotInfo,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.serve.mp import (
+    ProcessRouter,
+    SnapshotPublisher,
+    VersionCounter,
+    WorkerDiedError,
+)
 from repro.serve.loadgen import (
     LoadGenerator,
     LoadReport,
@@ -50,6 +69,15 @@ __all__ = [
     "MicroBatcher",
     "CacheStats",
     "TTLLRUCache",
+    "ColumnarSnapshot",
+    "SnapshotCorruptError",
+    "SnapshotInfo",
+    "load_snapshot",
+    "write_snapshot",
+    "ProcessRouter",
+    "SnapshotPublisher",
+    "VersionCounter",
+    "WorkerDiedError",
     "LoadGenerator",
     "LoadReport",
     "ScheduledRequest",

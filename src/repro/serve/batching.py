@@ -89,8 +89,15 @@ class MicroBatcher:
         self._coalesced = 0
         self._largest_batch = 0
 
-    def submit(self, key: Hashable) -> Any:
-        """Resolve ``key`` through the current (or a fresh) micro-batch."""
+    def submit(self, key: Hashable, timeout_s: float | None = None) -> Any:
+        """Resolve ``key`` through the current (or a fresh) micro-batch.
+
+        ``timeout_s`` bounds the wait on the batch outcome (followers of
+        a leader whose ``batch_fn`` stalls — e.g. a remote worker that
+        died mid-evaluation — get a :class:`TimeoutError` instead of
+        parking forever); ``None`` waits indefinitely, the in-process
+        behavior where ``batch_fn`` cannot outlive its caller.
+        """
         with self._cond:
             self._submitted += 1
             waiter = self._pending.get(key)
@@ -106,7 +113,9 @@ class MicroBatcher:
                 self._leader_active = True
         if lead:
             self._lead_batch()
-        waiter.event.wait()
+        if not waiter.event.wait(timeout_s):
+            raise TimeoutError(f"micro-batch result for {key!r} not ready "
+                               f"within {timeout_s}s")
         if waiter.error is not None:
             raise waiter.error
         return waiter.value

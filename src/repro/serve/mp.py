@@ -1,0 +1,968 @@
+"""Multi-process serving: worker pool over mmap'd columnar snapshots.
+
+The thread-pool :class:`~repro.serve.server.QueryServer` is GIL-bound —
+every shard lookup walks python dicts, so adding threads never buys a
+second core.  This module promotes the same copy-on-write snapshot design
+across process boundaries:
+
+* A :class:`SnapshotPublisher` owns a directory of versioned columnar
+  snapshot files (:mod:`repro.serve.columnar`), an append-only update
+  log, and an mmap'd uint64 version counter (the ``CURRENT`` file).
+  Publishing is write-new-file → fsync → atomic rename → flip counter,
+  so readers can never map a torn snapshot; the update log is appended
+  *before* the snapshot build, which is what makes
+  :meth:`repro.serve.shard.ShardedLocationStore.restore` recover batches
+  a crash separated from their snapshot.
+* N worker processes (:func:`_worker_main`) each ``np.memmap`` the
+  current snapshot read-only — one page-cache copy serves the whole
+  pool — and run the existing admission/deadline semantics
+  (:class:`~repro.serve.server.ServerConfig`,
+  :class:`~repro.serve.server.ServeStatus`) plus a per-worker TTL+LRU
+  cache.  Between requests a worker polls the version counter and remaps
+  the new file when it flips: readers never block on a refresh, exactly
+  like the in-process snapshot swap.
+* A front-end :class:`ProcessRouter` dispatches by shard key over pipes
+  (shard → ``shard % n_workers``, so the worker count never changes
+  *shard* assignment), coalesces concurrent single queries through the
+  :class:`~repro.serve.batching.MicroBatcher`, heartbeats the pool, and
+  restarts dead workers automatically.  Every worker maps the *full*
+  snapshot, so shard routing is a cache-locality policy, not a
+  correctness requirement — a stale routing table misroutes to a worker
+  that still answers correctly.
+
+Failure semantics across the process boundary mirror the in-process
+tier: unknown ids come back as ``UNKNOWN_ADDRESS`` (and re-raise as
+:class:`UnknownAddressError` from :meth:`ProcessRouter.resolve`), worker
+deaths surface as one retried request and then ``ERROR``, and deadlines
+are enforced both worker-side (epoch deadline in the message) and
+client-side (bounded waits).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import mmap
+import os
+import re
+import struct
+import threading
+import time
+import zlib
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Sequence
+
+from repro.apps.store import QueryResult, QuerySource, UnknownAddressError
+from repro.geo import Point
+from repro.obs import get_registry
+from repro.obs.health import SLO, HealthReport, RequestWindows
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import TTLLRUCache
+from repro.serve.columnar import (
+    ColumnarSnapshot,
+    SnapshotCorruptError,
+    SnapshotInfo,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.serve.server import ServeResponse, ServerConfig, ServeStatus
+from repro.serve.shard import ShardedLocationStore, _stable_hash
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.rsnap$")
+_CURRENT = "CURRENT"
+_LOG = "updates.log"
+_GRACE_S = 0.050
+
+
+# ---------------------------------------------------------------------------
+# Version counter: an mmap'd uint64 every process can read without IPC
+# ---------------------------------------------------------------------------
+class VersionCounter:
+    """8 bytes of shared truth: which snapshot version is current.
+
+    The file is created atomically (tmp + rename); the value is a single
+    aligned little-endian uint64 store through ``mmap``, which x86-64 and
+    aarch64 both make atomic for readers on the same page.  Workers poll
+    it between requests — no pipes, no locks, no syscalls on the read
+    path once mapped.
+    """
+
+    def __init__(self, path: str, create: bool = False) -> None:
+        self.path = path
+        if create and not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as f:
+                f.write(struct.pack("<Q", 0))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        self._f = open(path, "r+b" if create else "rb")
+        access = mmap.ACCESS_WRITE if create else mmap.ACCESS_READ
+        self._mm = mmap.mmap(self._f.fileno(), 8, access=access)
+
+    def get(self) -> int:
+        return struct.unpack_from("<Q", self._mm, 0)[0]
+
+    def set(self, version: int) -> None:
+        struct.pack_into("<Q", self._mm, 0, version)
+        self._mm.flush()
+
+    def close(self) -> None:
+        self._mm.close()
+        self._f.close()
+
+
+# ---------------------------------------------------------------------------
+# Append-only update log (durability rider)
+# ---------------------------------------------------------------------------
+def append_log_record(
+    path: str, version: int, locations: dict[str, Point]
+) -> None:
+    """Append one refresh batch: ``uint32 len | uint32 crc | json``.
+
+    Appended *before* the snapshot for that version is built, so a crash
+    at any later point leaves a replayable record.  A crash mid-append
+    leaves a torn tail that :func:`read_log_records` detects by length or
+    CRC and discards.
+    """
+    payload = json.dumps(
+        {
+            "version": version,
+            "locations": {a: [p.lng, p.lat] for a, p in locations.items()},
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    record = (
+        struct.pack("<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        + payload
+    )
+    with open(path, "ab") as f:
+        f.write(record)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def read_log_records(path: str) -> list[tuple[int, dict[str, Point]]]:
+    """All intact ``(version, locations)`` records; stops at a torn tail."""
+    out: list[tuple[int, dict[str, Point]]] = []
+    if not os.path.exists(path):
+        return out
+    with open(path, "rb") as f:
+        data = f.read()
+    pos = 0
+    while pos + 8 <= len(data):
+        length, crc = struct.unpack_from("<II", data, pos)
+        start = pos + 8
+        end = start + length
+        if end > len(data):
+            break  # torn tail: writer died mid-append
+        payload = data[start:end]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            break
+        record = json.loads(payload.decode("utf-8"))
+        out.append(
+            (
+                record["version"],
+                {
+                    a: Point(lng, lat)
+                    for a, (lng, lat) in record["locations"].items()
+                },
+            )
+        )
+        pos = end
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Snapshot publisher (writer side)
+# ---------------------------------------------------------------------------
+class SnapshotPublisher:
+    """Owns a snapshot directory: versioned files, log, version counter."""
+
+    def __init__(self, directory: str, keep: int = 3) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.keep = max(1, keep)
+        self._counter: VersionCounter | None = None
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, version: int) -> str:
+        return os.path.join(self.directory, f"snapshot-{version:08d}.rsnap")
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.directory, _LOG)
+
+    @property
+    def counter_path(self) -> str:
+        return os.path.join(self.directory, _CURRENT)
+
+    def snapshot_versions(self) -> list[int]:
+        versions = []
+        for name in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(name)
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    # -- writer side ----------------------------------------------------
+    def _writer_counter(self) -> VersionCounter:
+        if self._counter is None:
+            self._counter = VersionCounter(self.counter_path, create=True)
+        return self._counter
+
+    def log_update(self, locations: dict[str, Point], version: int) -> None:
+        """Durable intent record for the refresh producing ``version``."""
+        append_log_record(self.log_path, version, locations)
+
+    def publish(
+        self,
+        store: ShardedLocationStore,
+        confidences: dict[str, float] | None = None,
+    ) -> SnapshotInfo:
+        """Write the store's current generation and flip the counter.
+
+        The counter flips only after the snapshot file is fully on disk
+        under its final name, so a reader that observes version *v* can
+        always map an intact ``snapshot-v``.
+        """
+        info = write_snapshot(self.path_for(store.version), store, confidences)
+        self._writer_counter().set(info.version)
+        self._prune()
+        return info
+
+    def refresh(
+        self,
+        store: ShardedLocationStore,
+        locations: dict[str, Point],
+        confidences: dict[str, float] | None = None,
+    ) -> SnapshotInfo:
+        """Log → swap → publish: the full durable refresh protocol."""
+        self.log_update(locations, store.version + 1)
+        store.update(locations)
+        return self.publish(store, confidences)
+
+    def _prune(self) -> None:
+        versions = self.snapshot_versions()
+        current = self.current_version()
+        for version in versions[: -self.keep]:
+            if version != current:
+                try:
+                    os.unlink(self.path_for(version))
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        if self._counter is not None:
+            self._counter.close()
+            self._counter = None
+
+    # -- reader side ----------------------------------------------------
+    def current_version(self) -> int:
+        """The published version, 0 if nothing was ever published."""
+        try:
+            counter = VersionCounter(self.counter_path)
+        except (FileNotFoundError, ValueError):
+            return 0
+        try:
+            return counter.get()
+        finally:
+            counter.close()
+
+    def current_path(self) -> str | None:
+        version = self.current_version()
+        return self.path_for(version) if version else None
+
+    # -- crash recovery -------------------------------------------------
+    @staticmethod
+    def recover(
+        directory: str,
+    ) -> tuple[ColumnarSnapshot, list[dict[str, Point]]]:
+        """Newest CRC-intact snapshot + the log suffix to replay onto it.
+
+        Walks candidate snapshot files newest-first, fully verifying
+        checksums — a file a dying writer managed to rename but not
+        complete (non-atomic filesystem, truncated flush) is skipped, not
+        served.  Raises :class:`FileNotFoundError` when no intact
+        snapshot exists.
+        """
+        publisher = SnapshotPublisher(directory)
+        snap: ColumnarSnapshot | None = None
+        for version in reversed(publisher.snapshot_versions()):
+            try:
+                snap = load_snapshot(publisher.path_for(version), verify=True)
+                break
+            except (SnapshotCorruptError, OSError):
+                continue
+        if snap is None:
+            raise FileNotFoundError(
+                f"no intact snapshot to restore from in {directory!r}"
+            )
+        replay = [
+            locations
+            for version, locations in read_log_records(publisher.log_path)
+            if version > snap.version
+        ]
+        return snap, replay
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+def _worker_main(
+    conn, directory: str, config: ServerConfig, worker_id: int
+) -> None:  # pragma: no cover - exercised in subprocesses
+    """One worker: mmap current snapshot, serve query batches off a pipe."""
+    publisher = SnapshotPublisher(directory)
+    snap: ColumnarSnapshot | None = None
+    cache = (
+        TTLLRUCache(config.cache_capacity, config.cache_ttl_s)
+        if config.cache_capacity > 0
+        else None
+    )
+    load_seconds: list[float] = []
+    n_requests = 0
+
+    def ensure_snapshot() -> ColumnarSnapshot:
+        nonlocal snap
+        version = publisher.current_version()
+        if snap is not None and snap.version == version:
+            return snap
+        for _ in range(5):
+            version = publisher.current_version()
+            path = publisher.path_for(version)
+            t0 = time.perf_counter()
+            try:
+                fresh = load_snapshot(path)
+            except (FileNotFoundError, SnapshotCorruptError):
+                # Publisher replaced (and pruned) it mid-read; re-poll.
+                time.sleep(0.005)
+                continue
+            load_seconds.append(time.perf_counter() - t0)
+            del load_seconds[:-256]
+            snap = fresh
+            if cache is not None:
+                cache.clear()
+            return snap
+        raise FileNotFoundError(f"no loadable snapshot in {directory!r}")
+
+    def resolve(ids: list[str], deadline: float | None) -> list[tuple]:
+        nonlocal n_requests
+        n_requests += len(ids)
+        if deadline is not None and time.time() >= deadline:
+            return [
+                (a, ServeStatus.TIMED_OUT.value, None, None, None, None, None,
+                 "deadline exceeded before evaluation")
+                for a in ids
+            ]
+        current = ensure_snapshot()
+        out: list[tuple] = []
+        misses: list[str] = []
+        hits: dict[str, QueryResult] = {}
+        if cache is not None:
+            for a in ids:
+                cached = cache.get(a)
+                if cached is not None:
+                    hits[a] = cached
+                else:
+                    misses.append(a)
+        else:
+            misses = list(ids)
+        resolved = current.resolve_batch(list(dict.fromkeys(misses)))
+        for a in ids:
+            if a in hits:
+                result = hits[a]
+                state = "hit"
+            else:
+                value = resolved[a]
+                if isinstance(value, UnknownAddressError):
+                    out.append(
+                        (a, ServeStatus.UNKNOWN_ADDRESS.value, None, None,
+                         None, None, None, str(value))
+                    )
+                    continue
+                result = value
+                if cache is not None:
+                    cache.put(a, result)
+                    state = "miss"
+                else:
+                    state = "bypass"
+            out.append(
+                (a, ServeStatus.OK.value, result.location.lng,
+                 result.location.lat, result.source.value,
+                 result.confidence, state, None)
+            )
+        return out
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "stop":
+            return
+        req_id = msg[1]
+        try:
+            if kind == "q":
+                payload: Any = resolve(msg[2], msg[3])
+            elif kind == "ping":
+                payload = {
+                    "pid": os.getpid(),
+                    "worker_id": worker_id,
+                    "version": snap.version if snap is not None else 0,
+                }
+            elif kind == "stats":
+                payload = {
+                    "pid": os.getpid(),
+                    "worker_id": worker_id,
+                    "version": snap.version if snap is not None else 0,
+                    "n_requests": n_requests,
+                    "snapshot_loads": len(load_seconds),
+                    "load_seconds": list(load_seconds),
+                    "cache": cache.stats().to_dict() if cache else None,
+                }
+            else:
+                payload = RuntimeError(f"unknown message kind: {kind!r}")
+        except Exception as exc:  # noqa: BLE001 — keep the worker alive
+            if kind == "q":
+                payload = [
+                    (a, ServeStatus.ERROR.value, None, None, None, None, None,
+                     f"{type(exc).__name__}: {exc}")
+                    for a in msg[2]
+                ]
+            else:
+                payload = RuntimeError(f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(("r", req_id, payload))
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Front end
+# ---------------------------------------------------------------------------
+class WorkerDiedError(RuntimeError):
+    """The worker's pipe broke while a request was outstanding."""
+
+
+class _Reply:
+    __slots__ = ("event", "payload")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Any = None
+
+
+class WorkerHandle:
+    """One worker process: pipe, send lock, reply-matching reader thread.
+
+    Requests are pipelined: any front-end thread may send (serialized by
+    a lock), and a single reader thread matches replies to waiters by
+    request id — no per-request connection, no head-of-line blocking on
+    slow batch-mates from other threads.
+    """
+
+    def __init__(self, ctx, directory: str, config: ServerConfig,
+                 worker_id: int) -> None:
+        self.worker_id = worker_id
+        parent, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child, directory, config, worker_id),
+            name=f"serve-mp-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self._conn = parent
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _Reply] = {}
+        self._req_ids = itertools.count()
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"serve-mp-reader-{worker_id}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                msg = self._conn.recv()
+                if msg[0] != "r":
+                    continue
+                with self._pending_lock:
+                    reply = self._pending.pop(msg[1], None)
+                if reply is not None:
+                    reply.payload = msg[2]
+                    reply.event.set()
+        except (EOFError, OSError):
+            pass
+        self._dead = True
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for reply in pending:
+            reply.event.set()  # payload stays None: caller sees the death
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self.process.is_alive()
+
+    def send(self, kind: str, *args: Any) -> _Reply:
+        """Dispatch one message; raises :class:`WorkerDiedError` if dead."""
+        if self._dead:
+            raise WorkerDiedError(f"worker {self.worker_id} is dead")
+        req_id = next(self._req_ids)
+        reply = _Reply()
+        with self._pending_lock:
+            self._pending[req_id] = reply
+        try:
+            with self._send_lock:
+                self._conn.send((kind, req_id, *args))
+        except (BrokenPipeError, OSError) as exc:
+            self._dead = True
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise WorkerDiedError(
+                f"worker {self.worker_id} pipe broke: {exc}"
+            ) from exc
+        return reply
+
+    def wait(self, reply: _Reply, timeout_s: float | None) -> Any:
+        """The reply payload, or ``None`` on timeout / worker death."""
+        if not reply.event.wait(timeout_s):
+            return None
+        return reply.payload
+
+    def stop(self, timeout_s: float = 1.0) -> None:
+        try:
+            with self._send_lock:
+                self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout_s)
+        self._conn.close()
+
+
+class _SubmittedQuery:
+    """Future-shaped handle so open-loop load generation works unchanged."""
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, grace_s: float | None = None) -> ServeResponse:
+        return self._future.result()
+
+
+class ProcessRouter:
+    """Front end of the worker pool: routing, retries, health, refresh.
+
+    Routing is two-level and stable: address → shard comes from the
+    snapshot's persisted grouping (or ``_stable_hash(id) % n_shards`` for
+    ids the snapshot doesn't know), shard → worker is ``shard %
+    n_workers``.  Changing the worker count therefore never moves an
+    address between *shards* — a resharded snapshot stays diffable — it
+    only remaps whole shards onto the new pool.
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: str,
+        n_workers: int = 2,
+        config: ServerConfig | None = None,
+        heartbeat_interval_s: float = 0.5,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        self.config = config or ServerConfig()
+        self.n_workers = n_workers
+        self.publisher = SnapshotPublisher(snapshot_dir)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._ctx = get_context(start_method)
+        self._workers: list[WorkerHandle | None] = [None] * n_workers
+        self._workers_lock = threading.Lock()
+        self._routing: ColumnarSnapshot | None = None
+        self._routing_lock = threading.Lock()
+        self._started = False
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.restarts = 0
+        self.health = RequestWindows()
+        self._batcher = MicroBatcher(
+            self._batch_resolve,
+            max_batch=self.config.batch_max,
+            max_wait_s=self.config.batch_window_s,
+        )
+        registry = get_registry()
+        self._requests_total = registry.counter(
+            "serve_requests_total", "Served requests by terminal status"
+        )
+        self._queue_depth = registry.gauge(
+            "serve_queue_depth", "Requests waiting in the admission queue"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store: ShardedLocationStore,
+        snapshot_dir: str,
+        n_workers: int = 2,
+        config: ServerConfig | None = None,
+        confidences: dict[str, float] | None = None,
+        **kwargs: Any,
+    ) -> "ProcessRouter":
+        """Publish the store's current generation, then build a router."""
+        SnapshotPublisher(snapshot_dir).publish(store, confidences)
+        return cls(snapshot_dir, n_workers=n_workers, config=config, **kwargs)
+
+    def start(self) -> "ProcessRouter":
+        if self._started:
+            raise RuntimeError("router already started")
+        if self.publisher.current_version() == 0:
+            raise FileNotFoundError(
+                f"no published snapshot in {self.publisher.directory!r}; "
+                "publish one first (SnapshotPublisher.publish / from_store)"
+            )
+        self._started = True
+        self._ensure_routing()
+        for i in range(self.n_workers):
+            self._workers[i] = WorkerHandle(
+                self._ctx, self.publisher.directory, self.config, i
+            )
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="serve-mp-heartbeat", daemon=True
+        )
+        self._heartbeat.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._stop_heartbeat.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(2.0)
+            self._heartbeat = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        with self._workers_lock:
+            workers, self._workers = self._workers, [None] * self.n_workers
+        for worker in workers:
+            if worker is not None:
+                worker.stop()
+
+    def __enter__(self) -> "ProcessRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- routing ---------------------------------------------------------
+    def _ensure_routing(self) -> ColumnarSnapshot:
+        version = self.publisher.current_version()
+        routing = self._routing
+        if routing is not None and routing.version == version:
+            return routing
+        with self._routing_lock:
+            routing = self._routing
+            if routing is not None and routing.version == version:
+                return routing
+            path = self.publisher.current_path()
+            assert path is not None
+            self._routing = load_snapshot(path)
+            return self._routing
+
+    def shard_for(self, address_id: str) -> int:
+        """Stable shard of an id (snapshot grouping, hash fallback)."""
+        routing = self._ensure_routing()
+        shards = routing.shards_for_ids([address_id])
+        if shards[0] >= 0:
+            return int(shards[0])
+        return _stable_hash(address_id) % routing.n_shards
+
+    def worker_for_shard(self, shard: int) -> int:
+        return shard % self.n_workers
+
+    def _worker(self, index: int) -> WorkerHandle:
+        with self._workers_lock:
+            worker = self._workers[index]
+            if worker is not None and worker.alive:
+                return worker
+            if not self._started:
+                raise RuntimeError("router is not running (call start())")
+            if worker is not None:
+                self.restarts += 1
+                threading.Thread(
+                    target=worker.stop, name="serve-mp-reap", daemon=True
+                ).start()
+            worker = WorkerHandle(
+                self._ctx, self.publisher.directory, self.config, index
+            )
+            self._workers[index] = worker
+            return worker
+
+    # -- query path ------------------------------------------------------
+    def _count(self, response: ServeResponse) -> None:
+        self._requests_total.inc(status=response.status.value)
+        self.health.record(response.status.value, response.latency_s)
+
+    def _decode(
+        self, row: tuple, t0: float
+    ) -> ServeResponse:
+        (address_id, status, lng, lat, source, confidence, cache_state,
+         error) = row
+        result = None
+        if status == ServeStatus.OK.value:
+            result = QueryResult(
+                Point(lng, lat), QuerySource(source), confidence=confidence
+            )
+        return ServeResponse(
+            address_id,
+            ServeStatus(status),
+            result,
+            cache_state,
+            time.monotonic() - t0,
+            error=error,
+        )
+
+    def query_batch(
+        self, address_ids: Sequence[str], timeout_s: float | None = None
+    ) -> list[ServeResponse]:
+        """Resolve a batch across the pool; one response per input id.
+
+        Each worker gets the sub-batch of its shards; a dead worker is
+        restarted and its sub-batch retried once within the deadline; a
+        sub-batch that outlives the deadline comes back ``TIMED_OUT``.
+        """
+        if not self._started:
+            raise RuntimeError("router is not running (call start())")
+        timeout = (
+            timeout_s if timeout_s is not None else self.config.default_timeout_s
+        )
+        t0 = time.monotonic()
+        deadline_mono = t0 + timeout
+        deadline_epoch = time.time() + timeout
+        routing = self._ensure_routing()
+        shards = routing.shards_for_ids(list(address_ids))
+        groups: dict[int, list[str]] = {}
+        for address_id, shard in zip(address_ids, shards):
+            if shard < 0:
+                shard = _stable_hash(address_id) % routing.n_shards
+            groups.setdefault(self.worker_for_shard(int(shard)), []).append(
+                address_id
+            )
+        with self._inflight_lock:
+            self._inflight += len(groups)
+            depth = self._inflight
+        self._queue_depth.set(depth)
+        self.health.note_queue_depth(depth)
+        try:
+            sent: list[tuple[int, list[str], Any]] = []
+            for index, ids in groups.items():
+                sent.append((index, ids, self._dispatch(index, ids,
+                                                        deadline_epoch)))
+            by_id: dict[str, ServeResponse] = {}
+            for index, ids, reply in sent:
+                rows = self._await_group(index, ids, reply, deadline_mono,
+                                         deadline_epoch)
+                for row in rows:
+                    by_id[row[0]] = self._decode(row, t0)
+            responses = [by_id[a] for a in address_ids]
+        finally:
+            with self._inflight_lock:
+                self._inflight -= len(groups)
+                depth = self._inflight
+            self._queue_depth.set(depth)
+        for response in responses:
+            self._count(response)
+        return responses
+
+    def _dispatch(
+        self, index: int, ids: list[str], deadline_epoch: float
+    ) -> Any:
+        """Send a sub-batch; a reply handle, or an error marker row set."""
+        try:
+            return self._worker(index).send("q", ids, deadline_epoch)
+        except WorkerDiedError:
+            return None
+
+    def _await_group(
+        self,
+        index: int,
+        ids: list[str],
+        reply: Any,
+        deadline_mono: float,
+        deadline_epoch: float,
+    ) -> list[tuple]:
+        """Wait a sub-batch out, retrying once through a fresh worker."""
+        for attempt in range(2):
+            if reply is not None:
+                worker = self._workers[index]
+                payload = (
+                    worker.wait(reply, deadline_mono + _GRACE_S
+                                - time.monotonic())
+                    if worker is not None
+                    else None
+                )
+                if payload is not None:
+                    return payload
+                if time.monotonic() >= deadline_mono:
+                    return [
+                        (a, ServeStatus.TIMED_OUT.value, None, None, None,
+                         None, None, "deadline exceeded while waiting")
+                        for a in ids
+                    ]
+            if attempt == 0:
+                reply = self._dispatch(index, ids, deadline_epoch)
+        return [
+            (a, ServeStatus.ERROR.value, None, None, None, None, None,
+             f"worker {index} died and retry failed")
+            for a in ids
+        ]
+
+    def _batch_resolve(self, address_ids: Sequence[str]) -> dict[str, Any]:
+        responses = self.query_batch(list(address_ids))
+        return {r.address_id: r for r in responses}
+
+    def query(
+        self, address_id: str, timeout_s: float | None = None
+    ) -> ServeResponse:
+        """Resolve one id; concurrent callers coalesce into pipe batches."""
+        if timeout_s is not None and timeout_s != self.config.default_timeout_s:
+            return self.query_batch([address_id], timeout_s)[0]
+        wait = self.config.default_timeout_s * 2 + _GRACE_S
+        try:
+            return self._batcher.submit(address_id, timeout_s=wait)
+        except TimeoutError:
+            response = ServeResponse(
+                address_id, ServeStatus.TIMED_OUT, None, None,
+                self.config.default_timeout_s,
+                error="batch result never arrived",
+            )
+            self._count(response)
+            return response
+
+    def submit(
+        self, address_id: str, timeout_s: float | None = None
+    ) -> _SubmittedQuery:
+        """Async submit for open-loop load generation."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(8, self.config.queue_capacity),
+                thread_name_prefix="serve-mp-submit",
+            )
+        return _SubmittedQuery(
+            self._executor.submit(self.query, address_id, timeout_s)
+        )
+
+    def resolve(self, address_id: str) -> QueryResult:
+        """Raise-on-miss resolution, the :class:`QueryRouter` contract.
+
+        Re-raises ``UNKNOWN_ADDRESS`` responses as
+        :class:`UnknownAddressError` — the typed miss crosses the process
+        boundary as a status code and resurfaces as the same exception
+        the in-process tier raises.
+        """
+        response = self.query(address_id)
+        if response.status is ServeStatus.UNKNOWN_ADDRESS:
+            raise UnknownAddressError(address_id)
+        if response.result is None:
+            raise RuntimeError(
+                f"query failed: {response.status.value}"
+                + (f" ({response.error})" if response.error else "")
+            )
+        return response.result
+
+    # -- heartbeat -------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_heartbeat.wait(self.heartbeat_interval_s):
+            for index in range(self.n_workers):
+                if self._stop_heartbeat.is_set():
+                    return
+                try:
+                    worker = self._worker(index)  # restarts dead workers
+                    reply = worker.send("ping")
+                    worker.wait(reply, self.heartbeat_interval_s)
+                except (WorkerDiedError, RuntimeError):
+                    continue  # next tick restarts it
+
+    # -- introspection ---------------------------------------------------
+    def worker_stats(self, timeout_s: float = 1.0) -> list[dict[str, Any]]:
+        out = []
+        for index in range(self.n_workers):
+            try:
+                worker = self._worker(index)
+                payload = worker.wait(worker.send("stats"), timeout_s)
+            except (WorkerDiedError, RuntimeError):
+                payload = None
+            if isinstance(payload, dict):
+                out.append(payload)
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time view shaped like :meth:`QueryServer.stats`."""
+        counts = {
+            status.value: self._requests_total.value(status=status.value)
+            for status in ServeStatus
+        }
+        workers = self.worker_stats()
+        load_seconds = [
+            s for w in workers for s in w.get("load_seconds", [])
+        ]
+        load_seconds.sort()
+
+        def pct(q: float) -> float:
+            if not load_seconds:
+                return 0.0
+            rank = max(1, int(round(q / 100.0 * len(load_seconds))))
+            return load_seconds[min(rank, len(load_seconds)) - 1]
+
+        return {
+            "requests_by_status": counts,
+            "queue_depth": self._inflight,
+            "queue_capacity": self.config.queue_capacity,
+            "n_workers": self.n_workers,
+            "worker_restarts": self.restarts,
+            "store_version": self.publisher.current_version(),
+            "snapshot_load_ms": {
+                "count": len(load_seconds),
+                "p50": pct(50.0) * 1e3,
+                "p95": pct(95.0) * 1e3,
+                "max": (load_seconds[-1] * 1e3) if load_seconds else 0.0,
+            },
+            "workers": workers,
+            "batch": self._batcher.stats().to_dict(),
+        }
+
+    def verdict(self, slos: list[SLO]) -> HealthReport:
+        return self.health.verdict(slos)
+
+
+__all__ = [
+    "ProcessRouter",
+    "SnapshotPublisher",
+    "VersionCounter",
+    "WorkerDiedError",
+    "WorkerHandle",
+    "append_log_record",
+    "read_log_records",
+]

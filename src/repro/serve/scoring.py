@@ -54,15 +54,29 @@ class ModelScoringTier:
         if scorable:
             batch = [examples[a] for a in scorable]
             selector = self.pipeline.selector
-            if hasattr(selector, "predict_index_batch"):
+            if hasattr(selector, "scores_batch"):
+                # Model path: one padded forward pass; rows are softmax
+                # probabilities, so the winner's mass is the confidence.
+                score_rows = selector.scores_batch(batch)
+                indices = [int(row.argmax()) for row in score_rows]
+                confidences: list[float | None] = [
+                    float(row[i]) for row, i in zip(score_rows, indices)
+                ]
+            elif hasattr(selector, "predict_index_batch"):
                 indices = selector.predict_index_batch(batch)
+                confidences = [None] * len(batch)
             else:  # heuristic selectors: no batch API, score one by one
                 indices = [selector.predict_index(e) for e in batch]
-            for address_id, example, index in zip(scorable, batch, indices):
+                confidences = [None] * len(batch)
+            for address_id, example, index, confidence in zip(
+                scorable, batch, indices, confidences
+            ):
                 point = self.pipeline.extractor.candidate_point(
                     example.candidate_ids[index]
                 )
-                out[address_id] = QueryResult(point, QuerySource.MODEL)
+                out[address_id] = QueryResult(
+                    point, QuerySource.MODEL, confidence=confidence
+                )
             self._scored.inc(len(scorable))
         if rest:
             out.update(self.store.query_ids_batch(list(rest)))

@@ -22,6 +22,10 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
 
 from repro.apps.store import (
     QueryResult,
@@ -30,12 +34,22 @@ from repro.apps.store import (
     aggregate_building_locations,
 )
 from repro.geo import Point
-from repro.geo.geohash import geohash_encode
+from repro.geo.geohash import GeohashSpatialIndex, geohash_encode
 from repro.trajectory import Address
 
 
 def _stable_hash(text: str) -> int:
-    """Process-independent hash (builtin ``hash`` is salted per run)."""
+    """Process-independent hash (builtin ``hash`` is salted per run).
+
+    This function is a compatibility surface, not an implementation
+    detail: shard assignment is ``_stable_hash(key) % n_shards``, the
+    multi-process router derives a worker from the *shard* (never from a
+    worker-count-sized rehash), and columnar snapshot files persist
+    row-to-shard grouping built from it.  Changing the hash (or mixing
+    the worker count into it) would silently reshuffle every persisted
+    snapshot, so its outputs are pinned by a regression test
+    (``tests/serve/test_shard.py``).
+    """
     return zlib.crc32(text.encode("utf-8"))
 
 
@@ -74,13 +88,22 @@ class GeohashShardStrategy(ShardStrategy):
             raise ValueError(f"precision must be >= 1: {precision}")
         self.precision = precision
 
+    def cell_of(self, address: Address) -> str:
+        """The geohash cell that routes this address.
+
+        The *same* cells back the snapshot's spatial index
+        (:class:`repro.geo.geohash.GeohashSpatialIndex` at this
+        precision), so shard routing and nearest-candidate ring search
+        agree on the space partition — one index, two consumers.
+        """
+        return geohash_encode(
+            address.geocode.lng, address.geocode.lat, self.precision
+        )
+
     def shard_of(self, address_id: str, address: Address | None = None) -> int:
         if address is None:
             return _stable_hash(address_id) % self.n_shards
-        cell = geohash_encode(
-            address.geocode.lng, address.geocode.lat, self.precision
-        )
-        return _stable_hash(cell) % self.n_shards
+        return _stable_hash(self.cell_of(address)) % self.n_shards
 
 
 @dataclass(frozen=True)
@@ -135,12 +158,17 @@ class ShardedLocationStore:
         addresses: dict[str, Address],
         n_shards: int = 4,
         strategy: ShardStrategy | None = None,
+        initial_version: int = 1,
     ) -> None:
         self._addresses = dict(addresses)
         self._strategy = strategy or HashShardStrategy(n_shards)
         self._write_lock = threading.Lock()
         self.swap_stats = SwapStats()
-        self._snapshot = self._build_snapshot(dict(address_locations), version=1)
+        self._snapshot = self._build_snapshot(
+            dict(address_locations), version=initial_version
+        )
+        #: (snapshot version, row ids, index) — rebuilt lazily per generation.
+        self._spatial: tuple[int, list[str], GeohashSpatialIndex] | None = None
 
     # ------------------------------------------------------------------
     # Construction of immutable generations (writer side)
@@ -255,10 +283,105 @@ class ShardedLocationStore:
         return out
 
     # ------------------------------------------------------------------
+    # Spatial retrieval (shares the geohash cells that route shards)
+    # ------------------------------------------------------------------
+    def _spatial_index(self) -> tuple[list[str], GeohashSpatialIndex]:
+        """The current generation's geohash index over inferred locations."""
+        snapshot = self._snapshot
+        cached = self._spatial
+        if cached is not None and cached[0] == snapshot.version:
+            return cached[1], cached[2]
+        ids: list[str] = []
+        lngs: list[float] = []
+        lats: list[float] = []
+        for shard in snapshot.shards:
+            for address_id, point in shard.items():
+                ids.append(address_id)
+                lngs.append(point.lng)
+                lats.append(point.lat)
+        precision = getattr(self._strategy, "precision", 6)
+        index = GeohashSpatialIndex.build(
+            np.asarray(lngs), np.asarray(lats), precision
+        )
+        self._spatial = (snapshot.version, ids, index)
+        return ids, index
+
+    def nearest(
+        self, lng: float, lat: float, linear: bool = False
+    ) -> tuple[str, Point, float] | None:
+        """Closest inferred delivery location to a coordinate.
+
+        Returns ``(address_id, location, distance_m)`` or ``None`` on an
+        empty store.  The production path is the geohash ring search of
+        :class:`~repro.geo.geohash.GeohashSpatialIndex` — the same cells
+        a :class:`GeohashShardStrategy` routes by; ``linear=True`` forces
+        the exact reference scan (parity oracle for tests/benches).
+        """
+        ids, index = self._spatial_index()
+        hit = index.nearest_linear(lng, lat) if linear else index.nearest(lng, lat)
+        if hit is None:
+            return None
+        row, dist = hit
+        return ids[row], Point(float(index.lngs[row]), float(index.lats[row])), dist
+
+    # ------------------------------------------------------------------
+    # Durability (columnar snapshot + update log)
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        snapshot_dir: str,
+        n_shards: int | None = None,
+        strategy: ShardStrategy | None = None,
+    ) -> "ShardedLocationStore":
+        """Rebuild a store from the newest intact snapshot + log suffix.
+
+        Crash recovery for the multi-process serving tier: scan
+        ``snapshot_dir`` for the highest-versioned snapshot file that
+        passes CRC validation (a writer killed mid-publish leaves either
+        a tmp file, which is ignored, or a corrupt file, which is
+        skipped), then replay append-only update-log records *newer* than
+        that snapshot — torn trailing records are discarded.  The result
+        is a store at least as fresh as the last durable publish, never a
+        torn one.
+        """
+        from repro.serve.mp import SnapshotPublisher
+
+        snap, records = SnapshotPublisher.recover(snapshot_dir)
+        addresses = snap.addresses()
+        if strategy is None:
+            if snap.meta.get("strategy") == "GeohashShardStrategy":
+                strategy = GeohashShardStrategy(
+                    n_shards or snap.n_shards, precision=snap.precision
+                )
+            else:
+                strategy = HashShardStrategy(n_shards or snap.n_shards)
+        # Re-seat at the snapshot's version so the restored store's
+        # generations line up with the published files it came from.
+        store = cls(
+            snap.address_locations(),
+            addresses,
+            strategy=strategy,
+            initial_version=snap.version,
+        )
+        for locations in records:
+            store.update(locations)
+        return store
+
+    # ------------------------------------------------------------------
     # Introspection / compatibility
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._snapshot.size
+
+    @property
+    def address_book(self) -> Mapping[str, Address]:
+        """Read-only view of the address book (columnar serialization)."""
+        return MappingProxyType(self._addresses)
+
+    @property
+    def strategy(self) -> ShardStrategy:
+        return self._strategy
 
     @property
     def n_shards(self) -> int:

@@ -1,0 +1,176 @@
+"""Columnar snapshot files: format round-trip, corruption, query parity."""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps import QuerySource, UnknownAddressError
+from repro.serve import (
+    GeohashShardStrategy,
+    ShardedLocationStore,
+    SnapshotCorruptError,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.serve.columnar import MAGIC
+from tests.core.helpers import make_address, point_at
+
+
+def make_world(n=40, seed=3, with_locations=0.6):
+    """Addresses spread over a few km; a fraction get inferred locations."""
+    rng = random.Random(seed)
+    addresses, locations = {}, {}
+    for i in range(n):
+        aid = f"c{i:04d}"
+        x, y = rng.uniform(-2500, 2500), rng.uniform(-2500, 2500)
+        addresses[aid] = make_address(aid, f"b{i % 7}", (x, y))
+        if rng.random() < with_locations:
+            locations[aid] = point_at(x + rng.uniform(-30, 30), y + rng.uniform(-30, 30))
+    return addresses, locations
+
+
+@pytest.fixture()
+def snapshot_world(tmp_path):
+    addresses, locations = make_world()
+    store = ShardedLocationStore(
+        locations, addresses, strategy=GeohashShardStrategy(4, precision=6)
+    )
+    path = str(tmp_path / "snap.rsnap")
+    info = write_snapshot(path, store, confidences={"c0000": 0.875})
+    return store, path, info
+
+
+class TestRoundTrip:
+    def test_info_and_meta(self, snapshot_world):
+        store, path, info = snapshot_world
+        assert info.path == path
+        assert info.version == store.version
+        assert info.n_rows == len(store.address_book)
+        snap = load_snapshot(path)
+        assert snap.version == store.version
+        assert snap.n_rows == info.n_rows
+        assert snap.n_shards == 4
+        assert snap.precision == 6
+        assert snap.meta["strategy"] == "GeohashShardStrategy"
+
+    def test_resolve_parity_with_store(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        ids = list(store.address_book) + ["missing-1", "missing-2"]
+        got = snap.resolve_batch(ids)
+        want = store.query_ids_batch(ids)
+        for aid in ids:
+            g, w = got[aid], want[aid]
+            if isinstance(w, UnknownAddressError):
+                assert isinstance(g, UnknownAddressError)
+                continue
+            assert g.source == w.source, aid
+            assert g.location.lng == pytest.approx(w.location.lng, abs=1e-9)
+            assert g.location.lat == pytest.approx(w.location.lat, abs=1e-9)
+
+    def test_confidence_round_trips_as_float32(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        result = snap.resolve_batch(["c0000"])["c0000"]
+        if result.source == QuerySource.ADDRESS:
+            assert result.confidence == pytest.approx(0.875, abs=1e-6)
+        # Every other answered id reports no confidence (NaN column).
+        others = [a for a in store.address_book if a != "c0000"]
+        for aid, res in snap.resolve_batch(others).items():
+            assert res.confidence is None, aid
+
+    def test_query_id_raises_unknown(self, snapshot_world):
+        _, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        with pytest.raises(UnknownAddressError):
+            snap.query_id("nope")
+
+    def test_address_book_reconstruction(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        rebuilt = snap.addresses()
+        assert set(rebuilt) == set(store.address_book)
+        for aid, address in store.address_book.items():
+            again = rebuilt[aid]
+            assert again.text == address.text
+            assert again.building_id == address.building_id
+            assert again.poi_category == address.poi_category
+            assert again.geocode.lng == pytest.approx(address.geocode.lng, abs=1e-9)
+
+    def test_address_locations_reconstruction(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        restored = snap.address_locations()
+        assert set(restored) == set(store.address_locations)
+        for aid, point in store.address_locations.items():
+            assert restored[aid].lng == pytest.approx(point.lng, abs=1e-9)
+            assert restored[aid].lat == pytest.approx(point.lat, abs=1e-9)
+
+    def test_shards_for_ids_groups_rows(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        ids = list(store.address_book)
+        shards = snap.shards_for_ids(ids + ["missing"])
+        assert shards[-1] == -1
+        for aid, shard in zip(ids, shards):
+            assert shard == store.strategy.shard_of(aid, store.address_book[aid])
+
+    def test_nearest_matches_store_ring_search(self, snapshot_world):
+        store, path, _ = snapshot_world
+        snap = load_snapshot(path)
+        rng = random.Random(11)
+        for _ in range(25):
+            probe = point_at(rng.uniform(-3000, 3000), rng.uniform(-3000, 3000))
+            got = snap.nearest(probe.lng, probe.lat)
+            want = store.nearest(probe.lng, probe.lat, linear=True)
+            assert got is not None and want is not None
+            assert got[2] == pytest.approx(want[2], abs=1e-6)
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = ShardedLocationStore({}, {}, n_shards=2)
+        path = str(tmp_path / "empty.rsnap")
+        write_snapshot(path, store)
+        snap = load_snapshot(path, verify=True)
+        assert snap.n_rows == 0
+        assert snap.resolve_batch([]) == {}
+        assert snap.nearest(0.0, 0.0) is None
+
+
+class TestCorruption:
+    def test_verify_catches_flipped_payload_byte(self, snapshot_world):
+        _, path, _ = snapshot_world
+        blob = bytearray(open(path, "rb").read())
+        blob[-8] ^= 0xFF  # flip a byte inside the last array's payload
+        bad = path + ".bad"
+        with open(bad, "wb") as f:
+            f.write(bytes(blob))
+        load_snapshot(bad)  # lazy load does not touch payload CRCs
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(bad, verify=True)
+
+    def test_bad_magic_rejected(self, snapshot_world, tmp_path):
+        _, path, _ = snapshot_world
+        blob = bytearray(open(path, "rb").read())
+        blob[:len(MAGIC)] = b"NOTASNAP"
+        bad = str(tmp_path / "magic.rsnap")
+        with open(bad, "wb") as f:
+            f.write(bytes(blob))
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(bad)
+
+    def test_truncated_file_rejected(self, snapshot_world, tmp_path):
+        _, path, _ = snapshot_world
+        blob = open(path, "rb").read()
+        for cut in (4, len(blob) // 3):
+            bad = str(tmp_path / f"cut{cut}.rsnap")
+            with open(bad, "wb") as f:
+                f.write(blob[:cut])
+            with pytest.raises(SnapshotCorruptError):
+                load_snapshot(bad)
+
+    def test_no_tmp_file_left_behind(self, snapshot_world):
+        _, path, _ = snapshot_world
+        directory = os.path.dirname(path)
+        assert not [n for n in os.listdir(directory) if ".tmp." in n]

@@ -1,0 +1,303 @@
+"""Multi-process serving: durability, routing, refresh churn, restarts.
+
+Everything here runs real worker subprocesses over pipes (small pools,
+tiny worlds) — the point is the cross-process contracts: version flips
+observed through the mmap'd counter, typed errors surviving the pipe,
+dead workers restarted mid-traffic, and crash recovery never serving a
+torn snapshot.
+"""
+
+import os
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.apps import QuerySource, UnknownAddressError
+from repro.geo import Point
+from repro.serve import (
+    GeohashShardStrategy,
+    ProcessRouter,
+    ServeStatus,
+    ServerConfig,
+    ShardedLocationStore,
+    SnapshotPublisher,
+    VersionCounter,
+)
+from repro.serve.mp import append_log_record, read_log_records
+from tests.core.helpers import make_address, point_at
+
+#: Generous deadlines: restart-and-retry on a single-core CI box must
+#: fit inside one request budget.
+CONFIG = ServerConfig(default_timeout_s=10.0)
+
+
+def small_world():
+    addresses = {
+        f"m{i}": make_address(f"m{i}", f"b{i % 3}", (i * 40.0, 0.0))
+        for i in range(12)
+    }
+    locations = {
+        f"m{i}": point_at(i * 40.0 + 5.0, 3.0) for i in range(8)
+    }
+    return addresses, locations
+
+
+@pytest.fixture()
+def store():
+    addresses, locations = small_world()
+    return ShardedLocationStore(
+        locations, addresses, strategy=GeohashShardStrategy(4, precision=6)
+    )
+
+
+class TestVersionCounter:
+    def test_writer_flips_are_visible_to_readers(self, tmp_path):
+        path = str(tmp_path / "CURRENT")
+        writer = VersionCounter(path, create=True)
+        reader = VersionCounter(path)
+        assert reader.get() == 0
+        for version in (1, 2, 7, 7, 40):
+            writer.set(version)
+            assert reader.get() == version
+        writer.close()
+        reader.close()
+
+    def test_open_missing_counter_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            VersionCounter(str(tmp_path / "CURRENT"))
+
+
+class TestUpdateLog:
+    def test_round_trip_preserves_order_and_points(self, tmp_path):
+        path = str(tmp_path / "updates.log")
+        batches = [
+            (2, {"a": Point(1.0, 2.0)}),
+            (3, {"b": Point(-3.5, 4.25), "c": Point(0.0, 0.0)}),
+            (4, {}),
+        ]
+        for version, locations in batches:
+            append_log_record(path, version, locations)
+        assert read_log_records(path) == batches
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = str(tmp_path / "updates.log")
+        append_log_record(path, 2, {"a": Point(1.0, 2.0)})
+        append_log_record(path, 3, {"b": Point(5.0, 6.0)})
+        blob = open(path, "rb").read()
+        # Chop the last record mid-payload: writer died mid-append.
+        with open(path, "wb") as f:
+            f.write(blob[:-5])
+        records = read_log_records(path)
+        assert [v for v, _ in records] == [2]
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        path = str(tmp_path / "updates.log")
+        append_log_record(path, 2, {"a": Point(1.0, 2.0)})
+        append_log_record(path, 3, {"b": Point(5.0, 6.0)})
+        blob = bytearray(open(path, "rb").read())
+        length = struct.unpack_from("<I", blob, 0)[0]
+        blob[8 + length + 8] ^= 0xFF  # first payload byte of record two
+        with open(path, "wb") as f:
+            f.write(bytes(blob))
+        assert [v for v, _ in read_log_records(path)] == [2]
+
+    def test_missing_log_is_empty(self, tmp_path):
+        assert read_log_records(str(tmp_path / "nope.log")) == []
+
+
+class TestCrashRecovery:
+    """Kill the writer mid-publish; restore must never serve a torn file."""
+
+    def test_restore_skips_corrupt_newest_snapshot(self, store, tmp_path):
+        publisher = SnapshotPublisher(str(tmp_path))
+        publisher.publish(store)
+        good_version = store.version
+        # Crash scenario: the log record for the next refresh landed and
+        # the snapshot file got renamed, but its payload never finished.
+        moved = {"m0": point_at(999.0, 999.0)}
+        publisher.log_update(moved, good_version + 1)
+        with open(publisher.path_for(good_version + 1), "wb") as f:
+            f.write(b"RSNAP001" + os.urandom(64))
+        restored = ShardedLocationStore.restore(str(tmp_path))
+        # Recovery: newest *intact* snapshot, then the log suffix replays
+        # the batch the crash separated from its snapshot.
+        assert restored.version == good_version + 1
+        got = restored.query_id("m0")
+        assert got.location.lng == pytest.approx(moved["m0"].lng)
+        assert got.location.lat == pytest.approx(moved["m0"].lat)
+
+    def test_restore_without_any_snapshot_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedLocationStore.restore(str(tmp_path))
+
+    def test_restore_preserves_strategy_and_answers(self, store, tmp_path):
+        SnapshotPublisher(str(tmp_path)).publish(store)
+        restored = ShardedLocationStore.restore(str(tmp_path))
+        assert isinstance(restored.strategy, GeohashShardStrategy)
+        assert restored.version == store.version
+        for aid in store.address_book:
+            assert restored.query_id(aid) == store.query_id(aid)
+
+
+class TestProcessRouter:
+    def test_query_round_trip_with_confidence(self, store, tmp_path):
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG,
+            confidences={"m0": 0.75},
+        ) as router:
+            response = router.query("m0")
+            assert response.status is ServeStatus.OK
+            assert response.result.source == QuerySource.ADDRESS
+            assert response.result.confidence == pytest.approx(0.75, abs=1e-6)
+            # Confidence is per-id, not smeared across the batch.
+            other = router.query("m1")
+            assert other.status is ServeStatus.OK
+            assert other.result.confidence is None
+
+    def test_unknown_address_crosses_the_process_boundary(
+        self, store, tmp_path
+    ):
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            response = router.query("never-heard-of-it")
+            assert response.status is ServeStatus.UNKNOWN_ADDRESS
+            assert response.result is None
+            with pytest.raises(UnknownAddressError):
+                router.resolve("never-heard-of-it")
+            # OK ids still resolve through the same typed contract.
+            assert router.resolve("m1").location is not None
+
+    def test_query_batch_mixes_statuses(self, store, tmp_path):
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            ids = list(store.address_book) + ["missing-a", "missing-b"]
+            responses = router.query_batch(ids)
+            assert [r.address_id for r in responses] == ids
+            by_id = {r.address_id: r for r in responses}
+            for aid in store.address_book:
+                assert by_id[aid].status is ServeStatus.OK, aid
+            for aid in ("missing-a", "missing-b"):
+                assert by_id[aid].status is ServeStatus.UNKNOWN_ADDRESS
+
+    def test_start_requires_published_snapshot(self, tmp_path):
+        router = ProcessRouter(str(tmp_path / "empty"), n_workers=1)
+        with pytest.raises(FileNotFoundError):
+            router.start()
+
+    def test_worker_stats_report_version_and_requests(self, store, tmp_path):
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            router.query_batch(list(store.address_book))
+            stats = router.worker_stats()
+            assert len(stats) == 2
+            assert {s["worker_id"] for s in stats} == {0, 1}
+            # A worker that served anything mapped the published version;
+            # an idle one (geohash can route every shard elsewhere) stays
+            # unmapped and honestly reports 0.
+            for s in stats:
+                assert s["version"] == (store.version if s["n_requests"] else 0)
+            assert sum(s["n_requests"] for s in stats) >= len(
+                store.address_book
+            )
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_restarted_and_queries_recover(
+        self, store, tmp_path
+    ):
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG,
+            heartbeat_interval_s=30.0,  # restarts must come from the query path
+        ) as router:
+            before = router.query_batch(list(store.address_book))
+            assert all(r.status is ServeStatus.OK for r in before)
+            # Which workers actually carry this world's shards?  Restart
+            # is lazy — only a worker the query path dispatches to gets
+            # resurrected, so the assertions track the serving set.
+            serving = {
+                s["worker_id"]: s["pid"]
+                for s in router.worker_stats()
+                if s["n_requests"]
+            }
+            assert serving
+            for worker in list(router._workers):
+                worker.process.kill()
+                worker.process.join(5.0)
+            after = router.query_batch(list(store.address_book))
+            assert all(r.status is ServeStatus.OK for r in after), [
+                (r.address_id, r.status, r.error) for r in after
+            ]
+            assert router.restarts >= len(serving)
+            for index, old_pid in serving.items():
+                replacement = router._workers[index]
+                assert replacement.alive
+                assert replacement.process.pid != old_pid
+
+
+class TestRefreshChurn:
+    """Acceptance: readers in other processes see zero errors while the
+    publisher keeps flipping versions under them."""
+
+    def test_concurrent_readers_during_refresh(self, store, tmp_path):
+        publisher = SnapshotPublisher(str(tmp_path))
+        publisher.publish(store)
+        ids = list(store.address_book)
+        errors: list[str] = []
+        stop = threading.Event()
+
+        with ProcessRouter(
+            str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+
+            def reader() -> None:
+                i = 0
+                while not stop.is_set():
+                    for response in router.query_batch(
+                        [ids[i % len(ids)], ids[(i + 5) % len(ids)]]
+                    ):
+                        if response.status is not ServeStatus.OK:
+                            errors.append(
+                                f"{response.address_id}: "
+                                f"{response.status.value} {response.error}"
+                            )
+                    i += 1
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                for round_no in range(6):
+                    moved = {
+                        aid: point_at(50.0 * round_no + i, 7.0)
+                        for i, aid in enumerate(ids)
+                    }
+                    publisher.refresh(store, moved)
+                    time.sleep(0.05)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(10.0)
+            assert errors == [], errors[:5]
+            # Workers converged on the newest version: the counter flip
+            # propagated through mmap polling, no restart needed.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                router.query_batch(ids)
+                serving = [
+                    s for s in router.worker_stats() if s["n_requests"]
+                ]
+                if serving and all(
+                    s["version"] == store.version for s in serving
+                ):
+                    break
+            assert serving and all(
+                s["version"] == store.version for s in serving
+            )
+            # The serving workers really did remap at least once mid-run.
+            assert all(s["snapshot_loads"] >= 2 for s in serving)
+        assert store.version > 1

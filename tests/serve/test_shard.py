@@ -1,5 +1,6 @@
 """Sharded store: partitioning, copy-on-write swap, concurrent safety."""
 
+import random
 import threading
 
 import pytest
@@ -8,8 +9,11 @@ from repro.apps import DeliveryLocationStore, QuerySource, UnknownAddressError
 from repro.serve import (
     GeohashShardStrategy,
     HashShardStrategy,
+    ProcessRouter,
     ShardedLocationStore,
+    SnapshotPublisher,
 )
+from repro.serve.shard import _stable_hash
 from tests.core.helpers import make_address, point_at
 
 
@@ -147,6 +151,81 @@ class TestCopyOnWrite:
         assert store.address_locations == locations
         assert len(store) == len(locations)
         assert sum(store.snapshot().shard_sizes()) == len(locations)
+
+
+class TestShardAssignmentStability:
+    """Shard assignment is a compatibility surface: the multi-process
+    router derives a worker from the *shard* (``shard % n_workers``), so
+    neither the hash nor the address→shard mapping may drift with worker
+    count — or across releases."""
+
+    #: Pinned crc32 values; a change here silently re-shards every
+    #: deployed snapshot, so it must be a loud, deliberate break.
+    PINNED_HASHES = {
+        "": 0,
+        "a0000": 1336914574,
+        "a0001": 950567448,
+        "addr-42": 3441695549,
+        "courier/9": 4028651208,
+    }
+
+    def test_stable_hash_values_are_pinned(self):
+        for key, expected in self.PINNED_HASHES.items():
+            assert _stable_hash(key) == expected, key
+
+    def test_hash_strategy_assignments_are_pinned(self):
+        strategy = HashShardStrategy(8)
+        ids = sorted(self.PINNED_HASHES)
+        assert [strategy.shard_of(i) for i in ids] == [
+            self.PINNED_HASHES[i] % 8 for i in ids
+        ]
+
+    def test_assignment_independent_of_worker_count(self, world, tmp_path):
+        addresses, locations = world
+        store = ShardedLocationStore(locations, addresses, n_shards=4)
+        SnapshotPublisher(str(tmp_path)).publish(store)
+        ids = list(addresses) + ["unseen-a", "unseen-b"]
+        by_workers = {
+            n: [ProcessRouter(str(tmp_path), n_workers=n).shard_for(i) for i in ids]
+            for n in (1, 2, 4, 7)
+        }
+        # Address -> shard never moves when the pool is resized.
+        assert len({tuple(v) for v in by_workers.values()}) == 1
+        # Known ids follow the store's own strategy; unknown ids the hash.
+        shards = by_workers[1]
+        for aid, shard in zip(list(addresses), shards):
+            assert shard == store.strategy.shard_of(aid, addresses[aid])
+        for aid, shard in zip(ids[len(addresses):], shards[len(addresses):]):
+            assert shard == _stable_hash(aid) % 4
+
+
+class TestNearestParity:
+    """The geohash ring search must agree with the exact linear scan."""
+
+    def test_ring_matches_linear_scan(self):
+        rng = random.Random(7)
+        addresses, locations = {}, {}
+        for i in range(150):
+            aid = f"n{i:03d}"
+            x, y = rng.uniform(-3000, 3000), rng.uniform(-3000, 3000)
+            addresses[aid] = make_address(aid, f"b{i % 5}", (x, y))
+            locations[aid] = point_at(x + rng.uniform(-40, 40), y + rng.uniform(-40, 40))
+        store = ShardedLocationStore(
+            locations, addresses, strategy=GeohashShardStrategy(4, precision=6)
+        )
+        for _ in range(60):
+            probe = point_at(rng.uniform(-4000, 4000), rng.uniform(-4000, 4000))
+            ring = store.nearest(probe.lng, probe.lat)
+            linear = store.nearest(probe.lng, probe.lat, linear=True)
+            assert ring is not None and linear is not None
+            rid, rpt, rdist = ring
+            lid, lpt, ldist = linear
+            assert rdist == pytest.approx(ldist, abs=1e-6)
+            assert rid == lid
+
+    def test_empty_store_returns_none(self):
+        store = ShardedLocationStore({}, {}, n_shards=2)
+        assert store.nearest(0.0, 0.0) is None
 
 
 class TestAtomicSwapUnderLoad:
