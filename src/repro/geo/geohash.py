@@ -107,9 +107,11 @@ def geohash_ring(geohash: str, k: int) -> list[str]:
     """Cells at Chebyshev distance exactly ``k`` from ``geohash``.
 
     ``k == 0`` is the cell itself; ``k == 1`` is the classic 8-neighbor
-    ring.  Cells are re-encoded from offset centers, deduplicated, and
-    cells whose center falls outside the valid lng/lat range are dropped,
-    so rings near the poles shrink instead of raising.
+    ring.  Cells are re-encoded from offset centers and deduplicated.
+    Longitude offsets wrap across the antimeridian (a ring around a cell
+    near lng 180 includes cells near lng -180); latitude offsets past
+    the poles are dropped, so rings near the poles shrink instead of
+    raising.
     """
     if k < 0:
         raise ValueError(f"ring distance must be >= 0: {k}")
@@ -130,13 +132,14 @@ def geohash_ring(geohash: str, k: int) -> list[str]:
     seen: set[str] = set()
     precision = len(geohash)
     for dx, dy in offsets:
-        lng = center.lng + dx * dlng
         lat = center.lat + dy * dlat
-        if -180.0 <= lng <= 180.0 and -90.0 <= lat <= 90.0:
-            cell = geohash_encode(lng, lat, precision)
-            if cell not in seen:
-                seen.add(cell)
-                out.append(cell)
+        if not -90.0 <= lat <= 90.0:
+            continue
+        lng = ((center.lng + dx * dlng + 180.0) % 360.0) - 180.0
+        cell = geohash_encode(lng, lat, precision)
+        if cell not in seen:
+            seen.add(cell)
+            out.append(cell)
     return out
 
 
@@ -274,10 +277,19 @@ class GeohashSpatialIndex:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(chunks)
 
+    #: Latitude beyond which cell widths collapse and the ring bound
+    #: would demand thousands of rings; :meth:`nearest` scans linearly.
+    POLAR_LAT = 85.0
+
     def _cell_extent_m(self, cell: str, lat: float) -> float:
-        """The smaller cell dimension in meters, measured at ``lat``."""
+        """The smaller cell dimension in meters, measured at ``lat``.
+
+        Measured at the *actual* query latitude: the termination bound
+        needs a lower bound on cell width, and widths only shrink as
+        ``|lat|`` grows, so clamping toward the equator would overstate
+        the extent and let the ring search stop early near the poles.
+        """
         box = geohash_bbox(cell)
-        lat = max(-85.0, min(85.0, lat))
         width = haversine_m(box.min_lng, lat, box.max_lng, lat)
         height = haversine_m(box.min_lng, box.min_lat, box.min_lng, box.max_lat)
         return max(1e-9, min(width, height))
@@ -294,6 +306,11 @@ class GeohashSpatialIndex:
         n = len(self)
         if n == 0:
             return None
+        if abs(lat) > self.POLAR_LAT:
+            # Near the poles one ring step covers only meters of
+            # longitude; the exact scan is cheaper than the thousands
+            # of rings the termination bound would require.
+            return self.nearest_linear(lng, lat)
         query_cell = geohash_encode(lng, lat, self.precision)
         extent = self._cell_extent_m(query_cell, lat)
         far = max(

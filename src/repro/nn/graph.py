@@ -84,14 +84,29 @@ class LazyBuffer:
     executed the node (always set for ``const`` leaves).
 
     ``refs`` counts live :class:`~repro.nn.tensor.Tensor` handles on the
-    node and ``pinned`` marks nodes captured by a stored backward
-    closure; together they tell the scheduler which intermediate arrays
-    can still be observed after a schedule finishes.  Only buffers with
-    ``refs == 0 and not pinned`` are eligible for ``out=`` reuse as
-    scratch space of a later kernel.
+    node, ``pinned`` marks nodes captured by a stored backward closure,
+    and ``graph_consumers`` counts live graph nodes holding this node as
+    a src (bumped at construction, dropped on consumer destruction).
+    Together they tell the scheduler which intermediate arrays can still
+    be observed after a schedule finishes: a buffer is eligible for
+    ``out=`` reuse as scratch space of a later kernel only when
+    ``refs == 0``, it is not pinned, and every one of its consumer edges
+    lies inside the schedule being executed — a consumer reachable from
+    some *other* live tensor's graph would re-read the array on a later
+    ``realize()``.
     """
 
-    __slots__ = ("kind", "srcs", "arg", "shape", "dtype", "realized", "refs", "pinned")
+    __slots__ = (
+        "kind",
+        "srcs",
+        "arg",
+        "shape",
+        "dtype",
+        "realized",
+        "refs",
+        "pinned",
+        "graph_consumers",
+    )
 
     def __init__(self, kind, srcs, arg, shape, dtype, realized=None):
         self.kind = kind
@@ -102,6 +117,16 @@ class LazyBuffer:
         self.realized = realized
         self.refs = 0
         self.pinned = False
+        self.graph_consumers = 0
+        for src in srcs:
+            src.graph_consumers += 1
+
+    def __del__(self):
+        try:
+            for src in self.srcs:
+                src.graph_consumers -= 1
+        except AttributeError:  # pragma: no cover - interpreter teardown
+            pass
 
     @staticmethod
     def const(array: np.ndarray) -> "LazyBuffer":

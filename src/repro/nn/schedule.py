@@ -277,7 +277,9 @@ def _build_steps(roots: Sequence[LazyBuffer]):
     carries the merge counters plus ``no_donate`` — ids of input nodes
     whose realized arrays must never be reused as kernel output scratch
     (movement consumers create aliasing views; externally visible
-    inlined interiors may be re-realized later and re-read them).
+    inlined interiors may be re-realized later and re-read them; nodes
+    with consumer edges outside the scheduled subgraph are read again
+    when those consumers realize).
     """
     # --- topological order over unrealized nodes (DCE by construction).
     order: list[LazyBuffer] = []
@@ -333,10 +335,16 @@ def _build_steps(roots: Sequence[LazyBuffer]):
             if node.kind in ("reshape", "expand"):
                 # reshape(reshape(x, s1), s2) == reshape(x, s2) and
                 # broadcastability is transitive, so hop over same-kind
-                # producers (the inner node dies by DCE if unused).
+                # producers (the inner node dies by DCE if unused).  The
+                # rewire moves a consumer edge, so the graph_consumers
+                # counters must move with it or donation eligibility
+                # would undercount the hop target's consumers.
                 while src.kind == node.kind and src.realized is None:
-                    src = rep.get(id(src.srcs[0]), src.srcs[0])
-                    node.srcs = (src,)
+                    hop = rep.get(id(src.srcs[0]), src.srcs[0])
+                    node.srcs[0].graph_consumers -= 1
+                    hop.graph_consumers += 1
+                    node.srcs = (hop,)
+                    src = hop
                     n_movement += 1
                 identity = src.shape == node.shape
             elif node.kind == "transpose":
@@ -389,8 +397,13 @@ def _build_steps(roots: Sequence[LazyBuffer]):
     def resolve(node: LazyBuffer) -> LazyBuffer:
         return rep.get(id(node), node)
 
-    # --- consumer counts over the representative graph.
+    # --- consumer counts over the representative graph.  ``consumers``
+    # counts resolved edges (drives fusion decisions); ``raw_consumed``
+    # counts the as-constructed edges from scheduled nodes, the same
+    # unit ``LazyBuffer.graph_consumers`` counts, so comparing the two
+    # reveals consumers living *outside* this schedule.
     consumers: dict[int, int] = {}
+    raw_consumed: dict[int, int] = {}
     single_consumer: dict[int, LazyBuffer] = {}
     seen: set[int] = set()
     root_ids = {id(resolve(r)) for r in roots}
@@ -400,14 +413,29 @@ def _build_steps(roots: Sequence[LazyBuffer]):
         if id(node) in seen or node.realized is not None:
             continue
         seen.add(id(node))
-        for src in node.srcs:
-            src = resolve(src)
+        for raw in node.srcs:
+            raw_consumed[id(raw)] = raw_consumed.get(id(raw), 0) + 1
+            src = resolve(raw)
             if src.realized is not None:
                 continue
             consumers[id(src)] = consumers.get(id(src), 0) + 1
             single_consumer[id(src)] = node
             if id(src) not in seen:
                 dfs.append(src)
+
+    def leaks(node: LazyBuffer) -> bool:
+        """Can anything outside this schedule still observe ``node``?
+
+        True for live tensor handles, stored backward closures, and —
+        the case refs/pinned cannot see — consumer edges hanging off
+        another live tensor's graph: such a consumer re-executes later
+        and re-reads whatever this schedule realized.
+        """
+        return (
+            node.refs > 0
+            or node.pinned
+            or node.graph_consumers > raw_consumed.get(id(node), 0)
+        )
 
     def inlined(node: LazyBuffer) -> bool:
         if node.kind not in ELEMENTWISE or id(node) in root_ids:
@@ -423,6 +451,10 @@ def _build_steps(roots: Sequence[LazyBuffer]):
             continue  # merged away, or dead code never reached from roots
         if inlined(node):
             continue
+        if leaks(node):
+            # A consumer outside this schedule will read node.realized
+            # later; the array must never be reused as kernel scratch.
+            no_donate.add(id(node))
         if node.kind in ELEMENTWISE:
             operands: list[LazyBuffer] = []
             operand_ids: dict[int, int] = {}
@@ -439,10 +471,13 @@ def _build_steps(roots: Sequence[LazyBuffer]):
                         operand_ids[id(n)] = slot
                         operands.append(n)
                     return f"i{slot}"
-                if n.refs or n.pinned:
+                if leaks(n):
                     # An externally held interior never realizes here; a
                     # later realize() re-executes it and re-reads these
-                    # operand arrays — they must stay intact.
+                    # operand arrays — they must stay intact.  "Held"
+                    # includes a consumer edge from another live graph
+                    # (e.g. ``t = u + 1; r1, r2 = t.relu(), t * 2``
+                    # realizes r1 with t inlined while r2 still needs t).
                     leaky = True
                 n_ops += 1
                 return _render(n, [render(s) for s in n.srcs])
@@ -462,6 +497,13 @@ def _build_steps(roots: Sequence[LazyBuffer]):
                 # into the input's array would rewrite the view.
                 no_donate.update(id(s) for s in srcs)
             steps.append(_Step(node, _bind_exec(node), srcs, 1, False))
+
+    # A merged-away duplicate inherits the keeper's realized array; if
+    # the duplicate is still observable from outside the schedule, that
+    # shared array must survive donation too.
+    for dup, keeper in dup_pairs:
+        if leaks(dup):
+            no_donate.add(id(keeper))
 
     info = {
         "n_cse_merged": n_cse,
@@ -580,8 +622,9 @@ def realize_buffers(roots: list[LazyBuffer]) -> list[np.ndarray]:
         steps, dup_pairs, plan = _build_steps(todo)
         recorder = _RECORDER[-1] if _RECORDER else None
         # Donation: when a fused kernel's input array dies at this step
-        # (last consumer, no external tensor/closure can see it, not a
-        # root, not aliased by a view) and shapes/dtypes match exactly,
+        # (last consumer, no external tensor/closure/graph-consumer can
+        # see it, not a root, not aliased by a view) and shapes/dtypes
+        # match exactly,
         # the kernel writes its output into that array via ``out=``
         # instead of allocating.  Disabled while tracing — the recorder
         # keys arrays by id, and reuse would alias its slots.

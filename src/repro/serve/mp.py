@@ -186,6 +186,7 @@ class SnapshotPublisher:
         os.makedirs(self.directory, exist_ok=True)
         self.keep = max(1, keep)
         self._counter: VersionCounter | None = None
+        self._reader: VersionCounter | None = None
 
     # -- paths ----------------------------------------------------------
     def path_for(self, version: int) -> str:
@@ -258,18 +259,28 @@ class SnapshotPublisher:
         if self._counter is not None:
             self._counter.close()
             self._counter = None
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
 
     # -- reader side ----------------------------------------------------
     def current_version(self) -> int:
-        """The published version, 0 if nothing was ever published."""
-        try:
-            counter = VersionCounter(self.counter_path)
-        except (FileNotFoundError, ValueError):
-            return 0
-        try:
-            return counter.get()
-        finally:
-            counter.close()
+        """The published version, 0 if nothing was ever published.
+
+        The read-only :class:`VersionCounter` is opened once and kept
+        mapped — workers and the router poll this per request, and the
+        whole point of the mmap'd counter is zero syscalls on that path.
+        The CURRENT file is created atomically exactly once and then
+        only ever updated in place, so a mapping never goes stale.
+        """
+        if self._counter is not None:
+            return self._counter.get()
+        if self._reader is None:
+            try:
+                self._reader = VersionCounter(self.counter_path)
+            except (FileNotFoundError, ValueError):
+                return 0  # not published yet; retry the open next call
+        return self._reader.get()
 
     def current_path(self) -> str | None:
         version = self.current_version()

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.nn import Tensor, eager_mode, lazy_enabled, lazy_mode, set_lazy
-from repro.nn.schedule import describe, kernel_cache_size
+from repro.nn.schedule import describe, kernel_cache_size, last_schedule_info
 
 
 class TestLazyRecording:
@@ -109,6 +109,70 @@ class TestScheduler:
             # t materializes once (2 consumers); the rest fuses around it.
             assert info["n_steps"] == 2
             np.testing.assert_allclose(z.numpy(), (6.0 + 1) * (6.0 - 1) * np.ones(4))
+
+
+class TestBufferDonation:
+    """``out=`` reuse must never clobber arrays a later realize re-reads."""
+
+    def test_sole_consumer_chain_still_donates(self):
+        with lazy_mode():
+            x = Tensor(np.random.default_rng(0).normal(size=(16, 16)).astype(np.float32))
+            w = Tensor(np.random.default_rng(1).normal(size=(16, 16)).astype(np.float32))
+            u = x @ w
+            r = (u + 1.0).relu()
+            del u  # matmul output dies here; the fused kernel may reuse it
+            out = r.numpy()
+        assert last_schedule_info["n_out_donated"] >= 1
+        np.testing.assert_allclose(
+            out, np.maximum(x.numpy() @ w.numpy() + 1.0, 0.0), rtol=1e-6
+        )
+
+    def test_unrealized_sibling_consumer_blocks_donation(self):
+        # Regression: u fed an inlined interior (t) whose *other* consumer
+        # (r2) lives outside r1's schedule; donating u's array as out=
+        # scratch for the fused relu(u+1) kernel corrupted r2's later
+        # realization.
+        with lazy_mode():
+            x = Tensor(np.random.default_rng(2).normal(size=(8, 8)).astype(np.float32))
+            y = Tensor(np.random.default_rng(3).normal(size=(8, 8)).astype(np.float32))
+            u = x @ y
+            t = u + 1.0
+            r1, r2 = t.relu(), t * 2.0
+            del u, t
+            a1 = r1.numpy()
+            a2 = r2.numpy()
+        ref = x.numpy() @ y.numpy() + 1.0
+        np.testing.assert_allclose(a1, np.maximum(ref, 0.0), rtol=1e-6)
+        np.testing.assert_allclose(a2, ref * 2.0, rtol=1e-6)
+
+    def test_scheduled_node_with_external_consumer_not_donated(self):
+        with lazy_mode():
+            x = Tensor(np.random.default_rng(4).normal(size=(8, 8)).astype(np.float32))
+            y = Tensor(np.random.default_rng(5).normal(size=(8, 8)).astype(np.float32))
+            u = x @ y
+            r1 = (u + 1.0).relu()
+            r2 = u * 3.0  # consumes u itself from outside r1's schedule
+            del u
+            a1 = r1.numpy()
+            a2 = r2.numpy()
+        ref = x.numpy() @ y.numpy()
+        np.testing.assert_allclose(a1, np.maximum(ref + 1.0, 0.0), rtol=1e-6)
+        np.testing.assert_allclose(a2, ref * 3.0, rtol=1e-6)
+
+    def test_cse_duplicate_with_external_consumer_not_donated(self):
+        with lazy_mode():
+            x = Tensor(np.random.default_rng(6).normal(size=(8, 8)).astype(np.float32))
+            y = Tensor(np.random.default_rng(7).normal(size=(8, 8)).astype(np.float32))
+            u1 = x @ y
+            u2 = x @ y  # CSE-merged duplicate; shares u1's realized array
+            r1 = (u1 + 1.0).relu()
+            r2 = u2 * 5.0
+            del u1, u2
+            a1 = r1.numpy()
+            a2 = r2.numpy()
+        ref = x.numpy() @ y.numpy()
+        np.testing.assert_allclose(a1, np.maximum(ref + 1.0, 0.0), rtol=1e-6)
+        np.testing.assert_allclose(a2, ref * 5.0, rtol=1e-6)
 
 
 class TestLazyBackward:
