@@ -12,6 +12,7 @@ snapshot-load percentiles.  Results land in
 ``benchmarks/results/BENCH_serve.json``.
 """
 
+import json
 import os
 import random
 import threading
@@ -19,6 +20,7 @@ import time
 
 from repro.eval import series_table
 from repro.obs.health import SLO
+from repro.obs.trace import configure_tracing, disable_tracing
 from repro.serve import (
     GeohashShardStrategy,
     LoadGenerator,
@@ -202,6 +204,77 @@ def _multiprocess_section(workload, locations, snapshot_dir,
     }
 
 
+def _observability_section(workload, locations, snapshot_dir, trace_dir):
+    """Fleet observability on a *dedicated, fresh* snapshot dir.
+
+    The shared-memory planes attach-preserve across runs, so the exact
+    count-conservation assertion (per-worker counters summing to the
+    router's totals) is only meaningful here, where nothing else has
+    written to the planes — not in ``_multiprocess_section``, whose
+    snapshot dir is reused across the 1/2/4-worker scenarios.
+    """
+    address_ids = sorted(workload.addresses)
+    store = ShardedLocationStore(
+        locations, workload.addresses,
+        strategy=GeohashShardStrategy(8, precision=6),
+    )
+    publisher = SnapshotPublisher(snapshot_dir)
+    publisher.publish(store)
+
+    os.makedirs(trace_dir, exist_ok=True)
+    merged_trace = os.path.join(trace_dir, "merged-trace.jsonl")
+    configure_tracing(os.path.join(trace_dir, "router-trace.jsonl"))
+    try:
+        with ProcessRouter(snapshot_dir, n_workers=2,
+                           config=MP_CONFIG) as router:
+            rng = random.Random(7)
+            n_issued = 0
+            for _ in range(6):
+                chunk = [address_ids[rng.randrange(len(address_ids))]
+                         for _ in range(64)]
+                n_issued += len(router.query_batch(chunk))
+            router.stop()  # flush worker planes + span files before scraping
+            merged = router.metrics().to_dict()
+            fleet = router.fleet_verdict(BENCH_SLOS + [
+                SLO(name="worker-restarts",
+                    metric="serve_worker_restarts_total",
+                    kind="max", objective=0),
+            ]).to_dict()
+            trace_stats = router.trace_dump(merged_trace)
+    finally:
+        disable_tracing()
+
+    families = {m["name"]: m for m in merged["metrics"]}
+
+    def status_sums(name):
+        out = {}
+        for sample in families.get(name, {}).get("samples", []):
+            status = sample["labels"].get("status", "")
+            out[status] = out.get(status, 0.0) + sample["value"]
+        return out
+
+    with open(merged_trace) as fh:
+        spans = [json.loads(line) for line in fh]
+    routes = {s["span_id"]: s for s in spans if s["name"] == "serve.route"}
+    linked = [
+        s for s in spans
+        if s["name"] == "serve.request"
+        and s.get("parent_id") in routes
+        and s["trace_id"] == routes[s["parent_id"]]["trace_id"]
+    ]
+
+    return {
+        "n_issued": n_issued,
+        "router_requests_by_status": status_sums("serve_requests_total"),
+        "worker_requests_by_status": status_sums(
+            "serve_worker_requests_total"
+        ),
+        "fleet_slo": fleet,
+        "trace": trace_stats,
+        "n_cross_process_links": len(linked),
+    }
+
+
 def test_serve_qps(dow_workload, write_result, write_json, tmp_path):
     workload = dow_workload
     locations = dict(workload.ground_truth)
@@ -245,6 +318,11 @@ def test_serve_qps(dow_workload, write_result, write_json, tmp_path):
         workload, locations, str(tmp_path / "snapshots"),
         single_process_cold_qps=scenarios["batched"]["throughput_rps"],
     )
+    observability = _observability_section(
+        workload, locations, str(tmp_path / "obs-snapshots"),
+        str(tmp_path / "obs-traces"),
+    )
+    multiprocess["observability"] = observability
     for n_workers in ("1", "2", "4"):
         w = multiprocess["workers"][n_workers]
         rows.append((f"process-cold-{n_workers}w (batched)",
@@ -284,3 +362,16 @@ def test_serve_qps(dow_workload, write_result, write_json, tmp_path):
     assert churn_mp["final_store_version"] > 1, churn_mp
     assert multiprocess["nearest_ring_parity"] is True
     assert multiprocess["cold_speedup_4w_vs_single_process"] >= 3.0, multiprocess
+
+    # -- fleet observability gates (fresh planes, exact conservation) ---
+    router_counts = observability["router_requests_by_status"]
+    worker_counts = observability["worker_requests_by_status"]
+    n_issued = observability["n_issued"]
+    assert n_issued > 0
+    assert sum(router_counts.values()) == n_issued, observability
+    assert sum(worker_counts.values()) == n_issued, observability
+    assert router_counts.get("ok") == worker_counts.get("ok") == n_issued, \
+        observability
+    assert observability["fleet_slo"]["ok"], observability["fleet_slo"]
+    assert observability["n_cross_process_links"] >= 1, observability
+    assert observability["trace"]["n_kept_spans"] >= 2, observability["trace"]

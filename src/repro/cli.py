@@ -596,6 +596,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if churn_thread is not None:
             stop_churn.set()
             churn_thread.join()
+        fleet = None
+        fleet_registry = None
+        if args.backend == "process":
+            # Stop the pool first so every worker has flushed its final
+            # spans and closed its metrics plane, then scrape the planes
+            # (zero IPC — and the snapshot tempdir is still alive here).
+            server.stop()
+            fleet_registry = server.metrics()
+            fleet_doc = fleet_registry.to_dict()
+            families = {m["name"]: m for m in fleet_doc["metrics"]}
+
+            def _family_total(name: str) -> float:
+                return sum(
+                    s["value"]
+                    for s in families.get(name, {}).get("samples", [])
+                )
+
+            fleet = {
+                "requests_total": _family_total("serve_requests_total"),
+                "worker_requests_total": _family_total(
+                    "serve_worker_requests_total"
+                ),
+                "worker_restarts": _family_total(
+                    "serve_worker_restarts_total"
+                ),
+                "heartbeat_misses": _family_total(
+                    "serve_worker_heartbeat_misses_total"
+                ),
+                "slo": None,
+                "trace": None,
+            }
+            if slos:
+                fleet_report = server.fleet_verdict(slos)
+                fleet["slo"] = fleet_report.to_dict()
+            if args.trace_merged:
+                fleet["trace"] = server.trace_dump(args.trace_merged)
     bench_config = {
         "command": "serve-bench", "workload": args.workload,
         "backend": args.backend,
@@ -611,6 +647,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "wall_s": wall,
         "refreshes_mid_run": refreshes[0],
         "report": report.to_dict(),
+        "fleet": fleet,
     }
     if args.out:
         out = pathlib.Path(args.out)
@@ -635,11 +672,95 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 print(f"  {'OK ' if result.get('ok') else 'VIOLATED':<9} "
                       f"{result.get('name')}  observed {shown}  "
                       f"<= {result.get('objective')}")
+        if fleet is not None and fleet["slo"] is not None:
+            print()
+            print("fleet SLO verdict (merged shared-memory planes):")
+            for result in fleet["slo"].get("results", []):
+                observed = result.get("observed")
+                shown = "no data" if observed is None else f"{observed:.6g}"
+                print(f"  {'OK ' if result.get('ok') else 'VIOLATED':<9} "
+                      f"{result.get('name')}  observed {shown}  "
+                      f"<= {result.get('objective')}")
+        if fleet is not None and fleet["trace"] is not None:
+            t = fleet["trace"]
+            print(f"merged trace -> {args.trace_merged} "
+                  f"({t['n_kept_spans']} spans from {t['n_kept_traces']} "
+                  f"sampled traces)")
         if args.out:
             print(f"report -> {args.out}")
     _end_observability(args, config={"command": "serve-bench"})
+    if fleet_registry is not None and getattr(args, "metrics_out", None):
+        # The process backend's authoritative export is the merged fleet
+        # view, not the front-end process's registry alone — overwrite
+        # what _end_observability just wrote with the merged registry so
+        # `repro health --metrics` gates the whole fleet.
+        obs.export_metrics(args.metrics_out, registry=fleet_registry,
+                           meta=obs.run_metadata(bench_config))
     slo_ok = report.slo is None or bool(report.slo.get("ok"))
-    return 0 if report.n_errors == 0 and slo_ok else 1
+    fleet_ok = (
+        fleet is None or fleet["slo"] is None or bool(fleet["slo"].get("ok"))
+    )
+    return 0 if report.n_errors == 0 and slo_ok and fleet_ok else 1
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Scrape metrics planes post-mortem and render the merged registry.
+
+    The planes (and per-worker span files) outlive the processes that
+    wrote them, so a crashed or finished serving run is still exportable:
+    point ``--obs-dir`` at the snapshot directory's ``obs/`` subdir.
+    """
+    import glob as _glob
+
+    from repro.obs.shm import merged_registry, scrape_planes
+    from repro.obs.trace import merge_traces
+
+    if not pathlib.Path(args.obs_dir).is_dir():
+        print(f"not a directory: {args.obs_dir}", file=sys.stderr)
+        return 2
+    snapshots = scrape_planes(args.obs_dir)
+    if not snapshots:
+        print(f"no metrics planes (metrics-*.shm) in {args.obs_dir}",
+              file=sys.stderr)
+        return 2
+    registry = merged_registry(args.obs_dir)
+    meta = obs.run_metadata({"command": "obs-export",
+                             "obs_dir": args.obs_dir,
+                             "n_planes": len(snapshots)})
+    torn = sum(s.n_torn for s in snapshots)
+    if args.out:
+        obs.export_metrics(args.out, registry=registry, meta=meta)
+        if not args.json:
+            print(f"merged metrics ({len(snapshots)} planes"
+                  + (f", {torn} torn slots skipped" if torn else "")
+                  + f") -> {args.out}")
+    if args.trace_out:
+        paths = sorted(_glob.glob(
+            str(pathlib.Path(args.obs_dir) / "trace-worker-*.jsonl")
+        ))
+        stats = merge_traces(paths, args.trace_out)
+        if not args.json:
+            print(f"merged trace ({stats['n_kept_spans']} spans from "
+                  f"{stats['n_kept_traces']} sampled traces) -> "
+                  f"{args.trace_out}")
+    if args.json:
+        print(registry.to_json(meta))
+    elif not args.out:
+        print(obs.render_metrics(registry.to_dict(meta)))
+    if args.slo:
+        from repro.obs.health import evaluate_slos, load_slo_file
+
+        try:
+            slos = load_slo_file(args.slo)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
+        report = evaluate_slos(registry.to_dict(meta), slos, source="fleet")
+        if not args.json:
+            print()
+            print(report.render())
+        return report.exit_code
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -803,9 +924,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the JSON report to PATH")
     p_serve.add_argument("--slo", default=None, metavar="PATH",
                          help="SLO spec to verdict the live request windows "
-                              "against (nonzero exit on violation)")
+                              "against (nonzero exit on violation); with "
+                              "--backend process the same objectives are "
+                              "also evaluated against the merged fleet "
+                              "metrics scraped from shared memory")
+    p_serve.add_argument("--trace-merged", default=None, metavar="PATH",
+                         help="with --backend process: merge router + "
+                              "per-worker span files into one tail-sampled "
+                              "trace at PATH")
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_obs = sub.add_parser(
+        "obs-export",
+        help="scrape shared-memory metrics planes into one merged export",
+    )
+    p_obs.add_argument("--obs-dir", required=True, metavar="DIR",
+                       help="observability directory holding metrics-*.shm "
+                            "planes (a snapshot dir's obs/ subdirectory)")
+    p_obs.add_argument("--out", default=None, metavar="PATH",
+                       help="write the merged registry to PATH (.json, or "
+                            ".prom/.txt for Prometheus text format)")
+    p_obs.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="also merge trace-worker-*.jsonl span files "
+                            "into one tail-sampled trace at PATH")
+    p_obs.add_argument("--slo", default=None, metavar="PATH",
+                       help="evaluate an SLO spec against the merged "
+                            "registry (nonzero exit on violation)")
+    p_obs.add_argument("--json", action="store_true",
+                       help="emit the merged registry JSON on stdout")
+    p_obs.set_defaults(func=_cmd_obs_export)
 
     p_query = sub.add_parser("query", help="resolve one address via the store")
     p_query.add_argument("--data", required=True)

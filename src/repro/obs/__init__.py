@@ -42,6 +42,7 @@ from repro.obs.health import (
     histogram_quantile,
     load_slo_file,
     parse_slos,
+    quantile_from_export,
 )
 from repro.obs.meta import git_sha, run_metadata
 from repro.obs.metrics import (
@@ -66,12 +67,28 @@ from repro.obs.prof import (
     disable_memory_profiling,
     profile_block,
 )
+from repro.obs.shm import (
+    MetricsPlane,
+    PlaneSchemaError,
+    PlaneSnapshot,
+    SlotSpec,
+    SlotValue,
+    merge_snapshots,
+    merged_registry,
+    scrape_planes,
+)
 from repro.obs.trace import (
+    RemoteSpanContext,
     Span,
     Tracer,
     configure_tracing,
     current_span,
+    current_trace_path,
     disable_tracing,
+    flush_tracing,
+    make_traceparent,
+    merge_traces,
+    parse_traceparent,
     read_trace,
     span,
     span_tree,
@@ -95,6 +112,7 @@ __all__ = [
     "histogram_quantile",
     "load_slo_file",
     "parse_slos",
+    "quantile_from_export",
     "MemoryProfiler",
     "SamplingProfiler",
     "StackProfile",
@@ -120,11 +138,25 @@ __all__ = [
     "render_metrics",
     "reset_registry",
     "set_registry",
+    "MetricsPlane",
+    "PlaneSchemaError",
+    "PlaneSnapshot",
+    "SlotSpec",
+    "SlotValue",
+    "merge_snapshots",
+    "merged_registry",
+    "scrape_planes",
+    "RemoteSpanContext",
     "Span",
     "Tracer",
     "configure_tracing",
     "current_span",
+    "current_trace_path",
     "disable_tracing",
+    "flush_tracing",
+    "make_traceparent",
+    "merge_traces",
+    "parse_traceparent",
     "read_trace",
     "span",
     "span_tree",

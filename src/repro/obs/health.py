@@ -351,6 +351,37 @@ def _merge_histogram_samples(
     return bounds, merged
 
 
+def quantile_from_export(
+    payload: Mapping[str, Any],
+    metric: str,
+    q: float,
+    labels: Mapping[str, str] | None = None,
+) -> float | None:
+    """Quantile of a histogram family in an exported metrics document.
+
+    Pools every sample of ``metric`` whose labels are a superset of
+    ``labels`` (all samples when ``labels`` is None) by summing their
+    cumulative buckets first — so a quantile over a merged multi-worker
+    export equals the quantile of the pooled observations, not an
+    average of per-worker quantiles.  Returns ``None`` when the family
+    is absent or empty.
+    """
+    family = _find_family(payload, metric)
+    if family is None:
+        return None
+    wanted = {str(k): str(v) for k, v in (labels or {}).items()}
+    samples = [
+        s for s in family.get("samples", [])
+        if isinstance(s, Mapping) and all(
+            (s.get("labels") or {}).get(k) == v for k, v in wanted.items()
+        )
+    ]
+    merged = _merge_histogram_samples(samples) if samples else None
+    if merged is None:
+        return None
+    return histogram_quantile(merged[0], merged[1], q)
+
+
 # ----------------------------------------------------------------------
 # Evaluating SLOs against an exported metrics document
 # ----------------------------------------------------------------------

@@ -15,6 +15,7 @@ layers; tests swap it out with :func:`set_registry`/:func:`reset_registry`.
 from __future__ import annotations
 
 import bisect
+import builtins
 import json
 import math
 import pathlib
@@ -144,6 +145,33 @@ class Histogram(_Metric):
             self._sums[key] += float(value)
             self._totals[key] += 1
 
+    def merge_raw(
+        self, bucket_counts: Iterable[int], sum: float, **labels: Any
+    ) -> None:
+        """Fold pre-bucketed counts (per-bucket, ``+Inf`` last) into a
+        label set — the cross-process merge path, where observations were
+        already bucketed by an identically-bounded histogram elsewhere.
+        """
+        incoming = [int(n) for n in bucket_counts]
+        if len(incoming) != len(self.bounds) + 1:
+            raise ValueError(
+                f"expected {len(self.bounds) + 1} bucket counts, "
+                f"got {len(incoming)}"
+            )
+        if any(n < 0 for n in incoming):
+            raise ValueError("bucket counts cannot be negative")
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.bounds) + 1)
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            for idx, n in enumerate(incoming):
+                counts[idx] += n
+            self._sums[key] += float(sum)
+            self._totals[key] += builtins.sum(incoming)
+
     def count(self, **labels: Any) -> int:
         return self._totals.get(_label_key(labels), 0)
 
@@ -266,6 +294,8 @@ class MetricsRegistry:
 
 
 def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
     if float(value).is_integer():

@@ -16,6 +16,7 @@ instrumented unconditionally.
 
 from __future__ import annotations
 
+import atexit
 import contextvars
 import json
 import pathlib
@@ -23,7 +24,7 @@ import threading
 import time
 import uuid
 from contextlib import contextmanager
-from typing import Any, Iterator, TextIO, Union
+from typing import Any, Iterable, Iterator, TextIO, Union
 
 PathLike = Union[str, pathlib.Path]
 
@@ -122,6 +123,11 @@ class JsonlTraceSink:
             self._fh.write(line + "\n")
             self._fh.flush()
 
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
@@ -131,6 +137,51 @@ class JsonlTraceSink:
 
 #: Sentinel: inherit the parent span from the ambient contextvar.
 INHERIT = object()
+
+
+class RemoteSpanContext:
+    """A span handle that crossed a process boundary as a traceparent.
+
+    Carries just the identity a child span needs (`trace_id`,
+    `span_id`) — :meth:`Tracer.start` duck-types its ``parent``
+    argument, so a remote context parents exactly like a live
+    :class:`Span`.  ``sampled`` propagates the head-sampling decision.
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+
+def make_traceparent(span: Any, sampled: bool = True) -> str:
+    """Serialize a span (or remote context) as a W3C-style traceparent:
+    ``00-<trace_id>-<span_id>-<flags>`` where flags bit 0 is "sampled"."""
+    return f"00-{span.trace_id}-{span.span_id}-{1 if sampled else 0:02x}"
+
+
+def parse_traceparent(header: Any) -> RemoteSpanContext | None:
+    """Decode a traceparent into a :class:`RemoteSpanContext`.
+
+    Tolerant by design: garbage, ``None``, unknown versions, or malformed
+    fields return ``None`` (the span simply starts a fresh trace) rather
+    than failing the request carrying them.
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if version != "00" or not trace_id or not span_id:
+        return None
+    try:
+        sampled = bool(int(flags, 16) & 1)
+    except ValueError:
+        return None
+    return RemoteSpanContext(trace_id, span_id, sampled)
 
 
 class Tracer:
@@ -152,13 +203,25 @@ class Tracer:
 
 
 _TRACER: Tracer | None = None
+_ATEXIT_REGISTERED = False
+
+
+def _flush_at_exit() -> None:
+    # Short-lived workers (and fork children that re-configure tracing)
+    # must not drop their final spans on interpreter teardown.
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.sink.close()
 
 
 def configure_tracing(path: PathLike) -> Tracer:
     """Install a global tracer writing JSON-lines spans to ``path``."""
-    global _TRACER
+    global _TRACER, _ATEXIT_REGISTERED
     disable_tracing()
     _TRACER = Tracer(JsonlTraceSink(path))
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_flush_at_exit)
+        _ATEXIT_REGISTERED = True
     return _TRACER
 
 
@@ -172,6 +235,17 @@ def disable_tracing() -> None:
 
 def tracing_enabled() -> bool:
     return _TRACER is not None
+
+
+def current_trace_path() -> pathlib.Path | None:
+    """The active tracer's output file, or None when tracing is off."""
+    return _TRACER.sink.path if _TRACER is not None else None
+
+
+def flush_tracing() -> None:
+    """Force buffered spans of the active tracer to disk (no-op when off)."""
+    if _TRACER is not None:
+        _TRACER.sink.flush()
 
 
 def current_span() -> Span | None:
@@ -229,3 +303,91 @@ def span_tree(spans: list[dict[str, Any]]) -> dict[str | None, list[dict[str, An
     for sp in spans:
         children.setdefault(sp.get("parent_id"), []).append(sp)
     return children
+
+
+# ----------------------------------------------------------------------
+# Cross-process collection: merge per-worker files, tail-based sampling
+# ----------------------------------------------------------------------
+def merge_traces(
+    paths: Iterable[PathLike],
+    out: PathLike,
+    p99_hint: float | None = None,
+) -> dict[str, Any]:
+    """Merge per-process span files into one trace with tail sampling.
+
+    Spans from every readable input are grouped by ``trace_id``; a trace
+    is *kept* when any of its spans errored, when its root span is slower
+    than the p99 estimate over all root durations (``p99_hint`` overrides
+    the estimate — useful for a router that already tracks latency), or
+    when any span carries a truthy ``sampled`` attribute (the head
+    decision the router stamped on the route span).  Kept spans are
+    written to ``out`` ordered by start time, and a stats dict describes
+    what the sampler did — tail-based sampling must be auditable or the
+    missing traces look like lost data.
+    """
+    spans: list[dict[str, Any]] = []
+    n_files = 0
+    for path in paths:
+        try:
+            spans.extend(read_trace(path))
+            n_files += 1
+        except (OSError, json.JSONDecodeError):
+            continue
+    by_trace: dict[str, list[dict[str, Any]]] = {}
+    for sp in spans:
+        by_trace.setdefault(str(sp.get("trace_id")), []).append(sp)
+
+    root_durations = sorted(
+        float(sp.get("duration_s") or 0.0)
+        for group in by_trace.values()
+        for sp in group
+        if sp.get("parent_id") is None
+    )
+    if p99_hint is not None:
+        p99 = float(p99_hint)
+    elif root_durations:
+        # Nearest-rank p99 over root spans, matching repro.obs.health.
+        rank = max(0, min(len(root_durations) - 1,
+                          int(0.99 * len(root_durations) + 0.5) - 1))
+        p99 = root_durations[rank]
+    else:
+        p99 = float("inf")
+
+    kept: list[dict[str, Any]] = []
+    reasons = {"error": 0, "slow": 0, "sampled": 0}
+    for group in by_trace.values():
+        errored = any(sp.get("status") == "error" for sp in group)
+        slow = any(
+            sp.get("parent_id") is None
+            and float(sp.get("duration_s") or 0.0) >= p99
+            for sp in group
+        )
+        sampled = any(
+            (sp.get("attributes") or {}).get("sampled") for sp in group
+        )
+        if errored:
+            reasons["error"] += 1
+        elif slow:
+            reasons["slow"] += 1
+        elif sampled:
+            reasons["sampled"] += 1
+        else:
+            continue
+        kept.extend(group)
+
+    kept.sort(key=lambda sp: (float(sp.get("start_unix") or 0.0),
+                              str(sp.get("span_id"))))
+    out_path = pathlib.Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with out_path.open("w", encoding="utf-8") as fh:
+        for sp in kept:
+            fh.write(json.dumps(sp, separators=(",", ":")) + "\n")
+    return {
+        "n_files": n_files,
+        "n_spans": len(spans),
+        "n_traces": len(by_trace),
+        "n_kept_traces": sum(reasons.values()),
+        "n_kept_spans": len(kept),
+        "kept_by_reason": reasons,
+        "p99_threshold_s": p99,
+    }

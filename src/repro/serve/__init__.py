@@ -37,6 +37,8 @@ from repro.serve.mp import (
     SnapshotPublisher,
     VersionCounter,
     WorkerDiedError,
+    router_plane_specs,
+    worker_plane_specs,
 )
 from repro.serve.loadgen import (
     LoadGenerator,
@@ -78,6 +80,8 @@ __all__ = [
     "SnapshotPublisher",
     "VersionCounter",
     "WorkerDiedError",
+    "router_plane_specs",
+    "worker_plane_specs",
     "LoadGenerator",
     "LoadReport",
     "ScheduledRequest",

@@ -40,6 +40,7 @@ client-side (bounded waits).
 
 from __future__ import annotations
 
+import glob as _glob
 import itertools
 import json
 import mmap
@@ -56,8 +57,20 @@ from typing import Any, Sequence
 
 from repro.apps.store import QueryResult, QuerySource, UnknownAddressError
 from repro.geo import Point
-from repro.obs import get_registry
-from repro.obs.health import SLO, HealthReport, RequestWindows
+from repro.obs import MetricsRegistry, get_registry
+from repro.obs.health import SLO, HealthReport, RequestWindows, evaluate_slos
+from repro.obs.shm import MetricsPlane, SlotSpec, merged_registry
+from repro.obs.trace import (
+    configure_tracing,
+    current_trace_path,
+    disable_tracing,
+    flush_tracing,
+    make_traceparent,
+    merge_traces,
+    parse_traceparent,
+    span,
+    tracing_enabled,
+)
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import TTLLRUCache
 from repro.serve.columnar import (
@@ -74,6 +87,84 @@ _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.rsnap$")
 _CURRENT = "CURRENT"
 _LOG = "updates.log"
 _GRACE_S = 0.050
+
+#: Observability sub-directory of a snapshot dir: per-process metrics
+#: planes (``metrics-*.shm``) and per-worker span files.
+_OBS_DIR = "obs"
+#: Statuses a worker can emit (admission rejects never cross the pipe).
+_WORKER_STATUSES = ("ok", "unknown_address", "timed_out", "error")
+_CACHE_STATES = ("hit", "miss", "bypass")
+
+
+def worker_plane_specs(worker_id: int) -> list[SlotSpec]:
+    """Fixed slot schema of one worker's shared-memory metrics plane."""
+    w = str(worker_id)
+    specs = [
+        SlotSpec("counter", "serve_worker_requests_total",
+                 (("status", s), ("worker", w)),
+                 help="Rows served by this worker, by terminal status")
+        for s in _WORKER_STATUSES
+    ]
+    specs += [
+        SlotSpec("histogram", "serve_worker_request_latency_seconds",
+                 (("cache", c), ("worker", w)),
+                 help="In-worker wall time per served row")
+        for c in _CACHE_STATES
+    ]
+    specs += [
+        SlotSpec("counter", "serve_worker_cache_events_total",
+                 (("event", e), ("worker", w)),
+                 help="Worker-local result-cache lookups by outcome")
+        for e in ("hit", "miss")
+    ]
+    specs += [
+        SlotSpec("gauge", "serve_worker_cache_hit_ratio", (("worker", w),),
+                 help="Worker-local result-cache hit ratio"),
+        SlotSpec("counter", "serve_worker_snapshot_loads_total",
+                 (("worker", w),),
+                 help="Snapshot (re)loads this worker performed"),
+        SlotSpec("histogram", "serve_worker_snapshot_load_seconds",
+                 (("worker", w),),
+                 help="Wall time to map + verify one snapshot"),
+        SlotSpec("gauge", "serve_worker_snapshot_version", (("worker", w),),
+                 help="Snapshot version this worker currently serves"),
+        SlotSpec("gauge", "serve_worker_snapshot_version_lag",
+                 (("worker", w),),
+                 help="Published version minus this worker's mapped version"),
+    ]
+    return specs
+
+
+def router_plane_specs(n_workers: int) -> list[SlotSpec]:
+    """Fixed slot schema of the router's shared-memory metrics plane."""
+    specs = [
+        SlotSpec("counter", "serve_requests_total", (("status", s.value),),
+                 help="Served requests by terminal status")
+        for s in ServeStatus
+    ]
+    specs += [
+        SlotSpec("histogram", "serve_request_latency_seconds",
+                 (("cache", c),),
+                 help="End-to-end request latency by cache outcome")
+        for c in _CACHE_STATES
+    ]
+    specs.append(
+        SlotSpec("gauge", "serve_queue_depth", (),
+                 help="Sub-batches in flight across the pool")
+    )
+    for i in range(n_workers):
+        w = str(i)
+        specs.append(
+            SlotSpec("counter", "serve_worker_restarts_total",
+                     (("worker", w),),
+                     help="Worker processes restarted after death")
+        )
+        specs.append(
+            SlotSpec("counter", "serve_worker_heartbeat_misses_total",
+                     (("worker", w),),
+                     help="Heartbeat pings a worker failed to answer")
+        )
+    return specs
 
 
 # ---------------------------------------------------------------------------
@@ -323,9 +414,54 @@ class SnapshotPublisher:
 # Worker process
 # ---------------------------------------------------------------------------
 def _worker_main(
-    conn, directory: str, config: ServerConfig, worker_id: int
+    conn,
+    directory: str,
+    config: ServerConfig,
+    worker_id: int,
+    obs_dir: str | None = None,
+    trace: bool = False,
 ) -> None:  # pragma: no cover - exercised in subprocesses
     """One worker: mmap current snapshot, serve query batches off a pipe."""
+    # A fork-context worker inherits the parent's global tracer; writing
+    # through its handle would interleave with the router's span file, so
+    # drop it before (optionally) opening this worker's own sink.
+    disable_tracing()
+    if trace and obs_dir:
+        configure_tracing(
+            os.path.join(obs_dir, f"trace-worker-{worker_id}.jsonl")
+        )
+    plane: MetricsPlane | None = None
+    slots: dict[str, Any] = {}
+    if obs_dir:
+        try:
+            os.makedirs(obs_dir, exist_ok=True)
+            plane = MetricsPlane.create(
+                os.path.join(obs_dir, f"metrics-worker-{worker_id}.shm"),
+                worker_plane_specs(worker_id),
+                meta={"kind": "worker", "worker": worker_id},
+            )
+        except OSError:
+            plane = None  # telemetry must never take the worker down
+    if plane is not None:
+        w = str(worker_id)
+        slots = {
+            "status": {s: plane.slot("serve_worker_requests_total",
+                                     status=s, worker=w)
+                       for s in _WORKER_STATUSES},
+            "latency": {c: plane.slot("serve_worker_request_latency_seconds",
+                                      cache=c, worker=w)
+                        for c in _CACHE_STATES},
+            "cache": {e: plane.slot("serve_worker_cache_events_total",
+                                    event=e, worker=w)
+                      for e in ("hit", "miss")},
+            "hit_ratio": plane.slot("serve_worker_cache_hit_ratio", worker=w),
+            "loads": plane.slot("serve_worker_snapshot_loads_total", worker=w),
+            "load_hist": plane.slot("serve_worker_snapshot_load_seconds",
+                                    worker=w),
+            "version": plane.slot("serve_worker_snapshot_version", worker=w),
+            "lag": plane.slot("serve_worker_snapshot_version_lag", worker=w),
+        }
+
     publisher = SnapshotPublisher(directory)
     snap: ColumnarSnapshot | None = None
     cache = (
@@ -335,6 +471,15 @@ def _worker_main(
     )
     load_seconds: list[float] = []
     n_requests = 0
+    prev_cache = [0, 0]  # hits, misses already folded into the plane
+
+    def publish_versions() -> None:
+        if plane is None:
+            return
+        have = snap.version if snap is not None else 0
+        plane.set(slots["version"], have)
+        plane.set(slots["lag"],
+                  max(0, publisher.current_version() - have))
 
     def ensure_snapshot() -> ColumnarSnapshot:
         nonlocal snap
@@ -351,13 +496,40 @@ def _worker_main(
                 # Publisher replaced (and pruned) it mid-read; re-poll.
                 time.sleep(0.005)
                 continue
-            load_seconds.append(time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            load_seconds.append(dt)
             del load_seconds[:-256]
             snap = fresh
             if cache is not None:
                 cache.clear()
+            if plane is not None:
+                plane.inc(slots["loads"])
+                plane.observe(slots["load_hist"], dt)
+                publish_versions()
             return snap
         raise FileNotFoundError(f"no loadable snapshot in {directory!r}")
+
+    def record_rows(rows: list[tuple], elapsed: float) -> None:
+        """Fold one answered sub-batch into the shared-memory plane."""
+        if plane is None:
+            return
+        status_slots = slots["status"]
+        latency_slots = slots["latency"]
+        for row in rows:
+            plane.inc(status_slots[row[1]])
+            if row[1] == ServeStatus.OK.value and row[6] in latency_slots:
+                plane.observe(latency_slots[row[6]], elapsed)
+        if cache is not None:
+            stats = cache.stats()
+            d_hits = stats.hits - prev_cache[0]
+            d_misses = stats.misses - prev_cache[1]
+            if d_hits:
+                plane.inc(slots["cache"]["hit"], d_hits)
+            if d_misses:
+                plane.inc(slots["cache"]["miss"], d_misses)
+            prev_cache[0], prev_cache[1] = stats.hits, stats.misses
+            if stats.lookups:
+                plane.set(slots["hit_ratio"], stats.hit_rate)
 
     def resolve(ids: list[str], deadline: float | None) -> list[tuple]:
         nonlocal n_requests
@@ -407,49 +579,79 @@ def _worker_main(
             )
         return out
 
-    while True:
+    def handle_query(
+        ids: list[str], deadline: float | None, traceparent: Any
+    ) -> list[tuple]:
+        """Resolve one sub-batch under a (possibly remote-parented) span."""
+        t0 = time.perf_counter()
+        parent = parse_traceparent(traceparent)
+        # Re-stamp the router's head-sampling decision onto the worker
+        # span: the tail sampler must see it even when it merges worker
+        # files without the router's own trace file (post-mortem
+        # obs-export of a crashed run).
+        sampled = {"sampled": True} if parent is not None and parent.sampled else {}
         try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            return
-        kind = msg[0]
-        if kind == "stop":
-            return
-        req_id = msg[1]
-        try:
-            if kind == "q":
-                payload: Any = resolve(msg[2], msg[3])
-            elif kind == "ping":
-                payload = {
-                    "pid": os.getpid(),
-                    "worker_id": worker_id,
-                    "version": snap.version if snap is not None else 0,
-                }
-            elif kind == "stats":
-                payload = {
-                    "pid": os.getpid(),
-                    "worker_id": worker_id,
-                    "version": snap.version if snap is not None else 0,
-                    "n_requests": n_requests,
-                    "snapshot_loads": len(load_seconds),
-                    "load_seconds": list(load_seconds),
-                    "cache": cache.stats().to_dict() if cache else None,
-                }
-            else:
-                payload = RuntimeError(f"unknown message kind: {kind!r}")
+            # parent=None deliberately forces a root span: a request that
+            # arrived without a traceparent starts its own trace.
+            with span("serve.request", parent=parent, worker=worker_id,
+                      n_ids=len(ids), pid=os.getpid(), **sampled):
+                rows = resolve(ids, deadline)
         except Exception as exc:  # noqa: BLE001 — keep the worker alive
-            if kind == "q":
-                payload = [
-                    (a, ServeStatus.ERROR.value, None, None, None, None, None,
-                     f"{type(exc).__name__}: {exc}")
-                    for a in msg[2]
-                ]
-            else:
+            rows = [
+                (a, ServeStatus.ERROR.value, None, None, None, None, None,
+                 f"{type(exc).__name__}: {exc}")
+                for a in ids
+            ]
+        record_rows(rows, time.perf_counter() - t0)
+        return rows
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = msg[0]
+            if kind == "stop":
+                return
+            req_id = msg[1]
+            try:
+                if kind == "q":
+                    payload: Any = handle_query(
+                        msg[2], msg[3], msg[4] if len(msg) > 4 else None
+                    )
+                elif kind == "ping":
+                    publish_versions()
+                    payload = {
+                        "pid": os.getpid(),
+                        "worker_id": worker_id,
+                        "version": snap.version if snap is not None else 0,
+                    }
+                elif kind == "stats":
+                    payload = {
+                        "pid": os.getpid(),
+                        "worker_id": worker_id,
+                        "version": snap.version if snap is not None else 0,
+                        "n_requests": n_requests,
+                        "snapshot_loads": len(load_seconds),
+                        "load_seconds": list(load_seconds),
+                        "cache": cache.stats().to_dict() if cache else None,
+                    }
+                else:
+                    payload = RuntimeError(f"unknown message kind: {kind!r}")
+            except Exception as exc:  # noqa: BLE001 — keep the worker alive
                 payload = RuntimeError(f"{type(exc).__name__}: {exc}")
-        try:
-            conn.send(("r", req_id, payload))
-        except (BrokenPipeError, OSError):
-            return
+            try:
+                conn.send(("r", req_id, payload))
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        # Every exit path — stop message, closed pipe, terminate-induced
+        # EOF — flushes the span sink and unmaps the plane, so short-lived
+        # workers never drop their final spans or leave a torn seqlock.
+        if plane is not None:
+            plane.close()
+        disable_tracing()
 
 
 # ---------------------------------------------------------------------------
@@ -477,12 +679,13 @@ class WorkerHandle:
     """
 
     def __init__(self, ctx, directory: str, config: ServerConfig,
-                 worker_id: int) -> None:
+                 worker_id: int, obs_dir: str | None = None,
+                 trace: bool = False) -> None:
         self.worker_id = worker_id
         parent, child = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child, directory, config, worker_id),
+            args=(child, directory, config, worker_id, obs_dir, trace),
             name=f"serve-mp-worker-{worker_id}",
             daemon=True,
         )
@@ -596,6 +799,9 @@ class ProcessRouter:
         config: ServerConfig | None = None,
         heartbeat_interval_s: float = 0.5,
         start_method: str | None = None,
+        obs_dir: str | None = None,
+        trace_workers: bool | None = None,
+        trace_sample_every: int = 1,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
@@ -603,6 +809,17 @@ class ProcessRouter:
         self.n_workers = n_workers
         self.publisher = SnapshotPublisher(snapshot_dir)
         self.heartbeat_interval_s = heartbeat_interval_s
+        self.obs_dir = (
+            os.fspath(obs_dir) if obs_dir
+            else os.path.join(self.publisher.directory, _OBS_DIR)
+        )
+        os.makedirs(self.obs_dir, exist_ok=True)
+        #: None → auto: trace workers iff the router process is tracing
+        #: when :meth:`start` runs.
+        self.trace_workers = trace_workers
+        self.trace_sample_every = max(1, int(trace_sample_every))
+        self._trace_seq = itertools.count()
+        self._trace_workers_active = False
         self._ctx = get_context(start_method)
         self._workers: list[WorkerHandle | None] = [None] * n_workers
         self._workers_lock = threading.Lock()
@@ -615,6 +832,7 @@ class ProcessRouter:
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self.restarts = 0
+        self.heartbeat_misses = 0
         self.health = RequestWindows()
         self._batcher = MicroBatcher(
             self._batch_resolve,
@@ -628,6 +846,54 @@ class ProcessRouter:
         self._queue_depth = registry.gauge(
             "serve_queue_depth", "Requests waiting in the admission queue"
         )
+        self._latency = registry.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end request latency by cache outcome",
+        )
+        self._restarts_total = registry.counter(
+            "serve_worker_restarts_total",
+            "Worker processes restarted after death",
+        )
+        self._heartbeat_misses_total = registry.counter(
+            "serve_worker_heartbeat_misses_total",
+            "Heartbeat pings a worker failed to answer",
+        )
+        for i in range(n_workers):
+            # Pre-seed at zero: the fail-closed SLO engine treats an
+            # absent sample as a violation, and "no restarts yet" must
+            # read as 0, not as missing data.
+            self._restarts_total.inc(0, worker=str(i))
+            self._heartbeat_misses_total.inc(0, worker=str(i))
+        self._plane: MetricsPlane | None = None
+        self._plane_slots: dict[str, Any] = {}
+        self._open_plane()
+
+    def _open_plane(self) -> None:
+        """Map the router's own metrics plane (attaches across restarts)."""
+        try:
+            self._plane = MetricsPlane.create(
+                os.path.join(self.obs_dir, "metrics-router.shm"),
+                router_plane_specs(self.n_workers),
+                meta={"kind": "router", "n_workers": self.n_workers},
+            )
+        except OSError:
+            self._plane = None  # telemetry must never block serving
+            self._plane_slots = {}
+            return
+        p = self._plane
+        self._plane_slots = {
+            "status": {s.value: p.slot("serve_requests_total", status=s.value)
+                       for s in ServeStatus},
+            "latency": {c: p.slot("serve_request_latency_seconds", cache=c)
+                        for c in _CACHE_STATES},
+            "depth": p.slot("serve_queue_depth"),
+            "restarts": {i: p.slot("serve_worker_restarts_total",
+                                   worker=str(i))
+                         for i in range(self.n_workers)},
+            "misses": {i: p.slot("serve_worker_heartbeat_misses_total",
+                                 worker=str(i))
+                       for i in range(self.n_workers)},
+        }
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
@@ -653,10 +919,17 @@ class ProcessRouter:
                 "publish one first (SnapshotPublisher.publish / from_store)"
             )
         self._started = True
+        if self._plane is None:
+            self._open_plane()
+        self._trace_workers_active = (
+            self.trace_workers if self.trace_workers is not None
+            else tracing_enabled()
+        )
         self._ensure_routing()
         for i in range(self.n_workers):
             self._workers[i] = WorkerHandle(
-                self._ctx, self.publisher.directory, self.config, i
+                self._ctx, self.publisher.directory, self.config, i,
+                obs_dir=self.obs_dir, trace=self._trace_workers_active,
             )
         self._heartbeat = threading.Thread(
             target=self._heartbeat_loop, name="serve-mp-heartbeat", daemon=True
@@ -680,6 +953,10 @@ class ProcessRouter:
         for worker in workers:
             if worker is not None:
                 worker.stop()
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+            self._plane_slots = {}
 
     def __enter__(self) -> "ProcessRouter":
         return self.start()
@@ -722,19 +999,41 @@ class ProcessRouter:
                 raise RuntimeError("router is not running (call start())")
             if worker is not None:
                 self.restarts += 1
+                self._restarts_total.inc(worker=str(index))
+                if self._plane is not None:
+                    self._plane.inc(self._plane_slots["restarts"][index])
                 threading.Thread(
                     target=worker.stop, name="serve-mp-reap", daemon=True
                 ).start()
             worker = WorkerHandle(
-                self._ctx, self.publisher.directory, self.config, index
+                self._ctx, self.publisher.directory, self.config, index,
+                obs_dir=self.obs_dir, trace=self._trace_workers_active,
             )
             self._workers[index] = worker
             return worker
 
     # -- query path ------------------------------------------------------
     def _count(self, response: ServeResponse) -> None:
-        self._requests_total.inc(status=response.status.value)
-        self.health.record(response.status.value, response.latency_s)
+        status = response.status.value
+        self._requests_total.inc(status=status)
+        ok = response.status is ServeStatus.OK
+        if ok and response.cache_state in _CACHE_STATES:
+            self._latency.observe(response.latency_s,
+                                  cache=response.cache_state)
+        if self._plane is not None:
+            self._plane.inc(self._plane_slots["status"][status])
+            if ok and response.cache_state in _CACHE_STATES:
+                self._plane.observe(
+                    self._plane_slots["latency"][response.cache_state],
+                    response.latency_s,
+                )
+        self.health.record(status, response.latency_s)
+
+    def _set_depth(self, depth: int) -> None:
+        self._queue_depth.set(depth)
+        if self._plane is not None:
+            self._plane.set(self._plane_slots["depth"], depth)
+        self.health.note_queue_depth(depth)
 
     def _decode(
         self, row: tuple, t0: float
@@ -772,47 +1071,59 @@ class ProcessRouter:
         t0 = time.monotonic()
         deadline_mono = t0 + timeout
         deadline_epoch = time.time() + timeout
-        routing = self._ensure_routing()
-        shards = routing.shards_for_ids(list(address_ids))
-        groups: dict[int, list[str]] = {}
-        for address_id, shard in zip(address_ids, shards):
-            if shard < 0:
-                shard = _stable_hash(address_id) % routing.n_shards
-            groups.setdefault(self.worker_for_shard(int(shard)), []).append(
-                address_id
+        # Head sampling decision rides the traceparent to the workers;
+        # the tail-based collector honors it (and always keeps slow or
+        # errored traces regardless).
+        sampled = (next(self._trace_seq) % self.trace_sample_every) == 0
+        with span("serve.route", n_ids=len(address_ids),
+                  sampled=sampled) as route_span:
+            traceparent = (
+                make_traceparent(route_span, sampled)
+                if route_span is not None else None
             )
-        with self._inflight_lock:
-            self._inflight += len(groups)
-            depth = self._inflight
-        self._queue_depth.set(depth)
-        self.health.note_queue_depth(depth)
-        try:
-            sent: list[tuple[int, list[str], Any]] = []
-            for index, ids in groups.items():
-                sent.append((index, ids, self._dispatch(index, ids,
-                                                        deadline_epoch)))
-            by_id: dict[str, ServeResponse] = {}
-            for index, ids, reply in sent:
-                rows = self._await_group(index, ids, reply, deadline_mono,
-                                         deadline_epoch)
-                for row in rows:
-                    by_id[row[0]] = self._decode(row, t0)
-            responses = [by_id[a] for a in address_ids]
-        finally:
+            routing = self._ensure_routing()
+            shards = routing.shards_for_ids(list(address_ids))
+            groups: dict[int, list[str]] = {}
+            for address_id, shard in zip(address_ids, shards):
+                if shard < 0:
+                    shard = _stable_hash(address_id) % routing.n_shards
+                groups.setdefault(
+                    self.worker_for_shard(int(shard)), []
+                ).append(address_id)
             with self._inflight_lock:
-                self._inflight -= len(groups)
+                self._inflight += len(groups)
                 depth = self._inflight
-            self._queue_depth.set(depth)
+            self._set_depth(depth)
+            try:
+                sent: list[tuple[int, list[str], Any]] = []
+                for index, ids in groups.items():
+                    sent.append((index, ids,
+                                 self._dispatch(index, ids, deadline_epoch,
+                                                traceparent)))
+                by_id: dict[str, ServeResponse] = {}
+                for index, ids, reply in sent:
+                    rows = self._await_group(index, ids, reply, deadline_mono,
+                                             deadline_epoch, traceparent)
+                    for row in rows:
+                        by_id[row[0]] = self._decode(row, t0)
+                responses = [by_id[a] for a in address_ids]
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= len(groups)
+                    depth = self._inflight
+                self._set_depth(depth)
         for response in responses:
             self._count(response)
         return responses
 
     def _dispatch(
-        self, index: int, ids: list[str], deadline_epoch: float
+        self, index: int, ids: list[str], deadline_epoch: float,
+        traceparent: str | None = None,
     ) -> Any:
         """Send a sub-batch; a reply handle, or an error marker row set."""
         try:
-            return self._worker(index).send("q", ids, deadline_epoch)
+            return self._worker(index).send("q", ids, deadline_epoch,
+                                            traceparent)
         except WorkerDiedError:
             return None
 
@@ -823,6 +1134,7 @@ class ProcessRouter:
         reply: Any,
         deadline_mono: float,
         deadline_epoch: float,
+        traceparent: str | None = None,
     ) -> list[tuple]:
         """Wait a sub-batch out, retrying once through a fresh worker."""
         for attempt in range(2):
@@ -843,7 +1155,8 @@ class ProcessRouter:
                         for a in ids
                     ]
             if attempt == 0:
-                reply = self._dispatch(index, ids, deadline_epoch)
+                reply = self._dispatch(index, ids, deadline_epoch,
+                                       traceparent)
         return [
             (a, ServeStatus.ERROR.value, None, None, None, None, None,
              f"worker {index} died and retry failed")
@@ -904,6 +1217,12 @@ class ProcessRouter:
         return response.result
 
     # -- heartbeat -------------------------------------------------------
+    def _note_heartbeat_miss(self, index: int) -> None:
+        self.heartbeat_misses += 1
+        self._heartbeat_misses_total.inc(worker=str(index))
+        if self._plane is not None:
+            self._plane.inc(self._plane_slots["misses"][index])
+
     def _heartbeat_loop(self) -> None:
         while not self._stop_heartbeat.wait(self.heartbeat_interval_s):
             for index in range(self.n_workers):
@@ -912,9 +1231,55 @@ class ProcessRouter:
                 try:
                     worker = self._worker(index)  # restarts dead workers
                     reply = worker.send("ping")
-                    worker.wait(reply, self.heartbeat_interval_s)
+                    if worker.wait(reply, self.heartbeat_interval_s) is None:
+                        self._note_heartbeat_miss(index)
                 except (WorkerDiedError, RuntimeError):
+                    self._note_heartbeat_miss(index)
                     continue  # next tick restarts it
+
+    # -- fleet observability ---------------------------------------------
+    def metrics(self, base: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Fleet-wide registry view merged from the shared-memory planes.
+
+        Scrapes every ``metrics-*.shm`` plane under :attr:`obs_dir` — the
+        router's own and one per worker — summing counters and histogram
+        buckets and max-merging gauges.  The scrape path is zero-IPC:
+        it only maps the plane files, never touches a worker pipe, so a
+        wedged or freshly-killed worker's last published values are still
+        collected.  Works before :meth:`start` and after :meth:`stop`
+        (plane files outlive their writers).
+        """
+        return merged_registry(self.obs_dir, base=base)
+
+    def fleet_verdict(self, slos: Sequence[SLO]) -> HealthReport:
+        """SLO verdict over the merged fleet metrics (not the live
+        windows — see :meth:`verdict` for those)."""
+        return evaluate_slos(self.metrics().to_dict(), list(slos),
+                             source="fleet")
+
+    def trace_dump(
+        self,
+        out: str,
+        p99_hint: float | None = None,
+        include_router: bool = True,
+    ) -> dict[str, Any]:
+        """Merge router + per-worker span files into one sampled trace.
+
+        Flushes the router's own sink first; workers flush per span, so
+        their files are complete up to the last finished span even while
+        the processes are alive.  Returns the collector's stats dict
+        (see :func:`repro.obs.trace.merge_traces`).
+        """
+        flush_tracing()
+        paths: list[str] = []
+        if include_router:
+            current = current_trace_path()
+            if current is not None:
+                paths.append(os.fspath(current))
+        paths.extend(sorted(_glob.glob(
+            os.path.join(self.obs_dir, "trace-worker-*.jsonl")
+        )))
+        return merge_traces(paths, out, p99_hint=p99_hint)
 
     # -- introspection ---------------------------------------------------
     def worker_stats(self, timeout_s: float = 1.0) -> list[dict[str, Any]]:
@@ -953,6 +1318,8 @@ class ProcessRouter:
             "queue_capacity": self.config.queue_capacity,
             "n_workers": self.n_workers,
             "worker_restarts": self.restarts,
+            "heartbeat_misses": self.heartbeat_misses,
+            "obs_dir": self.obs_dir,
             "store_version": self.publisher.current_version(),
             "snapshot_load_ms": {
                 "count": len(load_seconds),
@@ -976,4 +1343,6 @@ __all__ = [
     "WorkerHandle",
     "append_log_record",
     "read_log_records",
+    "router_plane_specs",
+    "worker_plane_specs",
 ]

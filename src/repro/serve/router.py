@@ -46,8 +46,12 @@ class QueryRouter:
         self.store = store
         self.cache = cache
         self.batcher = batcher
-        self._cache_events = get_registry().counter(
+        registry = get_registry()
+        self._cache_events = registry.counter(
             "serve_cache_events_total", "Result-cache lookups by outcome"
+        )
+        self._cache_hit_ratio = registry.gauge(
+            "serve_cache_hit_ratio", "Result-cache hit ratio since start"
         )
 
     @classmethod
@@ -84,8 +88,10 @@ class QueryRouter:
             cached = self.cache.get(address_id)
             if cached is not None:
                 self._cache_events.inc(event="hit")
+                self._note_hit_ratio()
                 return RoutedResult(address_id, cached, CACHE_HIT)
             self._cache_events.inc(event="miss")
+            self._note_hit_ratio()
         if self.batcher is not None:
             result = self.batcher.submit(address_id)
         else:
@@ -96,6 +102,12 @@ class QueryRouter:
         else:
             state = CACHE_BYPASS
         return RoutedResult(address_id, result, state)
+
+    def _note_hit_ratio(self) -> None:
+        hits = self._cache_events.value(event="hit")
+        misses = self._cache_events.value(event="miss")
+        if hits + misses:
+            self._cache_hit_ratio.set(hits / (hits + misses))
 
     def on_refresh(self) -> int:
         """Drop cached answers after a store swap; returns entries dropped."""

@@ -299,9 +299,13 @@ class QueryServer:
                     )
                 )
                 continue
+            # sampled=True is the head decision the tail-based trace
+            # collector (repro.obs.trace.merge_traces) honors — the
+            # thread backend head-samples everything, so merged thread
+            # traces keep the same shape as process-backend ones.
             with obs_span(
                 "serve.request", parent=pending.parent_span,
-                address_id=pending.address_id,
+                address_id=pending.address_id, sampled=True,
             ) as sp:
                 try:
                     routed = self.router.resolve(pending.address_id)

@@ -15,7 +15,9 @@ from repro.obs.health import (
     histogram_quantile,
     load_slo_file,
     parse_slos,
+    quantile_from_export,
 )
+from repro.obs.shm import MetricsPlane, SlotSpec, merge_snapshots
 
 SPEC_TEXT = """\
 # objectives gating the serving tier
@@ -126,6 +128,70 @@ class TestHistogramQuantile:
     def test_non_monotone_rejected(self):
         with pytest.raises(ValueError, match="non-decreasing"):
             histogram_quantile(self.BOUNDS, (5, 3, 5, 5), 0.5)
+
+
+class TestMergedExportQuantile:
+    """Quantiles over a multi-worker merged export == pooled observations."""
+
+    BUCKETS = (0.05, 0.1, 0.5, 1.0)
+    PER_WORKER = {
+        "0": (0.01, 0.02, 0.06, 0.3),
+        "1": (0.07, 0.09, 0.4, 0.8, 2.0),
+        "2": (0.03, 0.55),
+    }
+
+    def _merged_payload(self, tmp_path) -> dict:
+        planes = []
+        for worker, values in self.PER_WORKER.items():
+            plane = MetricsPlane.create(
+                str(tmp_path / f"metrics-w{worker}.shm"),
+                (SlotSpec("histogram", "lat_seconds",
+                          (("worker", worker),), self.BUCKETS),),
+                meta={"worker": worker},
+            )
+            idx = plane.slot("lat_seconds", worker=worker)
+            for v in values:
+                plane.observe(idx, v)
+            planes.append(plane)
+        merged = merge_snapshots([p.read() for p in planes])
+        for plane in planes:
+            plane.close()
+        return json.loads(json.dumps(merged.to_dict()))
+
+    def _pooled_cumulative(self, values) -> list:
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", buckets=self.BUCKETS)
+        for v in values:
+            h.observe(v)
+        (sample,) = h.samples()
+        return ([sample["buckets"][str(b)] for b in self.BUCKETS]
+                + [sample["buckets"]["+Inf"]])
+
+    def test_quantile_equals_pooled_observations(self, tmp_path):
+        payload = self._merged_payload(tmp_path)
+        pooled = self._pooled_cumulative(
+            [v for vs in self.PER_WORKER.values() for v in vs]
+        )
+        for q in (0.5, 0.9, 0.95, 0.99):
+            expected = histogram_quantile(list(self.BUCKETS), pooled, q)
+            assert quantile_from_export(payload, "lat_seconds", q) == \
+                pytest.approx(expected), q
+
+    def test_label_filter_selects_one_worker(self, tmp_path):
+        payload = self._merged_payload(tmp_path)
+        pooled = self._pooled_cumulative(self.PER_WORKER["1"])
+        expected = histogram_quantile(list(self.BUCKETS), pooled, 0.5)
+        observed = quantile_from_export(
+            payload, "lat_seconds", 0.5, labels={"worker": "1"}
+        )
+        assert observed == pytest.approx(expected)
+
+    def test_absent_family_returns_none(self, tmp_path):
+        payload = self._merged_payload(tmp_path)
+        assert quantile_from_export(payload, "nope_seconds", 0.5) is None
+        assert quantile_from_export(
+            payload, "lat_seconds", 0.5, labels={"worker": "9"}
+        ) is None
 
 
 class TestEvaluateAgainstPayload:

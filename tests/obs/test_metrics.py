@@ -93,6 +93,35 @@ class TestHistogram:
         with pytest.raises(ValueError, match="at least one bucket"):
             registry.histogram("h", buckets=())
 
+    def test_merge_raw_folds_prebucketed_counts(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        # Per-bucket (non-cumulative) counts incl. +Inf, as read from a
+        # shared-memory plane slot.
+        h.merge_raw((1, 2, 1), 7.5)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(7.55)
+        (sample,) = h.samples()
+        assert sample["buckets"] == {"0.1": 2, "1.0": 4, "+Inf": 5}
+
+    def test_merge_raw_respects_labels(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.merge_raw((3, 0), 1.5, worker="0")
+        h.merge_raw((1, 1), 4.0, worker="1")
+        assert h.count(worker="0") == 3
+        assert h.count(worker="1") == 2
+        assert h.count() == 0
+
+    def test_merge_raw_rejects_wrong_arity(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            h.merge_raw((1, 2), 1.0)
+
+    def test_merge_raw_rejects_negative_counts(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.merge_raw((1, -1), 1.0)
+
 
 class TestPrometheusFormat:
     def test_counter_and_gauge_lines(self, registry):
@@ -130,6 +159,39 @@ class TestPrometheusFormat:
         registry.counter("c", "line one\nline two \\ backslash")
         text = registry.to_prometheus()
         assert "# HELP c line one\\nline two \\\\ backslash" in text
+
+    def test_hostile_label_values_stay_parseable(self, registry):
+        # Adversarial values probing escape ordering: a literal backslash
+        # directly before characters that are themselves escaped.  If
+        # quote/newline escaping ran before backslash doubling, the
+        # emitted backslashes would double and the exposition would
+        # change meaning.
+        hostile = {
+            "backslash_n": "\\n",        # literal backslash + n, NOT newline
+            "backslash_quote": '\\"',
+            "trailing_backslash": "ends\\",
+            "mixed": 'a\\\n"b\\n',
+            "only_newlines": "\n\n",
+        }
+        for i, (name, value) in enumerate(hostile.items()):
+            registry.counter(f"hostile_{i}").inc(1, v=value)
+            expected = (value.replace("\\", "\\\\")
+                        .replace('"', '\\"')
+                        .replace("\n", "\\n"))
+            line = f'hostile_{i}{{v="{expected}"}} 1'
+            text = registry.to_prometheus()
+            assert line in text, (name, value, text)
+        # Every sample stays on its own line: no raw newline leaked.
+        body = [ln for ln in registry.to_prometheus().splitlines()
+                if not ln.startswith("#")]
+        assert len(body) == len(hostile)
+
+    def test_nan_renders_as_nan_token(self, registry):
+        registry.gauge("g").set(math.nan)
+        text = registry.to_prometheus()
+        assert "g NaN" in text
+        # Not the repr-style token the float formatter would produce.
+        assert "g nan" not in text
 
     def test_empty_registry_renders_empty(self, registry):
         assert registry.to_prometheus() == ""

@@ -1,0 +1,281 @@
+"""Shared-memory metrics planes: seqlock safety, attach, scrape, merge."""
+
+import struct
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.shm import (
+    MetricsPlane,
+    PlaneSchemaError,
+    SlotSpec,
+    merge_snapshots,
+    merged_registry,
+    scrape_planes,
+)
+
+SPECS = (
+    SlotSpec("counter", "reqs_total", (("status", "ok"),)),
+    SlotSpec("counter", "reqs_total", (("status", "error"),)),
+    SlotSpec("gauge", "depth"),
+    SlotSpec("histogram", "lat_seconds", buckets=(0.1, 1.0)),
+)
+
+
+@pytest.fixture
+def plane(tmp_path):
+    p = MetricsPlane.create(str(tmp_path / "metrics-w0.shm"), SPECS,
+                            meta={"worker": "0"})
+    yield p
+    p.close()
+
+
+class TestSlotSpec:
+    def test_histogram_defaults_latency_buckets(self):
+        spec = SlotSpec("histogram", "h")
+        assert spec.buckets  # filled from DEFAULT_LATENCY_BUCKETS
+        assert spec.slot_bytes % 64 == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown slot kind"):
+            SlotSpec("summary", "s")
+
+    def test_dict_roundtrip(self):
+        spec = SPECS[3]
+        assert SlotSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestWriteReadRoundTrip:
+    def test_counter_gauge_histogram(self, plane):
+        plane.inc(plane.slot("reqs_total", status="ok"), 3)
+        plane.inc(plane.slot("reqs_total", status="error"))
+        plane.set(plane.slot("depth"), 7.5)
+        h = plane.slot("lat_seconds")
+        for v in (0.05, 0.5, 5.0):
+            plane.observe(h, v)
+        snap = plane.read()
+        assert snap.meta == {"worker": "0"}
+        assert snap.n_torn == 0
+        by = {(s.spec.name, s.spec.labels): s for s in snap.slots}
+        assert by[("reqs_total", (("status", "ok"),))].value == 3.0
+        assert by[("reqs_total", (("status", "error"),))].value == 1.0
+        assert by[("depth", ())].value == 7.5
+        hist = by[("lat_seconds", ())]
+        assert hist.bucket_counts == (1, 1, 1)
+        assert hist.sum == pytest.approx(5.55)
+        assert hist.count == 3
+
+    def test_boundary_value_lands_in_le_bucket(self, plane):
+        plane.observe(plane.slot("lat_seconds"), 0.1)
+        (hist,) = [s for s in plane.read().slots
+                   if s.spec.kind == "histogram"]
+        assert hist.bucket_counts == (1, 0, 0)
+
+    def test_unknown_slot_raises(self, plane):
+        with pytest.raises(KeyError):
+            plane.slot("reqs_total", status="nope")
+
+    def test_observe_on_scalar_slot_rejected(self, plane):
+        with pytest.raises(TypeError, match="not a histogram"):
+            plane.observe(plane.slot("depth"), 1.0)
+
+    def test_reader_sees_writer_through_the_file(self, plane):
+        plane.inc(plane.slot("depth"), 2)
+        reader = MetricsPlane.open(plane.path)
+        try:
+            (depth,) = [s for s in reader.read().slots
+                        if s.spec.name == "depth"]
+            assert depth.value == 2.0
+        finally:
+            reader.close()
+
+
+class TestAttachAndRecreate:
+    def test_matching_schema_attaches_and_preserves(self, tmp_path):
+        path = str(tmp_path / "m.shm")
+        first = MetricsPlane.create(path, SPECS, meta={"worker": "0"})
+        first.inc(first.slot("reqs_total", status="ok"), 5)
+        first.close()
+        # A restarted worker re-creates with the identical schema: the
+        # counter keeps its history (monotonic across restarts).
+        second = MetricsPlane.create(path, SPECS, meta={"worker": "0"})
+        try:
+            second.inc(second.slot("reqs_total", status="ok"), 2)
+            (ok,) = [s for s in second.read().slots
+                     if s.spec.labels == (("status", "ok"),)]
+            assert ok.value == 7.0
+        finally:
+            second.close()
+
+    def test_schema_change_zeroes(self, tmp_path):
+        path = str(tmp_path / "m.shm")
+        first = MetricsPlane.create(path, SPECS, meta={"worker": "0"})
+        first.inc(first.slot("reqs_total", status="ok"), 5)
+        first.close()
+        changed = SPECS + (SlotSpec("counter", "new_total"),)
+        second = MetricsPlane.create(path, changed, meta={"worker": "0"})
+        try:
+            (ok,) = [s for s in second.read().slots
+                     if s.spec.labels == (("status", "ok"),)]
+            assert ok.value == 0.0
+        finally:
+            second.close()
+
+    def test_meta_change_also_recreates(self, tmp_path):
+        path = str(tmp_path / "m.shm")
+        first = MetricsPlane.create(path, SPECS, meta={"worker": "0"})
+        first.inc(first.slot("depth"))
+        first.close()
+        second = MetricsPlane.create(path, SPECS, meta={"worker": "1"})
+        try:
+            (depth,) = [s for s in second.read().slots
+                        if s.spec.name == "depth"]
+            assert depth.value == 0.0
+        finally:
+            second.close()
+
+    def test_junk_file_is_replaced_not_crashed(self, tmp_path):
+        path = tmp_path / "m.shm"
+        path.write_bytes(b"definitely not a plane")
+        plane = MetricsPlane.create(str(path), SPECS, meta={})
+        try:
+            plane.inc(plane.slot("depth"))
+        finally:
+            plane.close()
+
+    def test_open_rejects_junk(self, tmp_path):
+        path = tmp_path / "junk.shm"
+        path.write_bytes(b"nope" * 10)
+        with pytest.raises(PlaneSchemaError):
+            MetricsPlane.open(str(path))
+
+    def test_open_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.shm"
+        path.write_bytes(b"ROBSPLN1" + struct.pack("<I", 10_000))
+        with pytest.raises(PlaneSchemaError):
+            MetricsPlane.open(str(path))
+
+
+class TestTornSlots:
+    def test_odd_epoch_marks_torn_not_garbage(self, plane):
+        plane.inc(plane.slot("reqs_total", status="ok"), 9)
+        # Simulate a writer that died mid-update: epoch left odd forever.
+        offset = plane._offsets[plane.slot("reqs_total", status="ok")]
+        struct.pack_into("<Q", plane._mm, offset, 1)
+        snap = plane.read()
+        (ok,) = [s for s in snap.slots
+                 if s.spec.labels == (("status", "ok"),)]
+        assert ok.torn is True
+        assert snap.n_torn == 1
+
+    def test_merge_skips_torn_slots(self, plane):
+        plane.inc(plane.slot("reqs_total", status="ok"), 9)
+        plane.inc(plane.slot("reqs_total", status="error"), 4)
+        offset = plane._offsets[plane.slot("reqs_total", status="ok")]
+        struct.pack_into("<Q", plane._mm, offset, 1)
+        registry = merge_snapshots([plane.read()])
+        counter = registry.counter("reqs_total")
+        assert counter.value(status="ok") == 0   # torn -> omitted
+        assert counter.value(status="error") == 4
+
+    def test_concurrent_writer_never_yields_inconsistent_hist(self, plane):
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                plane.observe(plane.slot("lat_seconds"), (i % 20) / 10.0)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            reader = MetricsPlane.open(plane.path)
+            try:
+                last_count = 0
+                for _ in range(300):
+                    (hist,) = [s for s in reader.read().slots
+                               if s.spec.kind == "histogram"]
+                    if hist.torn:
+                        continue
+                    # Seqlock invariant: bucket counts always sum to the
+                    # total count, and the total never goes backwards.
+                    assert sum(hist.bucket_counts) == hist.count
+                    assert hist.count >= last_count
+                    last_count = hist.count
+            finally:
+                reader.close()
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestScrapeAndMerge:
+    def _two_planes(self, tmp_path):
+        a = MetricsPlane.create(str(tmp_path / "metrics-w0.shm"), SPECS,
+                                meta={"worker": "0"})
+        b = MetricsPlane.create(str(tmp_path / "metrics-w1.shm"), SPECS,
+                                meta={"worker": "1"})
+        a.inc(a.slot("reqs_total", status="ok"), 10)
+        b.inc(b.slot("reqs_total", status="ok"), 7)
+        b.inc(b.slot("reqs_total", status="error"), 1)
+        a.set(a.slot("depth"), 3)
+        b.set(b.slot("depth"), 5)
+        a.observe(a.slot("lat_seconds"), 0.05)
+        b.observe(b.slot("lat_seconds"), 0.5)
+        b.observe(b.slot("lat_seconds"), 5.0)
+        return a, b
+
+    def test_counters_sum_gauges_max(self, tmp_path):
+        a, b = self._two_planes(tmp_path)
+        try:
+            registry = merged_registry(str(tmp_path))
+            counter = registry.counter("reqs_total")
+            assert counter.value(status="ok") == 17.0
+            assert counter.value(status="error") == 1.0
+            assert registry.gauge("depth").value() == 5.0
+            hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+            assert hist.count() == 3
+            assert hist.sum() == pytest.approx(5.55)
+            (sample,) = hist.samples()
+            assert sample["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_scrape_skips_foreign_files(self, tmp_path):
+        a, b = self._two_planes(tmp_path)
+        try:
+            (tmp_path / "metrics-bogus.shm").write_bytes(b"junk")
+            snaps = scrape_planes(str(tmp_path))
+            assert len(snaps) == 2
+            assert {s.meta["worker"] for s in snaps} == {"0", "1"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_scrape_needs_no_live_writer(self, tmp_path):
+        a, b = self._two_planes(tmp_path)
+        a.close()
+        b.close()
+        # The writers are gone; the files alone carry the fleet view.
+        registry = merged_registry(str(tmp_path))
+        assert registry.counter("reqs_total").total() == 18.0
+
+    def test_merge_into_existing_registry(self, tmp_path):
+        a, b = self._two_planes(tmp_path)
+        try:
+            base = MetricsRegistry()
+            base.counter("unrelated_total").inc(2)
+            merged = merged_registry(str(tmp_path), base=base)
+            assert merged is base
+            assert merged.counter("unrelated_total").value() == 2
+            assert merged.counter("reqs_total").value(status="ok") == 17.0
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_directory_merges_empty(self, tmp_path):
+        registry = merged_registry(str(tmp_path))
+        assert registry.to_dict()["metrics"] == []

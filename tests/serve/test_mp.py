@@ -16,6 +16,8 @@ import pytest
 
 from repro.apps import QuerySource, UnknownAddressError
 from repro.geo import Point
+from repro.obs import configure_tracing, disable_tracing, merge_traces, read_trace
+from repro.obs.health import SLO
 from repro.serve import (
     GeohashShardStrategy,
     ProcessRouter,
@@ -25,7 +27,7 @@ from repro.serve import (
     SnapshotPublisher,
     VersionCounter,
 )
-from repro.serve.mp import append_log_record, read_log_records
+from repro.serve.mp import WorkerHandle, append_log_record, read_log_records
 from tests.core.helpers import make_address, point_at
 
 #: Generous deadlines: restart-and-retry on a single-core CI box must
@@ -237,6 +239,176 @@ class TestWorkerDeath:
                 replacement = router._workers[index]
                 assert replacement.alive
                 assert replacement.process.pid != old_pid
+
+
+class TestFleetObservability:
+    """Shared-memory planes, merged registry, and cross-process traces."""
+
+    def _status_sums(self, registry, name):
+        out = {}
+        for family in registry.to_dict()["metrics"]:
+            if family["name"] != name:
+                continue
+            for sample in family["samples"]:
+                status = sample["labels"].get("status", "")
+                out[status] = out.get(status, 0.0) + sample["value"]
+        return out
+
+    def test_merged_export_conserves_request_counts(self, store, tmp_path):
+        ids = list(store.address_book)
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            for _ in range(3):
+                responses = router.query_batch(ids)
+                assert all(r.status is ServeStatus.OK for r in responses)
+            router.stop()  # flush worker planes before the final scrape
+            registry = router.metrics()
+        n_issued = 3 * len(ids)
+        router_counts = self._status_sums(registry, "serve_requests_total")
+        worker_counts = self._status_sums(
+            registry, "serve_worker_requests_total"
+        )
+        # Conservation: every finished request was recorded by exactly
+        # one worker plane, so the sums match the router's — exactly.
+        assert router_counts.get("ok") == n_issued
+        assert worker_counts.get("ok") == n_issued
+        assert sum(router_counts.values()) == sum(worker_counts.values())
+        # Healthy run: restart/heartbeat families are present (pre-seeded
+        # per worker, fail-closed SLOs need the zero samples) and at zero.
+        assert registry.counter("serve_worker_restarts_total").total() == 0
+        assert registry.counter(
+            "serve_worker_heartbeat_misses_total"
+        ).total() == 0
+        # Per-worker cache hit ratio gauges exist (no cache -> 0.0).
+        assert registry.gauge("serve_worker_cache_hit_ratio") is not None
+
+    def test_fleet_verdict_over_merged_planes(self, store, tmp_path):
+        ids = list(store.address_book)
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            assert all(
+                r.status is ServeStatus.OK for r in router.query_batch(ids)
+            )
+            router.stop()
+            report = router.fleet_verdict([
+                SLO(name="error-rate", metric="serve_requests_total",
+                    kind="error_rate", objective=0.01,
+                    bad=(("status", ("error",)),)),
+                SLO(name="restarts", metric="serve_worker_restarts_total",
+                    kind="max", objective=0),
+            ])
+        assert report.ok, report.to_dict()
+        assert report.source == "fleet"
+
+    def test_metrics_scrape_touches_no_worker_pipes(
+        self, store, tmp_path, monkeypatch
+    ):
+        ids = list(store.address_book)
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG,
+            heartbeat_interval_s=30.0,
+        ) as router:
+            assert all(
+                r.status is ServeStatus.OK for r in router.query_batch(ids)
+            )
+
+            def no_pipes(self, *args, **kwargs):
+                raise AssertionError("metrics scrape sent a pipe message")
+
+            monkeypatch.setattr(WorkerHandle, "send", no_pipes)
+            registry = router.metrics()
+        worker_total = registry.counter("serve_worker_requests_total").total()
+        assert worker_total >= len(ids)
+
+    def test_restart_counter_attributes_killed_workers(self, store, tmp_path):
+        ids = list(store.address_book)
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG,
+            heartbeat_interval_s=30.0,
+        ) as router:
+            assert all(
+                r.status is ServeStatus.OK for r in router.query_batch(ids)
+            )
+            serving = {
+                s["worker_id"] for s in router.worker_stats()
+                if s["n_requests"]
+            }
+            assert serving
+            for worker in list(router._workers):
+                worker.process.kill()
+                worker.process.join(5.0)
+            after = router.query_batch(ids)
+            assert all(r.status is ServeStatus.OK for r in after)
+            registry = router.metrics()
+            restarts = registry.counter("serve_worker_restarts_total")
+            assert restarts.total() == router.restarts >= len(serving)
+            for index in serving:
+                assert restarts.value(worker=str(index)) >= 1, index
+            # The restarted workers attached to the existing planes: the
+            # pre-kill request counts survived the restart (monotonic).
+            worker_counts = self._status_sums(
+                registry, "serve_worker_requests_total"
+            )
+            assert worker_counts.get("ok", 0) >= len(ids)
+
+    def test_cross_process_span_parentage(self, store, tmp_path):
+        configure_tracing(tmp_path / "router-trace.jsonl")
+        try:
+            with ProcessRouter.from_store(
+                store, str(tmp_path / "snap"), n_workers=2, config=CONFIG
+            ) as router:
+                responses = router.query_batch(list(store.address_book))
+                assert all(r.status is ServeStatus.OK for r in responses)
+                router.stop()  # workers flush their span files on shutdown
+                stats = router.trace_dump(str(tmp_path / "merged.jsonl"))
+        finally:
+            disable_tracing()
+        assert stats["n_files"] >= 2        # router file + >=1 worker file
+        assert stats["n_kept_spans"] >= 2
+        spans = read_trace(tmp_path / "merged.jsonl")
+        routes = {s["span_id"]: s for s in spans if s["name"] == "serve.route"}
+        requests = [s for s in spans if s["name"] == "serve.request"]
+        assert routes and requests
+        linked = [
+            s for s in requests
+            if s.get("parent_id") in routes
+            and s["trace_id"] == routes[s["parent_id"]]["trace_id"]
+        ]
+        assert linked, spans
+        # The child spans really come from other processes.
+        assert all(
+            s["attributes"].get("pid") not in (None, os.getpid())
+            for s in linked
+        )
+        # Workers re-stamp the router's head-sampling decision, so a
+        # post-mortem merge of the worker files ALONE (no router trace
+        # file — the obs-export path after a front-end crash) still
+        # keeps the sampled traces.
+        assert all(s["attributes"].get("sampled") for s in linked)
+        worker_files = sorted(
+            os.path.join(router.obs_dir, name)
+            for name in os.listdir(router.obs_dir)
+            if name.startswith("trace-worker-")
+        )
+        worker_only = merge_traces(
+            worker_files, tmp_path / "workers-only.jsonl"
+        )
+        assert worker_only["n_kept_spans"] >= len(linked)
+        assert worker_only["kept_by_reason"]["sampled"] >= 1
+
+    def test_tracing_off_means_no_worker_span_files(self, store, tmp_path):
+        disable_tracing()
+        with ProcessRouter.from_store(
+            store, str(tmp_path), n_workers=2, config=CONFIG
+        ) as router:
+            router.query_batch(list(store.address_book))
+            obs_dir = router.obs_dir
+        assert [
+            name for name in os.listdir(obs_dir)
+            if name.startswith("trace-worker-")
+        ] == []
 
 
 class TestRefreshChurn:

@@ -475,3 +475,151 @@ class TestUpdateDrift:
         assert "pool" in kinds
         for entry in report["reports"]:
             assert {"kind", "drifted", "dimensions"} <= set(entry)
+
+
+class TestObsExport:
+    """Post-mortem scrape of metrics planes + per-worker span files."""
+
+    @pytest.fixture()
+    def obs_dir(self, tmp_path):
+        from repro.obs.shm import MetricsPlane, SlotSpec
+
+        obs_dir = tmp_path / "obs"
+        obs_dir.mkdir()
+        for worker in ("0", "1"):
+            plane = MetricsPlane.create(
+                str(obs_dir / f"metrics-worker-{worker}.shm"),
+                (SlotSpec("counter", "serve_worker_requests_total",
+                          (("status", "ok"), ("worker", worker))),),
+                meta={"worker": worker},
+            )
+            plane.inc(plane.slot("serve_worker_requests_total",
+                                 status="ok", worker=worker), 5)
+            plane.close()
+        (obs_dir / "trace-worker-0.jsonl").write_text(json.dumps({
+            "name": "serve.request", "trace_id": "t1", "span_id": "s1",
+            "parent_id": None, "start_unix": 1.0, "end_unix": 1.1,
+            "duration_s": 0.1, "status": "error",
+            "attributes": {"worker": 0},
+        }) + "\n")
+        return obs_dir
+
+    def test_renders_merged_prometheus_text(self, obs_dir, capsys):
+        code = main(["obs-export", "--obs-dir", str(obs_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve_worker_requests_total" in out
+
+    def test_out_writes_prometheus_file(self, obs_dir, tmp_path, capsys):
+        out_path = tmp_path / "fleet.prom"
+        code = main(["obs-export", "--obs-dir", str(obs_dir),
+                     "--out", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert ('serve_worker_requests_total'
+                '{status="ok",worker="0"} 5') in text
+        assert ('serve_worker_requests_total'
+                '{status="ok",worker="1"} 5') in text
+        assert str(out_path) in capsys.readouterr().out
+
+    def test_json_document_sums_planes(self, obs_dir, capsys):
+        code = main(["obs-export", "--obs-dir", str(obs_dir), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (family,) = [m for m in payload["metrics"]
+                     if m["name"] == "serve_worker_requests_total"]
+        assert sum(s["value"] for s in family["samples"]) == 10
+        assert "timestamp_unix" in payload["meta"]
+
+    def test_trace_out_merges_worker_spans(self, obs_dir, tmp_path, capsys):
+        merged = tmp_path / "merged.jsonl"
+        code = main(["obs-export", "--obs-dir", str(obs_dir),
+                     "--trace-out", str(merged)])
+        assert code == 0
+        spans = [json.loads(line)
+                 for line in merged.read_text().splitlines()]
+        assert [s["name"] for s in spans] == ["serve.request"]
+
+    def test_slo_gate_pass_and_fail(self, obs_dir, tmp_path, capsys):
+        good = tmp_path / "good.yaml"
+        good.write_text(
+            "slos:\n"
+            "  - name: worker-errors\n"
+            "    metric: serve_worker_requests_total\n"
+            "    kind: error_rate\n"
+            "    objective: 0.01\n"
+            "    bad:\n"
+            "      status: [error]\n"
+        )
+        assert main(["obs-export", "--obs-dir", str(obs_dir),
+                     "--slo", str(good)]) == 0
+        assert "health: OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "slos:\n"
+            "  - name: impossible\n"
+            "    metric: serve_worker_requests_total\n"
+            "    kind: max\n"
+            "    objective: 0\n"
+        )
+        assert main(["obs-export", "--obs-dir", str(obs_dir),
+                     "--slo", str(bad)]) == 1
+        assert "health: VIOLATED" in capsys.readouterr().out
+
+    def test_missing_or_empty_directory_exits_two(self, tmp_path, capsys):
+        assert main(["obs-export", "--obs-dir",
+                     str(tmp_path / "nope")]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["obs-export", "--obs-dir", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "not a directory" in err
+        assert "no metrics planes" in err
+
+
+class TestServeBenchProcessFleet:
+    def test_fleet_capture_conserves_counts(self, data_dir, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_mp.json"
+        merged_trace = tmp_path / "merged-trace.jsonl"
+        slo = tmp_path / "slo.yaml"
+        slo.write_text(SERVE_SLO.format(objective=5.0))
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--backend", "process", "--workers", "2",
+            "--duration", "0.3", "--timeout", "10",
+            "--snapshot-dir", str(tmp_path / "snapshots"),
+            "--slo", str(slo),
+            "--trace", str(tmp_path / "router-trace.jsonl"),
+            "--trace-merged", str(merged_trace),
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["report"]["n_errors"] == 0
+        fleet = payload["fleet"]
+        assert fleet is not None
+        # The merged plane view conserves the router's own counts.
+        assert fleet["worker_requests_total"] >= payload["report"]["n_ok"]
+        assert fleet["worker_restarts"] == 0
+        assert fleet["slo"]["ok"], fleet["slo"]
+        assert fleet["slo"]["source"] == "fleet"
+        # The merged trace carries cross-process parentage.
+        spans = [json.loads(line)
+                 for line in merged_trace.read_text().splitlines()]
+        routes = {s["span_id"] for s in spans if s["name"] == "serve.route"}
+        assert any(
+            s["name"] == "serve.request" and s.get("parent_id") in routes
+            for s in spans
+        ), fleet["trace"]
+
+    def test_thread_backend_has_no_fleet_section(self, data_dir, tmp_path):
+        out_path = tmp_path / "BENCH_thread.json"
+        code = main([
+            "serve-bench", "--data", str(data_dir),
+            "--locations", str(data_dir / "ground_truth.json"),
+            "--duration", "0.2", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert json.loads(out_path.read_text())["fleet"] is None
