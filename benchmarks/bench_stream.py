@@ -1,0 +1,63 @@
+"""Streaming ingestion tier: sustained rate, freshness lag, gate checks.
+
+Drives the full ``repro.stream`` pipeline — unbounded synthetic event
+stream with bounded disorder and duplicates → bus → online stay-point
+extraction → sharded incremental merge → gate-checked promotion into a
+live :class:`~repro.serve.QueryServer` under concurrent query load — via
+the same :func:`repro.stream.bench.run_stream_bench` harness the
+``repro stream-bench`` CLI and the CI smoke gate use.  Records sustained
+events/sec, freshness-lag percentiles (event arrival → servable
+snapshot), the exhaustive ingest-outcome accounting (the zero-loss
+proof), online-vs-batch stay parity, and the poisoned-batch rejection
+probe.  Results land in ``benchmarks/results/BENCH_stream.json``.
+"""
+
+from repro.eval import series_table
+from repro.stream.bench import StreamBenchConfig, run_stream_bench
+
+DURATION_S = 3.0
+
+
+def test_stream_bench(write_result, write_json):
+    config = StreamBenchConfig(
+        preset="tiny",
+        duration_s=DURATION_S,
+        serve_rate_rps=100.0,
+        refresh_interval_s=0.5,
+    )
+    payload = run_stream_bench(config)
+
+    ingest = payload["ingest"]
+    freshness = payload["freshness"]
+    promos = payload["promotions"]
+    parity = payload["parity"]
+    poison = payload["poison"]
+    rows = [
+        ("events offered", float(ingest["offered"])),
+        ("events/sec sustained", ingest["events_per_sec"]),
+        ("accepted", float(ingest.get("accepted", 0))),
+        ("duplicates dropped", float(ingest.get("duplicate", 0))),
+        ("late dropped", float(ingest.get("late", 0))),
+        ("shed", float(ingest.get("shed", 0))),
+        ("lost (late+shed)", float(ingest["lost"])),
+        ("stays emitted", float(ingest["stays_emitted"])),
+        ("freshness p50 (s)", freshness["p50_s"] or 0.0),
+        ("freshness p95 (s)", freshness["p95_s"] or 0.0),
+        ("promotions", float(promos["n_promoted"])),
+        ("rejections", float(promos["n_rejected"])),
+        ("serve errors", float(payload["serve"]["n_errors"])),
+    ]
+    text = series_table(
+        [(name, value) for name, value in rows],
+        headers=["metric", "value"],
+        title="Streaming ingestion: rate, freshness, loss accounting",
+    )
+    write_result("BENCH_stream", text)
+    write_json("BENCH_stream", payload)
+
+    # The acceptance gates, asserted on the recorded artifact itself.
+    assert payload["zero_loss"], ingest
+    assert parity["equal"], parity
+    assert promos["n_promoted"] >= 1, promos
+    assert poison["rejected"] and poison["served_version_unchanged"], poison
+    assert payload["serve"]["n_errors"] == 0, payload["serve"]

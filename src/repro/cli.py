@@ -703,6 +703,190 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report.n_errors == 0 and slo_ok and fleet_ok else 1
 
 
+def _cmd_stream_bench(args: argparse.Namespace) -> int:
+    """Benchmark the streaming ingestion tier (``repro.stream``).
+
+    Exit code gates the streaming acceptance criteria directly: zero
+    event loss, online-vs-batch stay parity, at least one promotion, and
+    — when the poison probe runs — the drifted batch rejected with the
+    served snapshot version unchanged.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.serve import (
+        ProcessRouter,
+        QueryServer,
+        ServerConfig,
+        ShardedLocationStore,
+        SnapshotPublisher,
+    )
+    from repro.stream.bench import StreamBenchConfig, run_stream_bench
+
+    slos = []
+    if args.slo:
+        from repro.obs.health import load_slo_file
+
+        try:
+            slos = load_slo_file(args.slo)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
+    _begin_observability(args)
+    fleet = None
+    with contextlib.ExitStack() as stack:
+        snapshot_dir = None
+        if args.backend == "process":
+            snapshot_dir = args.snapshot_dir or stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="stream-bench-snap-")
+            )
+        cfg = StreamBenchConfig(
+            preset=args.preset,
+            scale=args.scale,
+            seed=args.seed,
+            duration_s=args.duration,
+            event_rate=args.event_rate,
+            serve_rate_rps=args.serve_rate,
+            backend=args.backend,
+            workers=args.workers,
+            refresh_interval_s=args.refresh_interval,
+            bus_capacity=args.bus_capacity,
+            overflow=args.overflow,
+            lateness_s=args.lateness,
+            disorder_s=args.disorder,
+            p_duplicate=args.p_duplicate,
+            warmup_promotions=args.warmup,
+            psi_threshold=args.psi_threshold,
+            poison=not args.no_poison,
+            n_poison_sites=args.poison_sites,
+            parity_check=not args.no_parity,
+            snapshot_dir=snapshot_dir,
+        )
+
+        def factory(dataset, geocodes):
+            store = ShardedLocationStore(geocodes, dataset.addresses)
+            server_config = ServerConfig(n_workers=args.workers)
+            if args.backend == "process":
+                # The streaming metrics plane lands in the same obs/
+                # directory as the router and worker planes, so the
+                # ingest tier is scrape-able alongside the serving fleet.
+                publisher = SnapshotPublisher(snapshot_dir)
+                publisher.publish(store)
+                router = ProcessRouter(
+                    snapshot_dir, n_workers=args.workers,
+                    config=server_config,
+                ).start()
+
+                def promote(locations) -> int:
+                    return publisher.refresh(store, locations).version
+
+                def close() -> None:
+                    router.stop()
+                    publisher.close()
+
+                return promote, publisher.current_version, close, router
+            server = QueryServer(store, server_config).start()
+            return (
+                server.apply_refresh,
+                lambda: server.store.version,
+                server.stop,
+                server,
+            )
+
+        payload = run_stream_bench(cfg, slos=slos, promote_factory=factory)
+        if args.backend == "process":
+            # Post-mortem fleet scrape: the shared-memory planes outlive
+            # the worker processes, and metrics-stream.shm sits next to
+            # the router/worker planes — prove the streaming tier joined
+            # the fleet view.
+            from repro.obs.shm import merge_snapshots, scrape_planes
+
+            obs_dir = str(pathlib.Path(snapshot_dir) / "obs")
+            snapshots = scrape_planes(obs_dir)
+            fleet_doc = merge_snapshots(snapshots).to_dict()
+            families = {m["name"]: m for m in fleet_doc["metrics"]}
+
+            def _family_total(name: str) -> float:
+                return sum(
+                    s["value"]
+                    for s in families.get(name, {}).get("samples", [])
+                )
+
+            fleet = {
+                "stream_events_total": _family_total("stream_events_total"),
+                "stream_promotions_total": _family_total(
+                    "stream_promotions_total"
+                ),
+                "serve_requests_total": _family_total("serve_requests_total"),
+                "n_planes": len(snapshots),
+            }
+    payload["run_meta"] = obs.run_metadata({"command": "stream-bench",
+                                            **payload["config"]})
+    payload["fleet"] = fleet
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        ingest = payload["ingest"]
+        freshness = payload["freshness"]
+        promos = payload["promotions"]
+        title = (f"stream-bench: {cfg.preset} preset, {args.backend} "
+                 f"backend, {cfg.duration_s:g}s")
+        print(title)
+        print("-" * len(title))
+        print(f"offered         {ingest['offered']} events "
+              f"({ingest['events_per_sec']:.0f}/s)")
+        print(f"accepted        {ingest.get('accepted', 0)}   "
+              f"duplicate {ingest.get('duplicate', 0)}   "
+              f"late {ingest.get('late', 0)}   shed {ingest.get('shed', 0)}")
+        print(f"lost            {ingest['lost']} "
+              f"({'zero loss' if payload['zero_loss'] else 'LOSS'})")
+        print(f"stays emitted   {ingest['stays_emitted']}")
+        if freshness["n_samples"]:
+            print(f"freshness lag   p50 {freshness['p50_s']:.3f}s   "
+                  f"p95 {freshness['p95_s']:.3f}s   "
+                  f"max {freshness['max_s']:.3f}s")
+        print(f"promotions      {promos['n_promoted']} promoted, "
+              f"{promos['n_rejected']} rejected "
+              f"{promos['by_outcome']}")
+        print(f"final version   {promos['final_version']}")
+        if payload["parity"] is not None:
+            p = payload["parity"]
+            verdict = "EQUAL" if p["equal"] else "MISMATCH"
+            print(f"parity          {verdict} "
+                  f"(online {p['n_online']} vs batch {p['n_batch']})")
+        if payload["poison"] is not None:
+            poison = payload["poison"]
+            verdict = "rejected" if poison["rejected"] else "NOT REJECTED"
+            print(f"poison probe    {verdict} ({poison['outcome']}); "
+                  f"served version "
+                  f"{'unchanged' if poison['served_version_unchanged'] else 'MOVED'}")
+        if payload["serve"] is not None:
+            serve = payload["serve"]
+            print(f"serve load      {serve['n_issued']} requests, "
+                  f"{serve['n_errors']} errors")
+        if fleet is not None:
+            print(f"fleet scrape    stream_events_total="
+                  f"{fleet['stream_events_total']:.0f}  "
+                  f"stream_promotions_total="
+                  f"{fleet['stream_promotions_total']:.0f}")
+        if args.out:
+            print(f"report -> {args.out}")
+    _end_observability(args, config={"command": "stream-bench"})
+    poison = payload["poison"]
+    ok = (
+        payload["zero_loss"]
+        and (payload["parity"] is None or payload["parity"]["equal"])
+        and payload["promotions"]["n_promoted"] >= 1
+        and (poison is None
+             or (poison["rejected"] and poison["served_version_unchanged"]))
+    )
+    return 0 if ok else 1
+
+
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     """Scrape metrics planes post-mortem and render the merged registry.
 
@@ -934,6 +1118,66 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace at PATH")
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_stream = sub.add_parser(
+        "stream-bench",
+        help="benchmark the streaming ingestion tier: online stay "
+             "extraction, gate-checked promotion, freshness lag",
+    )
+    p_stream.add_argument("--preset", choices=("tiny", "downbj", "subbj"),
+                          default="tiny")
+    p_stream.add_argument("--scale", type=float, default=1.0,
+                          help="preset scale factor (downbj/subbj)")
+    p_stream.add_argument("--seed", type=int, default=0,
+                          help="dataset + event-stream rng seed")
+    p_stream.add_argument("--duration", type=float, default=4.0,
+                          help="event-production duration in seconds")
+    p_stream.add_argument("--event-rate", type=float, default=0.0,
+                          help="offered events/s (0 = as fast as possible)")
+    p_stream.add_argument("--serve-rate", type=float, default=100.0,
+                          help="concurrent open-loop query load in req/s "
+                               "(0 disables)")
+    p_stream.add_argument("--backend", choices=("thread", "process"),
+                          default="thread",
+                          help="promotion target: in-process QueryServer or "
+                               "worker processes over published snapshots")
+    p_stream.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                          help="snapshot directory for --backend process "
+                               "(default: a temporary directory)")
+    p_stream.add_argument("--workers", type=int, default=2)
+    p_stream.add_argument("--refresh-interval", type=float, default=0.5,
+                          help="scheduler tick interval in seconds")
+    p_stream.add_argument("--bus-capacity", type=int, default=8192)
+    p_stream.add_argument("--overflow",
+                          choices=("block", "shed_newest", "shed_oldest"),
+                          default="block",
+                          help="bus policy when full: backpressure or shed")
+    p_stream.add_argument("--lateness", type=float, default=30.0,
+                          help="watermark lateness bound in seconds")
+    p_stream.add_argument("--disorder", type=float, default=20.0,
+                          help="generator arrival-disorder bound in seconds")
+    p_stream.add_argument("--p-duplicate", type=float, default=0.02,
+                          help="per-fix duplicate re-emission probability")
+    p_stream.add_argument("--warmup", type=int, default=2,
+                          help="promotions before the drift gate arms")
+    p_stream.add_argument("--psi-threshold", type=float, default=1.0,
+                          help="drift-gate PSI threshold (replay compression "
+                               "runs hotter than real time; see bench docs)")
+    p_stream.add_argument("--no-poison", action="store_true",
+                          help="skip the poisoned-batch rejection probe")
+    p_stream.add_argument("--poison-sites", type=int, default=32)
+    p_stream.add_argument("--no-parity", action="store_true",
+                          help="skip the online-vs-batch parity replay")
+    p_stream.add_argument("--json", action="store_true",
+                          help="emit the machine-readable report on stdout")
+    p_stream.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the JSON report to PATH "
+                               "(BENCH_stream.json)")
+    p_stream.add_argument("--slo", default=None, metavar="PATH",
+                          help="SLO spec the promotion gate evaluates each "
+                               "tick (ci/slo-stream.yaml)")
+    _add_obs_flags(p_stream)
+    p_stream.set_defaults(func=_cmd_stream_bench)
 
     p_obs = sub.add_parser(
         "obs-export",

@@ -1,0 +1,59 @@
+"""repro.stream — continuous trajectory→pool→refresh pipeline.
+
+The streaming twin of the batch ``update`` path (ROADMAP item 3): GPS
+fixes enter a bounded :class:`StreamBus`, the
+:class:`OnlineStayExtractor` turns them into stay points incrementally
+(watermark-ordered, parity-exact with the batch detector on replayed
+streams), the :class:`ShardedPoolMerger` folds stays into a spatially
+sharded candidate pool with two-phase commit, and the
+:class:`RefreshScheduler` promotes a new servable snapshot version only
+when the drift and SLO gates pass — with a full audit trail for the
+refreshes it refuses.
+
+See ``docs/streaming.md`` for the event model, watermark semantics,
+promotion gates, and failure modes.
+"""
+
+from repro.stream.bus import OverflowPolicy, PublishResult, StreamBus
+from repro.stream.events import GpsFix, IngestOutcome
+from repro.stream.extractor import (
+    EmittedStay,
+    OnlineExtractorConfig,
+    OnlineStayExtractor,
+)
+from repro.stream.ingest import StreamIngestor
+from repro.stream.merge import ShardedPoolMerger, StagedBatch
+from repro.stream.metrics import (
+    FRESHNESS_BUCKETS,
+    PROMOTION_OUTCOMES,
+    StreamMetrics,
+    stream_plane_specs,
+)
+from repro.stream.scheduler import (
+    GateConfig,
+    PromotionRecord,
+    RefreshScheduler,
+    stream_fingerprint,
+)
+
+__all__ = [
+    "FRESHNESS_BUCKETS",
+    "PROMOTION_OUTCOMES",
+    "EmittedStay",
+    "GateConfig",
+    "GpsFix",
+    "IngestOutcome",
+    "OnlineExtractorConfig",
+    "OnlineStayExtractor",
+    "OverflowPolicy",
+    "PromotionRecord",
+    "PublishResult",
+    "RefreshScheduler",
+    "ShardedPoolMerger",
+    "StagedBatch",
+    "StreamBus",
+    "StreamIngestor",
+    "StreamMetrics",
+    "stream_fingerprint",
+    "stream_plane_specs",
+]

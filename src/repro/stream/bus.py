@@ -1,0 +1,147 @@
+"""Bounded in-process event bus with explicit backpressure.
+
+A :class:`StreamBus` is the admission edge of the streaming tier: a
+bounded deque of :class:`~repro.stream.events.GpsFix` guarded by one
+condition variable.  Producers call :meth:`publish`; when the bus is
+full the configured :class:`OverflowPolicy` decides what gives:
+
+* ``BLOCK`` — the producer waits (bounded by ``timeout_s``) until the
+  consumer drains a slot; on timeout the fix is shed.  This is classic
+  backpressure: a sustained overload slows the *source*, not the
+  pipeline.
+* ``SHED_NEWEST`` — the offered fix is dropped immediately (the queue
+  keeps its oldest work; freshness suffers last).
+* ``SHED_OLDEST`` — the oldest queued fix is dropped to admit the new
+  one (freshness wins; the dropped fix is returned so the caller can
+  count it).
+
+Shedding is always *observable*: every publish returns what happened,
+and the ingestor folds the outcome into ``stream_events_total``.  The
+bus never silently loses an event.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.stream.events import GpsFix
+
+
+class OverflowPolicy(enum.Enum):
+    BLOCK = "block"
+    SHED_NEWEST = "shed_newest"
+    SHED_OLDEST = "shed_oldest"
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """What happened to one offered fix (plus any displaced victim)."""
+
+    admitted: bool
+    shed: tuple[GpsFix, ...] = field(default_factory=tuple)
+
+    @property
+    def n_shed(self) -> int:
+        return len(self.shed) + (0 if self.admitted else 1)
+
+
+class StreamBus:
+    """Bounded MPSC queue for GPS fixes with stamped arrival times."""
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        policy: OverflowPolicy = OverflowPolicy.BLOCK,
+        block_timeout_s: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.block_timeout_s = block_timeout_s
+        self._q: deque[GpsFix] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.n_published = 0
+        self.n_shed = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def publish(self, fix: GpsFix, timeout_s: float | None = None) -> PublishResult:
+        """Offer one fix; stamps ``wall_t`` on admission.
+
+        Raises :class:`RuntimeError` if the bus is closed — a producer
+        racing shutdown should see a hard error, not silent loss.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("bus is closed")
+            if len(self._q) >= self.capacity:
+                if self.policy is OverflowPolicy.BLOCK:
+                    deadline = time.monotonic() + (
+                        timeout_s if timeout_s is not None
+                        else self.block_timeout_s
+                    )
+                    while len(self._q) >= self.capacity and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            break
+                    if self._closed:
+                        raise RuntimeError("bus is closed")
+                    if len(self._q) >= self.capacity:
+                        self.n_shed += 1
+                        return PublishResult(admitted=False)
+                elif self.policy is OverflowPolicy.SHED_NEWEST:
+                    self.n_shed += 1
+                    return PublishResult(admitted=False)
+                else:  # SHED_OLDEST
+                    victim = self._q.popleft()
+                    self.n_shed += 1
+                    self._admit(fix)
+                    return PublishResult(admitted=True, shed=(victim,))
+            self._admit(fix)
+            return PublishResult(admitted=True)
+
+    def _admit(self, fix: GpsFix) -> None:
+        stamped = GpsFix(fix.courier_id, fix.lng, fix.lat, fix.t,
+                         wall_t=time.time())
+        self._q.append(stamped)
+        self.n_published += 1
+        self._cond.notify_all()
+
+    def take_batch(
+        self, max_n: int = 256, timeout_s: float = 0.1
+    ) -> list[GpsFix]:
+        """Up to ``max_n`` fixes in arrival order; waits up to
+        ``timeout_s`` for the first one.  Empty list on timeout or when
+        the bus closed empty."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while not self._q and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
+            out = []
+            while self._q and len(out) < max_n:
+                out.append(self._q.popleft())
+            if out:
+                self._cond.notify_all()
+            return out
+
+    def close(self) -> None:
+        """Stop admitting; queued fixes remain drainable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+__all__ = ["OverflowPolicy", "PublishResult", "StreamBus"]

@@ -23,7 +23,7 @@ from repro.synth.simulate import (
 from repro.synth.delays import inject_delays
 from repro.synth.weather import Weather, WeatherConfig, daily_weather, weather_of_time
 from repro.synth.addressparse import ParsedAddress, building_of, parse_address, resolve_building
-from repro.synth.stream import build_day_streams
+from repro.synth.stream import EventStreamConfig, FixEventStream, build_day_streams
 from repro.synth.datasets import (
     AddressSplit,
     DatasetConfig,
@@ -55,6 +55,8 @@ __all__ = [
     "daily_weather",
     "weather_of_time",
     "ParsedAddress",
+    "EventStreamConfig",
+    "FixEventStream",
     "build_day_streams",
     "building_of",
     "parse_address",

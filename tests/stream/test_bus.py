@@ -1,0 +1,126 @@
+"""StreamBus: bounded admission, overflow policies, close semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.stream import GpsFix, OverflowPolicy, StreamBus
+
+
+def fix(i, courier="c0"):
+    return GpsFix(courier, 116.0, 39.9, float(i))
+
+
+class TestAdmission:
+    def test_fifo_order_and_wall_stamp(self):
+        bus = StreamBus(capacity=8)
+        t0 = time.time()
+        for i in range(5):
+            result = bus.publish(fix(i))
+            assert result.admitted and not result.shed
+        batch = bus.take_batch(max_n=16, timeout_s=0.0)
+        assert [f.t for f in batch] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert all(f.wall_t >= t0 for f in batch)
+        assert bus.n_published == 5 and bus.n_shed == 0
+
+    def test_take_batch_respects_max_n(self):
+        bus = StreamBus(capacity=8)
+        for i in range(6):
+            bus.publish(fix(i))
+        assert len(bus.take_batch(max_n=4, timeout_s=0.0)) == 4
+        assert len(bus) == 2
+
+    def test_take_batch_times_out_empty(self):
+        bus = StreamBus(capacity=4)
+        t0 = time.monotonic()
+        assert bus.take_batch(timeout_s=0.05) == []
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestOverflow:
+    def test_block_sheds_on_timeout(self):
+        bus = StreamBus(capacity=2, policy=OverflowPolicy.BLOCK)
+        bus.publish(fix(0))
+        bus.publish(fix(1))
+        result = bus.publish(fix(2), timeout_s=0.05)
+        assert not result.admitted
+        assert result.n_shed == 1
+        assert bus.n_shed == 1
+        assert len(bus) == 2  # queued work untouched
+
+    def test_block_unblocks_when_consumer_drains(self):
+        bus = StreamBus(capacity=1, policy=OverflowPolicy.BLOCK)
+        bus.publish(fix(0))
+        results = []
+
+        def produce():
+            results.append(bus.publish(fix(1), timeout_s=5.0))
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.05)
+        drained = bus.take_batch(max_n=1, timeout_s=1.0)
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        assert drained[0].t == 0.0
+        assert results[0].admitted
+        assert bus.take_batch(timeout_s=0.5)[0].t == 1.0
+
+    def test_shed_newest_drops_the_offer(self):
+        bus = StreamBus(capacity=2, policy=OverflowPolicy.SHED_NEWEST)
+        bus.publish(fix(0))
+        bus.publish(fix(1))
+        result = bus.publish(fix(2))
+        assert not result.admitted and result.shed == ()
+        assert [f.t for f in bus.take_batch(timeout_s=0.0)] == [0.0, 1.0]
+
+    def test_shed_oldest_returns_the_victim(self):
+        bus = StreamBus(capacity=2, policy=OverflowPolicy.SHED_OLDEST)
+        bus.publish(fix(0))
+        bus.publish(fix(1))
+        result = bus.publish(fix(2))
+        assert result.admitted
+        assert [v.t for v in result.shed] == [0.0]
+        assert result.n_shed == 1
+        assert [f.t for f in bus.take_batch(timeout_s=0.0)] == [1.0, 2.0]
+
+
+class TestClose:
+    def test_publish_after_close_raises(self):
+        bus = StreamBus(capacity=4)
+        bus.publish(fix(0))
+        bus.close()
+        assert bus.closed
+        with pytest.raises(RuntimeError):
+            bus.publish(fix(1))
+
+    def test_queue_drains_after_close(self):
+        bus = StreamBus(capacity=4)
+        for i in range(3):
+            bus.publish(fix(i))
+        bus.close()
+        assert [f.t for f in bus.take_batch(timeout_s=0.0)] == [0.0, 1.0, 2.0]
+        # Closed and empty: returns immediately, no timeout dwell.
+        t0 = time.monotonic()
+        assert bus.take_batch(timeout_s=10.0) == []
+        assert time.monotonic() - t0 < 5.0
+
+    def test_blocked_producer_raises_on_close(self):
+        bus = StreamBus(capacity=1, policy=OverflowPolicy.BLOCK)
+        bus.publish(fix(0))
+        errors = []
+
+        def produce():
+            try:
+                bus.publish(fix(1), timeout_s=10.0)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.05)
+        bus.close()
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        assert errors, "blocked producer must observe the close"

@@ -1,0 +1,126 @@
+"""StreamIngestor end-to-end: accounting identity and stream parity."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.stream import (
+    GpsFix,
+    OnlineExtractorConfig,
+    OnlineStayExtractor,
+    OverflowPolicy,
+    StreamBus,
+    StreamIngestor,
+    StreamMetrics,
+)
+from repro.synth import (
+    City,
+    CityConfig,
+    EventStreamConfig,
+    FixEventStream,
+    SimulationConfig,
+    TripSimulator,
+    build_day_streams,
+)
+from repro.trajectory import detect_stay_points
+
+
+@pytest.fixture(scope="module")
+def day_streams():
+    rng = np.random.default_rng(0)
+    city = City(CityConfig(n_blocks_x=2, n_blocks_y=1), rng)
+    sim = TripSimulator(city, SimulationConfig(n_days=2), rng)
+    return build_day_streams(sim.simulate(), city,
+                             rng=np.random.default_rng(0))
+
+
+def make_ingestor(capacity=4096, policy=OverflowPolicy.BLOCK,
+                  lateness_s=30.0, record=False):
+    metrics = StreamMetrics(registry=MetricsRegistry())
+    bus = StreamBus(capacity=capacity, policy=policy)
+    extractor = OnlineStayExtractor(
+        OnlineExtractorConfig(lateness_s=lateness_s,
+                              idle_timeout_s=30 * 86_400.0)
+    )
+    return StreamIngestor(bus, extractor, metrics, record_fixes=record)
+
+
+class TestAccounting:
+    def test_identity_holds_after_close(self, day_streams):
+        stream = FixEventStream(
+            day_streams, seed=0,
+            config=EventStreamConfig(disorder_s=20.0, p_duplicate=0.05),
+        )
+        ingestor = make_ingestor()
+        ingestor.start()
+        events = stream.events_for_cycle(0)
+        for fix in events:
+            ingestor.offer(fix, timeout_s=5.0)
+        ingestor.close(flush=True)
+        counts = ingestor.metrics.event_counts()
+        assert ingestor.n_offered == len(events)
+        assert ingestor.n_offered == sum(counts.values())
+        assert counts["duplicate"] > 0  # the generator really duplicated
+        assert counts["late"] == 0      # lateness_s > disorder_s
+        assert counts["shed"] == 0
+        assert ingestor.metrics.n_lost() == 0
+
+    def test_shed_is_counted_not_lost_silently(self):
+        ingestor = make_ingestor(capacity=4,
+                                 policy=OverflowPolicy.SHED_NEWEST)
+        # No consumer running: the bus fills and sheds the rest.
+        for i in range(10):
+            ingestor.offer(GpsFix("c0", 116.0, 39.9, float(i)))
+        counts = ingestor.metrics.event_counts()
+        assert counts["shed"] == 6
+        assert ingestor.n_offered == 10
+        assert ingestor.metrics.n_lost() == 6
+
+    def test_shed_oldest_charges_the_victim(self):
+        ingestor = make_ingestor(capacity=4,
+                                 policy=OverflowPolicy.SHED_OLDEST)
+        for i in range(10):
+            admitted = ingestor.offer(GpsFix("c0", 116.0, 39.9, float(i)))
+            assert admitted  # SHED_OLDEST always admits the new fix
+        assert ingestor.metrics.event_counts()["shed"] == 6
+
+
+class TestEndToEndParity:
+    def test_stream_replay_reproduces_batch_stays(self, day_streams):
+        """Full cycle through bus + consumer thread == batch detector."""
+        stream = FixEventStream(
+            day_streams, seed=0,
+            config=EventStreamConfig(disorder_s=20.0, p_duplicate=0.03),
+        )
+        ingestor = make_ingestor(record=True)
+        ingestor.start()
+        for fix in stream.events_for_cycle(0):
+            ingestor.offer(fix, timeout_s=5.0)
+        ingestor.close(flush=True)
+
+        online = sorted(
+            (e.stay.courier_id, e.stay.lng, e.stay.lat,
+             e.stay.t_arrive, e.stay.t_leave, e.stay.n_points)
+            for e in ingestor.drain_stays()
+        )
+        reference = sorted(
+            (s.courier_id, s.lng, s.lat, s.t_arrive, s.t_leave, s.n_points)
+            for traj in stream.expected_trajectories(n_cycles=1).values()
+            for s in detect_stay_points(traj)
+        )
+        assert reference, "cycle must contain stays"
+        assert online == reference  # bit-exact, not approximate
+
+    def test_drain_stays_is_destructive_fifo(self, day_streams):
+        stream = FixEventStream(day_streams, seed=0)
+        ingestor = make_ingestor()
+        ingestor.start()
+        for fix in stream.events_for_cycle(0):
+            ingestor.offer(fix, timeout_s=5.0)
+        ingestor.close(flush=True)
+        first = ingestor.drain_stays()
+        assert first
+        assert ingestor.drain_stays() == []
+        times = [e.stay.t_arrive for e in first
+                 if e.stay.courier_id == first[0].stay.courier_id]
+        assert times == sorted(times)

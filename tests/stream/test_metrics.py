@@ -1,0 +1,113 @@
+"""StreamMetrics: fail-closed pre-seeding and the shm fleet plane."""
+
+import os
+
+from repro.obs import MetricsRegistry
+from repro.obs.shm import merge_snapshots, scrape_planes
+from repro.stream import IngestOutcome, StreamMetrics
+from repro.stream.metrics import PROMOTION_OUTCOMES
+
+
+def families(registry):
+    doc = registry.to_dict()
+    return {m["name"]: m for m in doc["metrics"]}
+
+
+class TestPreSeeding:
+    def test_every_family_exists_at_zero_before_any_event(self):
+        metrics = StreamMetrics(registry=MetricsRegistry())
+        fams = families(metrics.registry)
+        for outcome in IngestOutcome:
+            rows = [s for s in fams["stream_events_total"]["samples"]
+                    if s["labels"] == {"outcome": outcome.value}]
+            assert rows and rows[0]["value"] == 0, outcome
+        for outcome in PROMOTION_OUTCOMES:
+            rows = [s for s in fams["stream_promotions_total"]["samples"]
+                    if s["labels"] == {"outcome": outcome}]
+            assert rows and rows[0]["value"] == 0, outcome
+        for name in ("stream_stays_emitted_total",
+                     "stream_stays_quarantined_total",
+                     "stream_evictions_total",
+                     "stream_courier_states", "stream_bus_depth",
+                     "stream_pool_candidates", "stream_snapshot_version"):
+            assert name in fams, name
+
+    def test_freshness_histogram_has_the_seed_observation(self):
+        """A quantile SLO must be evaluable before the first promotion."""
+        from repro.obs import SLO, evaluate_slos
+
+        metrics = StreamMetrics(registry=MetricsRegistry())
+        assert metrics.freshness.count() == 1
+        slo = SLO(name="freshness", metric="stream_freshness_lag_seconds",
+                  kind="quantile", quantile=0.95, objective=30.0)
+        report = evaluate_slos(metrics.registry.to_dict(), [slo],
+                               emit_events=False)
+        # Fail-closed engine: without the seed this would be a
+        # no-data violation on the very first tick.
+        assert report.ok, report.to_dict()
+
+    def test_loss_identity_starts_at_zero(self):
+        metrics = StreamMetrics(registry=MetricsRegistry())
+        assert metrics.n_lost() == 0
+        counts = metrics.event_counts()
+        assert set(counts) == {o.value for o in IngestOutcome}
+        assert all(v == 0 for v in counts.values())
+
+    def test_writers_update_the_counts(self):
+        metrics = StreamMetrics(registry=MetricsRegistry())
+        metrics.count_event(IngestOutcome.ACCEPTED, 3)
+        metrics.count_event(IngestOutcome.LATE)
+        metrics.count_event(IngestOutcome.SHED, 2)
+        assert metrics.event_counts()["accepted"] == 3
+        assert metrics.n_lost() == 3
+        metrics.count_promotion("rejected_drift")
+        assert metrics.promotions.value(outcome="rejected_drift") == 1
+
+
+class TestShmPlane:
+    def test_plane_is_created_and_scrapeable(self, tmp_path):
+        obs_dir = str(tmp_path / "obs")
+        metrics = StreamMetrics(registry=MetricsRegistry(), obs_dir=obs_dir)
+        assert os.path.exists(os.path.join(obs_dir, "metrics-stream.shm"))
+        metrics.count_event(IngestOutcome.ACCEPTED, 7)
+        metrics.count_promotion("promoted")
+        metrics.set_gauge("bus_depth", 42.0)
+        metrics.observe_freshness(1.5)
+        metrics.close()
+
+        # Post-mortem: the plane outlives the writer, like the serve
+        # worker planes, and merges into the fleet registry.
+        snapshots = scrape_planes(obs_dir)
+        assert len(snapshots) == 1
+        fams = families(merge_snapshots(snapshots))
+        events = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in fams["stream_events_total"]["samples"]}
+        assert events[(("outcome", "accepted"),)] == 7
+        # Pre-seeded labels are present in the plane too (fail-closed).
+        assert events[(("outcome", "shed"),)] == 0
+        depth = fams["stream_bus_depth"]["samples"][0]["value"]
+        assert depth == 42.0
+
+    def test_plane_mirrors_the_freshness_seed(self, tmp_path):
+        obs_dir = str(tmp_path / "obs")
+        metrics = StreamMetrics(registry=MetricsRegistry(), obs_dir=obs_dir)
+        metrics.close()
+        fams = families(merge_snapshots(scrape_planes(obs_dir)))
+        sample = fams["stream_freshness_lag_seconds"]["samples"][0]
+        # The merged fleet family carries the one 0.0 seed observation,
+        # so a plane-only quantile gate is well-formed from tick zero.
+        assert sample["count"] == 1
+        assert sample["buckets"]["0.05"] == 1
+
+    def test_registry_and_plane_stay_in_sync(self, tmp_path):
+        obs_dir = str(tmp_path / "obs")
+        metrics = StreamMetrics(registry=MetricsRegistry(), obs_dir=obs_dir)
+        for _ in range(5):
+            metrics.count_event(IngestOutcome.DUPLICATE)
+        metrics.close()
+        fams = families(merge_snapshots(scrape_planes(obs_dir)))
+        plane_value = next(
+            s["value"] for s in fams["stream_events_total"]["samples"]
+            if s["labels"] == {"outcome": "duplicate"}
+        )
+        assert plane_value == metrics.events.value(outcome="duplicate") == 5

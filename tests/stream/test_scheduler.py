@@ -1,0 +1,239 @@
+"""RefreshScheduler: promotion gates, rollback, audit trail."""
+
+import pytest
+
+from repro.geo import LocalProjection, Point
+from repro.obs import MetricsRegistry, SLO
+from repro.stream import (
+    EmittedStay,
+    GateConfig,
+    RefreshScheduler,
+    ShardedPoolMerger,
+    StreamMetrics,
+)
+from repro.trajectory import StayPoint
+
+PROJ = LocalProjection(Point(116.0, 39.9))
+
+
+class StubIngestor:
+    """Hands the scheduler pre-cooked batches of emitted stays."""
+
+    def __init__(self):
+        self.batches = []
+
+    def drain_stays(self):
+        return self.batches.pop(0) if self.batches else []
+
+
+def emitted_at(x, y, courier, duration=150.0, wall_t=0.0):
+    lng, lat = PROJ.to_lnglat(x, y)
+    stay = StayPoint(
+        lng=float(lng), lat=float(lat),
+        t_arrive=0.0, t_leave=duration,
+        courier_id=courier, n_points=12,
+    )
+    return EmittedStay(stay, wall_t)
+
+
+def legit_batch(tag, offset=0.0):
+    """Twenty ordinary stays: 4 couriers at each of 5 fresh sites.
+
+    Each batch visits its own sites (``offset`` separates them), the
+    steady-state shape of a healthy stream: new candidates arrive with
+    the same weight/duration profile, so the distribution fingerprint
+    is stable even though the pool keeps growing.
+    """
+    return [
+        emitted_at(offset + 200.0 * site, 0.0, f"{tag}-s{site}-c{k}")
+        for site in range(5)
+        for k in range(4)
+    ]
+
+
+def poison_batch():
+    """Far-off, long-dwell stays: the duration and weight shape shift."""
+    return [
+        emitted_at(50_000.0 + 300.0 * site, 50_000.0,
+                   f"poison-{site}-{k}", duration=7_200.0)
+        for site in range(5)
+        for k in range(4)
+    ]
+
+
+def make_scheduler(batches, slos=(), gate=None, addresses=None):
+    ingestor = StubIngestor()
+    ingestor.batches = list(batches)
+    metrics = StreamMetrics(registry=MetricsRegistry())
+    versions = []
+
+    def promote(locations):
+        versions.append(locations)
+        return len(versions)
+
+    scheduler = RefreshScheduler(
+        ingestor,
+        merger=ShardedPoolMerger(PROJ),
+        metrics=metrics,
+        addresses=addresses or {},
+        promote=promote,
+        slos=slos,
+        gate=gate or GateConfig(),
+        interval_s=60.0,
+    )
+    return scheduler, metrics, versions
+
+
+class TestWarmupAndPromotion:
+    def test_empty_drain_is_skipped(self):
+        scheduler, metrics, versions = make_scheduler([])
+        record = scheduler.tick()
+        assert record.outcome == "skipped_empty"
+        assert versions == []
+        assert metrics.promotions.value(outcome="skipped_empty") == 1
+
+    def test_warmup_then_gated_promotion(self):
+        scheduler, metrics, versions = make_scheduler(
+            [legit_batch("b1"), legit_batch("b2", 10_000.0), legit_batch("b3", 20_000.0)]
+        )
+        outcomes = [scheduler.tick().outcome for _ in range(3)]
+        # First two skip the drift gate (bootstrap shifts its own
+        # distribution); the third faces it — and passes, because the
+        # batch matches the accepted history.
+        assert outcomes == ["warmup", "warmup", "promoted"]
+        assert scheduler.n_promoted == 3
+        assert len(versions) == 3
+        assert metrics.promotions.value(outcome="promoted") == 1
+
+    def test_promotion_snaps_addresses_to_candidates(self):
+        lng, lat = PROJ.to_lnglat(200.0, 0.0)
+        scheduler, _, versions = make_scheduler(
+            [legit_batch("b1")],
+            addresses={"a1": Point(float(lng) + 1e-4, float(lat))},
+        )
+        record = scheduler.tick()
+        assert record.outcome == "warmup"
+        assert record.n_locations == 1
+        assert "a1" in versions[0]
+
+    def test_freshness_observed_per_promoted_stay(self):
+        scheduler, metrics, _ = make_scheduler([legit_batch("b1")])
+        seed_count = metrics.freshness.count()
+        scheduler.tick()
+        assert metrics.freshness.count() == seed_count + 20
+
+
+class TestDriftGate:
+    def test_poisoned_batch_is_rejected_and_rolled_back(self):
+        scheduler, metrics, versions = make_scheduler(
+            [legit_batch("b1"), legit_batch("b2", 10_000.0), legit_batch("b3", 20_000.0),
+             poison_batch()]
+        )
+        for _ in range(3):
+            scheduler.tick()
+        committed = sorted(
+            (c.x, c.y, c.weight)
+            for c in scheduler.merger.all_clusters()
+        )
+        version_count = len(versions)
+
+        record = scheduler.tick()
+        assert record.outcome == "rejected_drift"
+        assert record.reason and "PSI" in record.reason
+        assert record.drift is not None and record.drift["drifted"]
+        # The rejected refresh never became the served snapshot...
+        assert len(versions) == version_count
+        # ...and the pool is exactly as before the batch.
+        after = sorted(
+            (c.x, c.y, c.weight)
+            for c in scheduler.merger.all_clusters()
+        )
+        assert after == committed
+        # Rejection is observable: quarantine + promotions counters.
+        assert metrics.stays_quarantined.value() == 20
+        assert metrics.promotions.value(outcome="rejected_drift") == 1
+        assert scheduler.n_rejected == 1
+
+    def test_rejected_batch_does_not_launder_the_baseline(self):
+        """A second identical poison batch must also be rejected."""
+        scheduler, _, versions = make_scheduler(
+            [legit_batch("b1"), legit_batch("b2", 10_000.0), legit_batch("b3", 20_000.0),
+             poison_batch(), poison_batch()]
+        )
+        outcomes = [scheduler.tick().outcome for _ in range(5)]
+        assert outcomes[-2:] == ["rejected_drift", "rejected_drift"]
+        assert len(versions) == 3
+
+    def test_legit_batch_still_promotes_after_a_rejection(self):
+        scheduler, _, _ = make_scheduler(
+            [legit_batch("b1"), legit_batch("b2", 10_000.0), legit_batch("b3", 20_000.0),
+             poison_batch(), legit_batch("b4", 30_000.0)]
+        )
+        outcomes = [scheduler.tick().outcome for _ in range(5)]
+        assert outcomes[-2:] == ["rejected_drift", "promoted"]
+
+
+class TestSLOGate:
+    def test_slo_violation_blocks_promotion_even_in_warmup(self):
+        slo = SLO(name="bus-bound", metric="stream_bus_depth",
+                  kind="max", objective=5.0)
+        scheduler, metrics, versions = make_scheduler(
+            [legit_batch("b1")], slos=(slo,)
+        )
+        metrics.set_gauge("bus_depth", 50.0)
+        record = scheduler.tick()
+        assert record.outcome == "rejected_slo"
+        assert "bus-bound" in record.reason
+        assert record.slo is not None and not record.slo["ok"]
+        assert versions == []
+        assert metrics.stays_quarantined.value() == 20
+
+    def test_slo_gate_passes_when_healthy(self):
+        slo = SLO(name="bus-bound", metric="stream_bus_depth",
+                  kind="max", objective=5.0)
+        scheduler, _, versions = make_scheduler(
+            [legit_batch("b1")], slos=(slo,)
+        )
+        record = scheduler.tick()
+        assert record.outcome == "warmup"
+        assert len(versions) == 1
+
+
+class TestAuditTrail:
+    def test_every_tick_is_recorded_in_order(self):
+        scheduler, _, _ = make_scheduler(
+            [legit_batch("b1"), [], legit_batch("b2", 10_000.0)]
+        )
+        for _ in range(3):
+            scheduler.tick()
+        trail = scheduler.audit_trail()
+        assert [r["tick"] for r in trail] == [1, 2, 3]
+        assert [r["outcome"] for r in trail] == [
+            "warmup", "skipped_empty", "warmup"
+        ]
+        assert all("wall_t" in r and "n_candidates" in r for r in trail)
+
+    def test_rejection_record_carries_the_evidence(self):
+        scheduler, _, _ = make_scheduler(
+            [legit_batch("b1"), legit_batch("b2", 10_000.0), legit_batch("b3", 20_000.0),
+             poison_batch()]
+        )
+        for _ in range(4):
+            scheduler.tick()
+        rejected = [r for r in scheduler.audit_trail()
+                    if r["outcome"] == "rejected_drift"]
+        assert len(rejected) == 1
+        assert rejected[0]["n_stays"] == 20
+        assert rejected[0]["drift"]["max_psi"] > 0.25
+
+
+class TestBackgroundLoop:
+    def test_start_stop_runs_final_tick(self):
+        scheduler, _, versions = make_scheduler([legit_batch("b1")])
+        scheduler.start()
+        with pytest.raises(RuntimeError):
+            scheduler.start()
+        scheduler.stop(final_tick=True)
+        # The batch was drained either by the loop or the final tick.
+        assert len(versions) == 1
+        assert scheduler.records
