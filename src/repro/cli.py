@@ -529,6 +529,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load SLO spec {args.slo}: {exc}", file=sys.stderr)
             return 2
+    if args.no_exemplars:
+        obs.set_exemplars_enabled(False)
     _begin_observability(args)
     data_dir = pathlib.Path(args.data)
     addresses = load_addresses(data_dir / "addresses.json")
@@ -632,6 +634,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 fleet["slo"] = fleet_report.to_dict()
             if args.trace_merged:
                 fleet["trace"] = server.trace_dump(args.trace_merged)
+        if args.snapshot_dir:
+            # Persist the in-process provenance ring so `repro explain
+            # --obs-dir <snapshot-dir>/obs` works for the thread backend
+            # too (process workers already persisted theirs at stop()).
+            ring = obs.get_provenance_ring()
+            if len(ring) > 0:
+                obs_path = pathlib.Path(args.snapshot_dir) / "obs"
+                try:
+                    obs_path.mkdir(parents=True, exist_ok=True)
+                    ring.write_jsonl(str(obs_path / "provenance-server.jsonl"))
+                except OSError:
+                    pass
     bench_config = {
         "command": "serve-bench", "workload": args.workload,
         "backend": args.backend,
@@ -761,6 +775,7 @@ def _cmd_stream_bench(args: argparse.Namespace) -> int:
             n_poison_sites=args.poison_sites,
             parity_check=not args.no_parity,
             snapshot_dir=snapshot_dir,
+            blackbox_dir=args.blackbox_dir,
         )
 
         def factory(dataset, geocodes):
@@ -868,6 +883,12 @@ def _cmd_stream_bench(args: argparse.Namespace) -> int:
             serve = payload["serve"]
             print(f"serve load      {serve['n_issued']} requests, "
                   f"{serve['n_errors']} errors")
+        if payload.get("blackbox") is not None:
+            bb = payload["blackbox"]
+            print(f"black boxes     {len(bb['dumps'])} dump(s) in "
+                  f"{bb['dir']}")
+            for dump_path in bb["dumps"]:
+                print(f"                {dump_path}")
         if fleet is not None:
             print(f"fleet scrape    stream_events_total="
                   f"{fleet['stream_events_total']:.0f}  "
@@ -913,7 +934,8 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
                              "n_planes": len(snapshots)})
     torn = sum(s.n_torn for s in snapshots)
     if args.out:
-        obs.export_metrics(args.out, registry=registry, meta=meta)
+        obs.export_metrics(args.out, registry=registry, meta=meta,
+                           exemplars=args.exemplars)
         if not args.json:
             print(f"merged metrics ({len(snapshots)} planes"
                   + (f", {torn} torn slots skipped" if torn else "")
@@ -944,6 +966,73 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
             print()
             print(report.render())
         return report.exit_code
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Explain served answers for one address from persisted provenance.
+
+    Merges every ``provenance-*.jsonl`` file under ``--obs-dir`` (workers
+    persist their rings on snapshot rotation and shutdown; benches persist
+    the in-process ring at teardown), then renders the records minted for
+    the requested address id — candidate scores and ranks, stay evidence,
+    snapshot/model/pool fingerprints, and the serving tier that answered.
+    """
+    from repro.obs.provenance import merge_provenance, render_record
+
+    obs_dir = pathlib.Path(args.obs_dir)
+    if not obs_dir.is_dir():
+        print(f"not a directory: {args.obs_dir}", file=sys.stderr)
+        return 2
+    paths = sorted(str(p) for p in obs_dir.glob("provenance-*.jsonl"))
+    if not paths:
+        print(f"no provenance files (provenance-*.jsonl) in {args.obs_dir}",
+              file=sys.stderr)
+        return 2
+    records, stats = merge_provenance(paths)
+    matched = [r for r in records if r.address_id == args.address_id]
+    matched = matched[: args.limit]
+    if args.json:
+        print(json.dumps(
+            {
+                "address_id": args.address_id,
+                "n_matched": len(matched),
+                "merge_stats": stats,
+                "records": [r.to_dict() for r in matched],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0 if matched else 1
+    if not matched:
+        print(f"no provenance records for {args.address_id!r} "
+              f"({stats['n_records']} records from {stats['n_files']} files)",
+              file=sys.stderr)
+        return 1
+    print(f"{len(matched)} record(s) for {args.address_id} "
+          f"(newest first; {stats['n_records']} total from "
+          f"{stats['n_files']} files"
+          + (f", {stats['n_torn_lines']} torn lines skipped"
+             if stats["n_torn_lines"] else "")
+          + ")")
+    for record in matched:
+        print()
+        print(render_record(record))
+    return 0
+
+
+def _cmd_blackbox(args: argparse.Namespace) -> int:
+    """Render a flight-recorder black-box dump for post-incident reading."""
+    from repro.obs.recorder import load_blackbox, render_blackbox
+
+    try:
+        payload = load_blackbox(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load black box {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_blackbox(payload))
     return 0
 
 
@@ -1116,6 +1205,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --backend process: merge router + "
                               "per-worker span files into one tail-sampled "
                               "trace at PATH")
+    p_serve.add_argument("--no-exemplars", action="store_true",
+                         help="skip attaching exemplars (trace id + "
+                              "provenance key) to latency histogram "
+                              "observations — the overhead escape hatch")
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
 
@@ -1176,6 +1269,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--slo", default=None, metavar="PATH",
                           help="SLO spec the promotion gate evaluates each "
                                "tick (ci/slo-stream.yaml)")
+    p_stream.add_argument("--blackbox-dir", default=None, metavar="DIR",
+                          help="arm the flight recorder: every gate refusal "
+                               "or anomaly during the run dumps a black box "
+                               "(blackbox-*.json) into DIR; render with "
+                               "`repro blackbox`")
     _add_obs_flags(p_stream)
     p_stream.set_defaults(func=_cmd_stream_bench)
 
@@ -1195,9 +1293,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--slo", default=None, metavar="PATH",
                        help="evaluate an SLO spec against the merged "
                             "registry (nonzero exit on violation)")
+    p_obs.add_argument("--exemplars", action="store_true",
+                       help="attach OpenMetrics exemplars (trace id + "
+                            "provenance key) to histogram bucket lines in "
+                            ".prom/.txt output")
     p_obs.add_argument("--json", action="store_true",
                        help="emit the merged registry JSON on stdout")
     p_obs.set_defaults(func=_cmd_obs_export)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain served answers for an address from provenance records",
+    )
+    p_explain.add_argument("address_id", help="address id to explain")
+    p_explain.add_argument("--obs-dir", required=True, metavar="DIR",
+                           help="observability directory holding "
+                                "provenance-*.jsonl files (a snapshot "
+                                "dir's obs/ subdirectory)")
+    p_explain.add_argument("--limit", type=int, default=5,
+                           help="show at most N records (newest first)")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the matched records as JSON")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_bb = sub.add_parser(
+        "blackbox",
+        help="render a flight-recorder black-box dump",
+    )
+    p_bb.add_argument("path", help="blackbox-*.json dump file")
+    p_bb.add_argument("--json", action="store_true",
+                      help="emit the raw dump JSON on stdout")
+    p_bb.set_defaults(func=_cmd_blackbox)
 
     p_query = sub.add_parser("query", help="resolve one address via the store")
     p_query.add_argument("--data", required=True)

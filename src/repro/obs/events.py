@@ -20,7 +20,15 @@ import threading
 import time
 from typing import Any, TextIO, Union
 
+from .recorder import get_recorder
+
 PathLike = Union[str, pathlib.Path]
+
+#: Event names that double as flight-recorder anomaly triggers: seeing
+#: one of these means something a post-mortem will ask about just
+#: happened, so the black box snapshots itself (when a dump dir is
+#: configured).
+ANOMALY_EVENTS = frozenset({"slo_violation", "drift_flagged"})
 
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
@@ -94,8 +102,18 @@ def get_event_log() -> EventLog:
 
 
 def event(name: str, level: str = "info", component: str = "core", **fields: Any) -> None:
-    """Emit one structured event through the global log."""
+    """Emit one structured event through the global log.
+
+    Every event also lands in the always-on flight recorder ring (even
+    with no sink configured — the ring is how a black-box dump can show
+    what preceded an anomaly); :data:`ANOMALY_EVENTS` additionally
+    trigger a dump.
+    """
     _EVENT_LOG.emit(level, name, component=component, **fields)
+    recorder = get_recorder()
+    recorder.note_event(name, level=level, fields=fields)
+    if name in ANOMALY_EVENTS:
+        recorder.trigger(name, context={"component": component, **fields})
 
 
 def read_events(path: PathLike) -> list[dict[str, Any]]:

@@ -20,7 +20,9 @@ import json
 import math
 import pathlib
 import threading
-from typing import Any, Iterable, Mapping, Union
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from .exemplar import Exemplar, exemplars_enabled, pick_latest
 
 PathLike = Union[str, pathlib.Path]
 
@@ -131,8 +133,13 @@ class Histogram(_Metric):
         self._counts: dict[LabelKey, list[int]] = {}
         self._sums: dict[LabelKey, float] = {}
         self._totals: dict[LabelKey, int] = {}
+        # Per label set, one optional exemplar per bucket (+Inf last),
+        # OpenMetrics-style: latest observation wins.
+        self._exemplars: dict[LabelKey, list[Optional[Exemplar]]] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: Exemplar | None = None, **labels: Any
+    ) -> None:
         key = _label_key(labels)
         idx = bisect.bisect_left(self.bounds, value)
         with self._lock:
@@ -144,6 +151,40 @@ class Histogram(_Metric):
             counts[idx] += 1
             self._sums[key] += float(value)
             self._totals[key] += 1
+            if exemplar is not None and exemplars_enabled():
+                slots = self._exemplars.get(key)
+                if slots is None:
+                    slots = self._exemplars[key] = [None] * (len(self.bounds) + 1)
+                slots[idx] = exemplar
+
+    def merge_exemplars(
+        self, exemplars: Iterable[Optional[Exemplar]], **labels: Any
+    ) -> None:
+        """Fold per-bucket exemplars from another process (latest wins)."""
+
+        incoming = list(exemplars)
+        if len(incoming) != len(self.bounds) + 1:
+            raise ValueError(
+                f"expected {len(self.bounds) + 1} exemplar slots, "
+                f"got {len(incoming)}"
+            )
+        if not any(e is not None for e in incoming):
+            return
+        key = _label_key(labels)
+        with self._lock:
+            slots = self._exemplars.get(key)
+            if slots is None:
+                slots = self._exemplars[key] = [None] * (len(self.bounds) + 1)
+            for idx, ex in enumerate(incoming):
+                slots[idx] = pick_latest(slots[idx], ex)
+
+    def exemplars(self, **labels: Any) -> list[Optional[Exemplar]]:
+        """Per-bucket exemplars (``+Inf`` last) for one label set."""
+
+        slots = self._exemplars.get(_label_key(labels))
+        if slots is None:
+            return [None] * (len(self.bounds) + 1)
+        return list(slots)
 
     def merge_raw(
         self, bucket_counts: Iterable[int], sum: float, **labels: Any
@@ -188,14 +229,21 @@ class Histogram(_Metric):
                 running += n
                 cumulative[repr(float(bound))] = running
             cumulative["+Inf"] = running + counts[-1]
-            out.append(
-                {
-                    "labels": dict(key),
-                    "count": self._totals[key],
-                    "sum": self._sums[key],
-                    "buckets": cumulative,
+            sample = {
+                "labels": dict(key),
+                "count": self._totals[key],
+                "sum": self._sums[key],
+                "buckets": cumulative,
+            }
+            slots = self._exemplars.get(key)
+            if slots is not None and any(e is not None for e in slots):
+                bucket_names = [repr(float(b)) for b in self.bounds] + ["+Inf"]
+                sample["exemplars"] = {
+                    name: ex.to_dict()
+                    for name, ex in zip(bucket_names, slots)
+                    if ex is not None
                 }
-            )
+            out.append(sample)
         return out
 
 
@@ -258,8 +306,14 @@ class MetricsRegistry:
     def to_json(self, meta: Mapping[str, Any] | None = None) -> str:
         return json.dumps(self.to_dict(meta), indent=2, sort_keys=True)
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4)."""
+    def to_prometheus(self, exemplars: bool = False) -> str:
+        """Prometheus text exposition format (0.0.4).
+
+        With ``exemplars=True``, histogram bucket lines carry their
+        OpenMetrics exemplar suffix (`` # {trace_id=...} value ts``) so
+        a scraped bucket can be pivoted into the trace and provenance
+        record that produced it.
+        """
         lines: list[str] = []
         for metric in self.metrics():
             if metric.help:
@@ -276,10 +330,19 @@ class MetricsRegistry:
                     lines.append(f"{metric.name}_count 0")
                 for sample in samples:
                     base = sample["labels"]
+                    sample_exemplars = sample.get("exemplars") or {}
                     for bound, cum in sample["buckets"].items():
-                        lines.append(
+                        line = (
                             f"{metric.name}_bucket{_label_str({**base, 'le': bound})} {cum}"
                         )
+                        if exemplars and bound in sample_exemplars:
+                            ex = Exemplar.from_dict(sample_exemplars[bound])
+                            line += (
+                                f" # {ex.labels_text()} "
+                                f"{_format_value(ex.value)} "
+                                f"{_format_value(ex.ts_unix)}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{metric.name}_sum{_label_str(base)} {_format_value(sample['sum'])}"
                     )
@@ -351,14 +414,17 @@ def export_metrics(
     path: PathLike,
     registry: MetricsRegistry | None = None,
     meta: Mapping[str, Any] | None = None,
+    exemplars: bool = False,
 ) -> pathlib.Path:
     """Write the registry to ``path`` — Prometheus text when the suffix is
-    ``.prom``/``.txt``, the JSON document otherwise."""
+    ``.prom``/``.txt``, the JSON document otherwise.  ``exemplars=True``
+    adds OpenMetrics exemplar suffixes to Prometheus bucket lines (the
+    JSON document always carries exemplars when present)."""
     registry = registry or get_registry()
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix in (".prom", ".txt"):
-        path.write_text(registry.to_prometheus(), encoding="utf-8")
+        path.write_text(registry.to_prometheus(exemplars=exemplars), encoding="utf-8")
     else:
         path.write_text(registry.to_json(meta) + "\n", encoding="utf-8")
     return path

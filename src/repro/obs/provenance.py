@@ -1,0 +1,491 @@
+"""Prediction provenance: per-query evidence chains for served answers.
+
+Aggregate metrics say *how often* the serving tier answered; a
+:class:`ProvenanceRecord` says *why this query got this location*: the
+resolved point, every candidate's score and rank, the contributing
+stay evidence (aggregated per candidate — stay points are anonymous,
+so their mass is attributed to the candidate they built), the snapshot
+/ model / pool fingerprints that were live at answer time, which tier
+answered (cache / model / store), and the trace id of the request.
+
+Records are minted on the serve hot path, so retention is bounded and
+deterministic: a :class:`ProvenanceRing` holds
+
+- an **always-keep** deque for the records someone will actually ask
+  about (errors, unknown ids, low-confidence answers), and
+- a **deterministic reservoir** over everything else — Algorithm R
+  with the random draw replaced by ``crc32(key) % (i + 1)``, so two
+  runs over the same stream keep the same sample and replaying a run
+  reproduces its forensics exactly.
+
+Each worker process persists its ring to
+``<snapshot-dir>/obs/provenance-<origin>.jsonl`` on snapshot rotation
+and shutdown; :func:`merge_provenance` folds those files (tolerating a
+torn final line from a crash-time flush) the same way ``trace_dump``
+merges span files.  ``repro explain <address-id>`` renders the result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry, get_registry
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the record wire shape changes; readers check it.
+PROVENANCE_VERSION = 1
+
+#: Confidence below which a record is always kept (the interesting ones).
+DEFAULT_LOW_CONFIDENCE = 0.2
+
+__all__ = [
+    "PROVENANCE_VERSION",
+    "ProvenanceRecord",
+    "ProvenanceRing",
+    "fingerprint_digest",
+    "get_provenance_ring",
+    "set_provenance_ring",
+    "reset_provenance_ring",
+    "put_evidence",
+    "pop_evidence",
+    "read_provenance",
+    "iter_jsonl_tolerant",
+    "merge_provenance",
+    "render_record",
+]
+
+
+def fingerprint_digest(fingerprint: Any) -> str:
+    """Compact content digest of an ``obs.drift.Fingerprint`` (or any
+    JSON-able mapping): ``<kind>:<crc32 hex>`` — enough to tell two
+    refreshes apart without embedding whole histograms in every record."""
+
+    if fingerprint is None:
+        return ""
+    doc = fingerprint.to_dict() if hasattr(fingerprint, "to_dict") else fingerprint
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    kind = doc.get("kind", "fp") if isinstance(doc, Mapping) else "fp"
+    return f"{kind}:{zlib.crc32(blob):08x}"
+
+
+@dataclass
+class ProvenanceRecord:
+    """One served answer and the evidence behind it."""
+
+    key: str
+    address_id: str
+    status: str
+    lng: Optional[float] = None
+    lat: Optional[float] = None
+    source: str = ""
+    cache_state: str = ""
+    confidence: Optional[float] = None
+    #: ``[{"candidate_id", "score", "rank", "weight", "lng", "lat"}, ...]``
+    candidates: list = field(default_factory=list)
+    #: Contributing stay evidence aggregated per candidate:
+    #: ``[{"candidate_id", "weight", "avg_duration_s", "n_couriers"}, ...]``
+    stays: list = field(default_factory=list)
+    snapshot_version: Optional[int] = None
+    model_fingerprint: str = ""
+    pool_fingerprint: str = ""
+    trace_id: str = ""
+    origin: str = ""
+    ts_unix: float = 0.0
+    error: str = ""
+    version: int = PROVENANCE_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "key": self.key,
+            "address_id": self.address_id,
+            "status": self.status,
+            "lng": self.lng,
+            "lat": self.lat,
+            "source": self.source,
+            "cache_state": self.cache_state,
+            "confidence": self.confidence,
+            "candidates": list(self.candidates),
+            "stays": list(self.stays),
+            "snapshot_version": self.snapshot_version,
+            "model_fingerprint": self.model_fingerprint,
+            "pool_fingerprint": self.pool_fingerprint,
+            "trace_id": self.trace_id,
+            "origin": self.origin,
+            "ts_unix": self.ts_unix,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ProvenanceRecord":
+        return cls(
+            key=str(doc.get("key", "")),
+            address_id=str(doc.get("address_id", "")),
+            status=str(doc.get("status", "")),
+            lng=doc.get("lng"),
+            lat=doc.get("lat"),
+            source=str(doc.get("source", "")),
+            cache_state=str(doc.get("cache_state", "")),
+            confidence=doc.get("confidence"),
+            candidates=list(doc.get("candidates") or []),
+            stays=list(doc.get("stays") or []),
+            snapshot_version=doc.get("snapshot_version"),
+            model_fingerprint=str(doc.get("model_fingerprint", "")),
+            pool_fingerprint=str(doc.get("pool_fingerprint", "")),
+            trace_id=str(doc.get("trace_id", "")),
+            origin=str(doc.get("origin", "")),
+            ts_unix=float(doc.get("ts_unix", 0.0)),
+            error=str(doc.get("error", "")),
+            version=int(doc.get("version", PROVENANCE_VERSION)),
+        )
+
+
+class ProvenanceRing:
+    """Bounded retention for provenance records.
+
+    ``capacity`` bounds the deterministic reservoir over routine
+    answers; ``keep_capacity`` bounds the always-keep deque for
+    errors / unknown ids / low-confidence answers.  Both counters in
+    ``provenance_records_total{result=kept|sampled_out}`` are
+    pre-seeded at zero so the fail-closed SLO engine sees the family
+    from tick one.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        keep_capacity: int = 128,
+        low_confidence: float = DEFAULT_LOW_CONFIDENCE,
+        origin: str = "main",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.low_confidence = float(low_confidence)
+        self.origin = str(origin)
+        self._lock = threading.Lock()
+        self._reservoir: list[ProvenanceRecord] = []
+        self._seen = 0  # routine records offered to the reservoir
+        self._seq = 0
+        self._kept: deque[ProvenanceRecord] = deque(maxlen=int(keep_capacity))
+        registry = registry or get_registry()
+        self._records_total = registry.counter(
+            "provenance_records_total",
+            "Provenance records by retention outcome",
+        )
+        for result in ("kept", "sampled_out"):
+            self._records_total.inc(0, result=result)
+
+    # ------------------------------------------------------------------
+    # Minting / retention
+    # ------------------------------------------------------------------
+    def mint(self, address_id: str, status: str, **fields: Any) -> ProvenanceRecord:
+        """Build a record with a fresh key and retain it per policy."""
+
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        record = ProvenanceRecord(
+            key=f"{self.origin}:{seq:08d}",
+            address_id=str(address_id),
+            status=str(status),
+            origin=self.origin,
+            ts_unix=time.time(),
+            **fields,
+        )
+        self.add(record)
+        return record
+
+    def _always_keep(self, record: ProvenanceRecord) -> bool:
+        if record.status != "ok" or record.error:
+            return True
+        if record.confidence is not None and record.confidence < self.low_confidence:
+            return True
+        return False
+
+    def add(self, record: ProvenanceRecord) -> bool:
+        """Retain ``record``; returns whether it was kept right now."""
+
+        with self._lock:
+            if self._always_keep(record):
+                self._kept.append(record)
+                self._records_total.inc(1, result="kept")
+                return True
+            i = self._seen
+            self._seen += 1
+            if len(self._reservoir) < self.capacity:
+                self._reservoir.append(record)
+                self._records_total.inc(1, result="kept")
+                return True
+            # Algorithm R with a deterministic draw: same stream of keys
+            # -> same retained sample, run after run.
+            j = zlib.crc32(record.key.encode("utf-8")) % (i + 1)
+            if j < self.capacity:
+                self._reservoir[j] = record
+                self._records_total.inc(1, result="kept")
+                return True
+            self._records_total.inc(1, result="sampled_out")
+            return False
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def records(self) -> list[ProvenanceRecord]:
+        """Every retained record, newest first, always-keep included."""
+
+        with self._lock:
+            merged = {r.key: r for r in self._reservoir}
+            merged.update((r.key, r) for r in self._kept)
+        return sorted(
+            merged.values(), key=lambda r: (r.ts_unix, r.key), reverse=True
+        )
+
+    def find(self, address_id: str) -> list[ProvenanceRecord]:
+        wanted = str(address_id)
+        return [r for r in self.records() if r.address_id == wanted]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._reservoir) + len(self._kept)
+
+    def counts(self) -> dict[str, float]:
+        """Cumulative retention-outcome counts (mirrors the counter)."""
+        return {
+            "kept": self._records_total.value(result="kept"),
+            "sampled_out": self._records_total.value(result="sampled_out"),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._reservoir.clear()
+            self._kept.clear()
+            self._seen = 0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: PathLike) -> pathlib.Path:
+        """Atomically persist the ring (tmp + fsync + rename)."""
+
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records = self.records()
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Evidence side-channel
+# ----------------------------------------------------------------------
+# The model tier knows the per-candidate score vector; the server loop
+# that mints the record does not.  Rather than widen QueryResult (which
+# crosses a pipe on the process backend), the scoring tier parks the
+# evidence here keyed by address id and the minting site pops it.
+_EVIDENCE_CAPACITY = 1024
+_evidence_lock = threading.Lock()
+_evidence: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+
+
+def put_evidence(address_id: str, evidence: dict[str, Any]) -> None:
+    with _evidence_lock:
+        _evidence[str(address_id)] = evidence
+        _evidence.move_to_end(str(address_id))
+        while len(_evidence) > _EVIDENCE_CAPACITY:
+            _evidence.popitem(last=False)
+
+
+def pop_evidence(address_id: str) -> Optional[dict[str, Any]]:
+    with _evidence_lock:
+        return _evidence.pop(str(address_id), None)
+
+
+# ----------------------------------------------------------------------
+# Global default ring
+# ----------------------------------------------------------------------
+_RING: ProvenanceRing | None = None
+_RING_LOCK = threading.Lock()
+
+
+def get_provenance_ring() -> ProvenanceRing:
+    global _RING
+    with _RING_LOCK:
+        if _RING is None:
+            _RING = ProvenanceRing()
+        return _RING
+
+
+def set_provenance_ring(ring: ProvenanceRing | None) -> ProvenanceRing | None:
+    global _RING
+    with _RING_LOCK:
+        previous = _RING
+        _RING = ring
+        return previous
+
+
+def reset_provenance_ring() -> None:
+    set_provenance_ring(None)
+    with _evidence_lock:
+        _evidence.clear()
+
+
+# ----------------------------------------------------------------------
+# Torn-tolerant JSONL reading + merge
+# ----------------------------------------------------------------------
+def iter_jsonl_tolerant(path: PathLike) -> "tuple[list[dict], int]":
+    """Read a JSON-lines file, skipping unparsable lines.
+
+    A process killed mid-flush leaves a truncated final line; the same
+    contract as the ``updates.log`` reader applies — stop trusting the
+    tail, count it, keep everything before it.  Returns
+    ``(docs, n_torn_lines)``.
+    """
+
+    docs: list[dict] = []
+    n_torn = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                n_torn += 1
+                continue
+            if isinstance(doc, dict):
+                docs.append(doc)
+            else:
+                n_torn += 1
+    return docs, n_torn
+
+
+def read_provenance(path: PathLike) -> tuple[list[ProvenanceRecord], int]:
+    """Load one provenance JSONL file -> ``(records, n_torn_lines)``."""
+
+    docs, n_torn = iter_jsonl_tolerant(path)
+    records = []
+    for doc in docs:
+        if doc.get("version", PROVENANCE_VERSION) > PROVENANCE_VERSION:
+            n_torn += 1  # future schema we cannot interpret: skip, count
+            continue
+        records.append(ProvenanceRecord.from_dict(doc))
+    return records, n_torn
+
+
+def merge_provenance(
+    paths: Sequence[PathLike],
+    out: PathLike | None = None,
+) -> tuple[list[ProvenanceRecord], dict[str, Any]]:
+    """Fold per-origin provenance files into one newest-first list.
+
+    Mirrors ``trace_dump``: unreadable files are skipped (counted), torn
+    tails are skipped (counted), duplicate keys keep the newest record.
+    """
+
+    merged: dict[str, ProvenanceRecord] = {}
+    stats = {"n_files": 0, "n_unreadable_files": 0, "n_torn_lines": 0, "n_records": 0}
+    for path in paths:
+        try:
+            records, n_torn = read_provenance(path)
+        except OSError:
+            stats["n_unreadable_files"] += 1
+            continue
+        stats["n_files"] += 1
+        stats["n_torn_lines"] += n_torn
+        for record in records:
+            existing = merged.get(record.key)
+            if existing is None or record.ts_unix >= existing.ts_unix:
+                merged[record.key] = record
+    records = sorted(
+        merged.values(), key=lambda r: (r.ts_unix, r.key), reverse=True
+    )
+    stats["n_records"] = len(records)
+    if out is not None:
+        out = pathlib.Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        tmp = out.with_name(out.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, out)
+    return records, stats
+
+
+# ----------------------------------------------------------------------
+# Rendering (``repro explain``)
+# ----------------------------------------------------------------------
+def render_record(record: ProvenanceRecord) -> str:
+    """Multi-line human rendering of one evidence chain."""
+
+    lines = [
+        f"provenance {record.key}  address={record.address_id}  "
+        f"status={record.status}",
+    ]
+    if record.lng is not None and record.lat is not None:
+        lines.append(f"  location     ({record.lng:.6f}, {record.lat:.6f})")
+    tier = " / ".join(x for x in (record.source, record.cache_state) if x)
+    if tier:
+        lines.append(f"  tier         {tier}")
+    if record.confidence is not None:
+        lines.append(f"  confidence   {record.confidence:.4f}")
+    if record.snapshot_version is not None:
+        lines.append(f"  snapshot     v{record.snapshot_version}")
+    if record.model_fingerprint or record.pool_fingerprint:
+        lines.append(
+            f"  fingerprints model={record.model_fingerprint or '-'}  "
+            f"pool={record.pool_fingerprint or '-'}"
+        )
+    if record.trace_id:
+        lines.append(f"  trace        {record.trace_id}")
+    if record.error:
+        lines.append(f"  error        {record.error}")
+    if record.candidates:
+        lines.append(f"  candidates   ({len(record.candidates)})")
+        ranked = sorted(
+            record.candidates, key=lambda c: c.get("rank", 1 << 30)
+        )
+        for cand in ranked[:10]:
+            lines.append(
+                "    #{rank:<3} id={cid}  score={score:.4f}  "
+                "weight={weight:.3f}  ({lng:.6f}, {lat:.6f})".format(
+                    rank=cand.get("rank", -1),
+                    cid=cand.get("candidate_id", "?"),
+                    score=float(cand.get("score", 0.0)),
+                    weight=float(cand.get("weight", 0.0)),
+                    lng=float(cand.get("lng", 0.0)),
+                    lat=float(cand.get("lat", 0.0)),
+                )
+            )
+        if len(record.candidates) > 10:
+            lines.append(f"    ... {len(record.candidates) - 10} more")
+    if record.stays:
+        lines.append(f"  stay evidence ({len(record.stays)})")
+        for stay in record.stays[:10]:
+            lines.append(
+                "    candidate={cid}  weight={weight:.3f}  "
+                "avg_duration={dur:.0f}s  couriers={cour}".format(
+                    cid=stay.get("candidate_id", "?"),
+                    weight=float(stay.get("weight", 0.0)),
+                    dur=float(stay.get("avg_duration_s", 0.0)),
+                    cour=int(stay.get("n_couriers", 0)),
+                )
+            )
+    return "\n".join(lines)

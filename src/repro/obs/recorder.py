@@ -1,0 +1,356 @@
+"""Flight recorder: an always-on black box for the serving/stream tier.
+
+A bounded in-memory ring continuously absorbs the most recent spans,
+events, metric deltas, and provenance keys at near-zero cost (one deque
+append under a lock).  When something goes wrong — a
+:class:`~repro.stream.scheduler.RefreshScheduler` gate refusal, an
+``slo_violation`` / ``drift_flagged`` event, a worker crash — the
+recorder :meth:`~FlightRecorder.trigger`\\ s and writes an **atomic
+black-box dump**: tmp + fsync + rename, so a reader never sees a torn
+file, exactly the contract of the publisher's ``updates.log``.
+
+The dump bundles everything a post-mortem needs in one artifact: the
+ring contents, the merged fleet metrics registry, the SLO verdicts at
+trigger time, and the implicated provenance records.  ``repro blackbox
+<dump>`` renders it.
+
+``flightrecorder_dumps_total{trigger=...}`` is pre-seeded at zero for
+every known trigger so conservation checks and the fail-closed SLO
+engine see the family before anything fires.  ``max_dumps`` caps disk
+usage — a flapping gate cannot fill the volume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from typing import Any, Mapping, Optional, Union
+
+from .metrics import MetricsRegistry, get_registry
+
+PathLike = Union[str, pathlib.Path]
+
+BLACKBOX_VERSION = 1
+
+#: Triggers with pre-seeded counter label sets.
+KNOWN_TRIGGERS = (
+    "gate_refusal",
+    "slo_violation",
+    "drift_flagged",
+    "worker_crash",
+)
+
+__all__ = [
+    "BLACKBOX_VERSION",
+    "KNOWN_TRIGGERS",
+    "FlightRecorder",
+    "get_recorder",
+    "configure_recorder",
+    "reset_recorder",
+    "load_blackbox",
+    "render_blackbox",
+]
+
+
+class FlightRecorder:
+    """Bounded ring of recent telemetry + atomic anomaly dumps."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        dump_dir: PathLike | None = None,
+        max_dumps: int = 16,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.dump_dir = pathlib.Path(dump_dir) if dump_dir is not None else None
+        self.max_dumps = int(max_dumps)
+        self._lock = threading.Lock()
+        self._ring: list[dict[str, Any]] = []
+        self._head = 0  # next write slot once the ring is full
+        self._n_seen = 0
+        self._dump_seq = 0
+        registry = registry or get_registry()
+        self._dumps_total = registry.counter(
+            "flightrecorder_dumps_total",
+            "Black-box dumps by trigger",
+        )
+        for trigger in KNOWN_TRIGGERS:
+            self._dumps_total.inc(0, trigger=trigger)
+
+    # ------------------------------------------------------------------
+    # Recording (hot path: one append under a lock)
+    # ------------------------------------------------------------------
+    def _note(self, entry: dict[str, Any]) -> None:
+        entry.setdefault("ts_unix", time.time())
+        with self._lock:
+            if len(self._ring) < self.capacity:
+                self._ring.append(entry)
+            else:
+                self._ring[self._head] = entry
+                self._head = (self._head + 1) % self.capacity
+            self._n_seen += 1
+
+    def note_span(self, span_doc: Mapping[str, Any]) -> None:
+        self._note(
+            {
+                "kind": "span",
+                "name": span_doc.get("name", ""),
+                "trace_id": span_doc.get("trace_id", ""),
+                "duration_s": span_doc.get("duration_s"),
+                "error": span_doc.get("error"),
+            }
+        )
+
+    def note_event(
+        self, name: str, level: str = "info", fields: Mapping[str, Any] | None = None
+    ) -> None:
+        self._note(
+            {
+                "kind": "event",
+                "name": str(name),
+                "level": str(level),
+                "fields": dict(fields or {}),
+            }
+        )
+
+    def note_metric(
+        self, name: str, value: float, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        self._note(
+            {
+                "kind": "metric",
+                "name": str(name),
+                "value": float(value),
+                "labels": {str(k): str(v) for k, v in (labels or {}).items()},
+            }
+        )
+
+    def note_provenance(self, key: str, address_id: str, status: str) -> None:
+        self._note(
+            {
+                "kind": "provenance",
+                "key": str(key),
+                "address_id": str(address_id),
+                "status": str(status),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict[str, Any]]:
+        """Ring contents, oldest first."""
+
+        with self._lock:
+            if len(self._ring) < self.capacity:
+                return list(self._ring)
+            return self._ring[self._head :] + self._ring[: self._head]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def n_seen(self) -> int:
+        with self._lock:
+            return self._n_seen
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._head = 0
+
+    # ------------------------------------------------------------------
+    # The black box
+    # ------------------------------------------------------------------
+    def trigger(
+        self,
+        trigger: str,
+        context: Mapping[str, Any] | None = None,
+        registry_doc: Mapping[str, Any] | None = None,
+        slo: Any = None,
+        provenance: Any = None,
+    ) -> Optional[pathlib.Path]:
+        """Record an anomaly; dump the black box when a dir is configured.
+
+        Returns the dump path, or ``None`` when no ``dump_dir`` is set
+        or the ``max_dumps`` cap was reached (the counter still counts).
+        """
+
+        self._dumps_total.inc(1, trigger=str(trigger))
+        self.note_event(f"flightrecorder_{trigger}", level="warning",
+                        fields=dict(context or {}))
+        if self.dump_dir is None:
+            return None
+        with self._lock:
+            if self._dump_seq >= self.max_dumps:
+                return None
+            seq = self._dump_seq
+            self._dump_seq += 1
+        payload = {
+            "version": BLACKBOX_VERSION,
+            "trigger": str(trigger),
+            "ts_unix": time.time(),
+            "context": dict(context or {}),
+            "ring": self.entries(),
+            "registry": dict(registry_doc) if registry_doc is not None else None,
+            "slo": _jsonable(slo),
+            "provenance": _jsonable(provenance),
+        }
+        self.dump_dir.mkdir(parents=True, exist_ok=True)
+        path = self.dump_dir / f"blackbox-{trigger}-{seq:04d}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, default=str)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of verdicts/records to JSON shapes."""
+
+    if value is None:
+        return None
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# Global default recorder (always on)
+# ----------------------------------------------------------------------
+_RECORDER: FlightRecorder | None = None
+_RECORDER_LOCK = threading.Lock()
+
+
+def get_recorder() -> FlightRecorder:
+    global _RECORDER
+    with _RECORDER_LOCK:
+        if _RECORDER is None:
+            _RECORDER = FlightRecorder()
+        return _RECORDER
+
+
+def configure_recorder(
+    capacity: int = 1024,
+    dump_dir: PathLike | None = None,
+    max_dumps: int = 16,
+    registry: MetricsRegistry | None = None,
+) -> FlightRecorder:
+    """Install a fresh global recorder (e.g. with a dump dir) and return it."""
+
+    global _RECORDER
+    recorder = FlightRecorder(
+        capacity=capacity, dump_dir=dump_dir, max_dumps=max_dumps, registry=registry
+    )
+    with _RECORDER_LOCK:
+        _RECORDER = recorder
+    return recorder
+
+
+def reset_recorder() -> None:
+    global _RECORDER
+    with _RECORDER_LOCK:
+        _RECORDER = None
+
+
+# ----------------------------------------------------------------------
+# Reading / rendering (``repro blackbox``)
+# ----------------------------------------------------------------------
+def load_blackbox(path: PathLike) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a black-box dump")
+    return payload
+
+
+def render_blackbox(payload: Mapping[str, Any]) -> str:
+    """Human rendering of a dump: header, SLO verdicts, provenance, ring."""
+
+    lines = [
+        f"black box  trigger={payload.get('trigger', '?')}  "
+        f"version={payload.get('version', '?')}",
+    ]
+    ts = payload.get("ts_unix")
+    if isinstance(ts, (int, float)) and ts:
+        lines.append(
+            "  at         "
+            + time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts))
+            + " UTC"
+        )
+    context = payload.get("context")
+    if isinstance(context, Mapping) and context:
+        lines.append("  context:")
+        for key in sorted(context):
+            lines.append(f"    {key:<24} {context[key]}")
+    slo = payload.get("slo")
+    if isinstance(slo, Mapping) and slo.get("results"):
+        lines.append("  slo verdicts:")
+        for result in slo["results"]:
+            if not isinstance(result, Mapping):
+                continue
+            ok = result.get("ok", result.get("healthy"))
+            status = "OK " if ok else "VIOLATED"
+            lines.append(
+                f"    {status:<9} {result.get('name', '?')}  "
+                f"value={result.get('value', '?')}  "
+                f"objective={result.get('objective', '?')}"
+            )
+    provenance = payload.get("provenance")
+    if isinstance(provenance, list) and provenance:
+        lines.append(f"  implicated provenance ({len(provenance)}):")
+        for doc in provenance[:10]:
+            if not isinstance(doc, Mapping):
+                continue
+            lines.append(
+                f"    {doc.get('key', '?')}  address={doc.get('address_id', '?')}  "
+                f"status={doc.get('status', '?')}  "
+                f"snapshot=v{doc.get('snapshot_version', '?')}"
+            )
+        if len(provenance) > 10:
+            lines.append(f"    ... {len(provenance) - 10} more")
+    registry = payload.get("registry")
+    if isinstance(registry, Mapping):
+        metrics = registry.get("metrics")
+        n = len(metrics) if isinstance(metrics, list) else 0
+        lines.append(f"  fleet registry: {n} metric families")
+    ring = payload.get("ring")
+    if isinstance(ring, list):
+        lines.append(f"  ring ({len(ring)} entries, newest last):")
+        for entry in ring[-20:]:
+            if not isinstance(entry, Mapping):
+                continue
+            kind = entry.get("kind", "?")
+            if kind == "span":
+                dur = entry.get("duration_s")
+                dur_s = f"{dur:.6f}s" if isinstance(dur, (int, float)) else "-"
+                detail = f"{entry.get('name', '?')} {dur_s}"
+                if entry.get("error"):
+                    detail += f" error={entry['error']}"
+            elif kind == "event":
+                detail = f"{entry.get('level', '?')}: {entry.get('name', '?')}"
+            elif kind == "metric":
+                detail = f"{entry.get('name', '?')} = {entry.get('value', '?')}"
+            elif kind == "provenance":
+                detail = (
+                    f"{entry.get('key', '?')} address={entry.get('address_id', '?')}"
+                    f" status={entry.get('status', '?')}"
+                )
+            else:
+                detail = str(entry)
+            lines.append(f"    [{kind:<10}] {detail}")
+    return "\n".join(lines)

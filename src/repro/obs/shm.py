@@ -51,6 +51,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.obs.exemplar import (
+    EXEMPLAR_KEY_BYTES,
+    EXEMPLAR_TRACE_ID_BYTES,
+    Exemplar,
+    exemplars_enabled,
+)
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 MAGIC = b"ROBSPLN1"
@@ -58,6 +64,11 @@ _ALIGN = 64
 #: Seqlock read attempts before a slot is declared torn (dead writer
 #: mid-update leaves an odd epoch forever; readers must not spin).
 _MAX_READ_RETRIES = 64
+
+#: One encoded exemplar per histogram bucket when a slot opts in:
+#: float64 value | trace id (ascii, NUL-padded) | provenance key
+#: (ascii, NUL-padded) | float64 ts_unix.  ts_unix == 0 means "empty".
+_EXEMPLAR_BYTES = 8 + EXEMPLAR_TRACE_ID_BYTES + EXEMPLAR_KEY_BYTES + 8
 
 COUNTER = "counter"
 GAUGE = "gauge"
@@ -77,6 +88,12 @@ class SlotSpec:
     labels: tuple[tuple[str, str], ...] = ()
     buckets: tuple[float, ...] = ()
     help: str = ""
+    #: Histogram-only: reserve per-bucket exemplar bytes after the
+    #: count/sum words, guarded by the *same* slot epoch (seqlock-safe
+    #: for free).  Serialized into the schema blob only when True, so
+    #: pre-exemplar plane files keep a byte-identical schema and still
+    #: attach (counters stay monotonic across the upgrade).
+    exemplars: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in (COUNTER, GAUGE, HISTOGRAM):
@@ -85,12 +102,17 @@ class SlotSpec:
             object.__setattr__(
                 self, "buckets", tuple(float(b) for b in DEFAULT_LATENCY_BUCKETS)
             )
+        if self.exemplars and self.kind != HISTOGRAM:
+            raise ValueError("exemplars are only valid on histogram slots")
 
     @property
     def payload_bytes(self) -> int:
         if self.kind == HISTOGRAM:
             # bucket counts (incl. +Inf) + sum + count
-            return 8 * (len(self.buckets) + 1) + 8 + 8
+            base = 8 * (len(self.buckets) + 1) + 8 + 8
+            if self.exemplars:
+                base += _EXEMPLAR_BYTES * (len(self.buckets) + 1)
+            return base
         return 8
 
     @property
@@ -98,13 +120,16 @@ class SlotSpec:
         return _align(8 + self.payload_bytes)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "kind": self.kind,
             "name": self.name,
             "labels": [list(kv) for kv in self.labels],
             "buckets": list(self.buckets),
             "help": self.help,
         }
+        if self.exemplars:
+            doc["exemplars"] = True
+        return doc
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SlotSpec":
@@ -116,6 +141,7 @@ class SlotSpec:
             ),
             buckets=tuple(float(b) for b in payload.get("buckets", [])),
             help=str(payload.get("help", "")),
+            exemplars=bool(payload.get("exemplars", False)),
         )
 
 
@@ -129,6 +155,7 @@ class SlotValue:
     sum: float = 0.0
     count: int = 0
     torn: bool = False
+    exemplars: tuple = ()                 # Exemplar | None per bucket, +Inf last
 
 
 @dataclass(frozen=True)
@@ -146,6 +173,38 @@ class PlaneSnapshot:
 
 def _align(n: int) -> int:
     return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pad_ascii(text: str, width: int) -> bytes:
+    raw = text.encode("ascii", "replace")[:width]
+    return raw + b"\x00" * (width - len(raw))
+
+
+def _encode_exemplar(exemplar: Exemplar) -> bytes:
+    ts = exemplar.ts_unix or time.time()
+    return (
+        struct.pack("<d", float(exemplar.value))
+        + _pad_ascii(exemplar.trace_id, EXEMPLAR_TRACE_ID_BYTES)
+        + _pad_ascii(exemplar.provenance_key, EXEMPLAR_KEY_BYTES)
+        + struct.pack("<d", float(ts))
+    )
+
+
+def _decode_exemplar(raw: bytes) -> "Exemplar | None":
+    (value,) = struct.unpack_from("<d", raw, 0)
+    trace_end = 8 + EXEMPLAR_TRACE_ID_BYTES
+    key_end = trace_end + EXEMPLAR_KEY_BYTES
+    (ts,) = struct.unpack_from("<d", raw, key_end)
+    if ts == 0.0:
+        return None  # never written
+    return Exemplar(
+        value=value,
+        trace_id=raw[8:trace_end].rstrip(b"\x00").decode("ascii", "replace"),
+        provenance_key=raw[trace_end:key_end].rstrip(b"\x00").decode(
+            "ascii", "replace"
+        ),
+        ts_unix=ts,
+    )
 
 
 def _schema_blob(specs: Sequence[SlotSpec], meta: Mapping[str, Any]) -> bytes:
@@ -308,7 +367,9 @@ class MetricsPlane:
             struct.pack_into("<d", self._mm, offset + 8, float(value))
             self._commit(offset, epoch)
 
-    def observe(self, index: int, value: float) -> None:
+    def observe(
+        self, index: int, value: float, exemplar: "Exemplar | None" = None
+    ) -> None:
         spec = self.specs[index]
         if spec.kind != HISTOGRAM:
             raise TypeError(f"slot {index} ({spec.name}) is not a histogram")
@@ -327,6 +388,13 @@ class MetricsPlane:
             struct.pack_into("<d", self._mm, sum_off, total + float(value))
             (n,) = struct.unpack_from("<Q", self._mm, sum_off + 8)
             struct.pack_into("<Q", self._mm, sum_off + 8, n + 1)
+            if spec.exemplars and exemplar is not None and exemplars_enabled():
+                # Same epoch guards the exemplar bytes: a reader either
+                # sees the whole (counts + exemplar) update or retries.
+                ex_off = sum_off + 16 + _EXEMPLAR_BYTES * bucket
+                self._mm[ex_off: ex_off + _EXEMPLAR_BYTES] = _encode_exemplar(
+                    exemplar
+                )
             self._commit(offset, epoch)
 
     # -- reader side ----------------------------------------------------
@@ -347,8 +415,19 @@ class MetricsPlane:
                 n_buckets = len(spec.buckets) + 1
                 counts = struct.unpack_from(f"<{n_buckets}Q", raw, 0)
                 total, n = struct.unpack_from("<dQ", raw, 8 * n_buckets)
+                exemplars: tuple = ()
+                if spec.exemplars:
+                    ex_base = 8 * n_buckets + 16
+                    exemplars = tuple(
+                        _decode_exemplar(
+                            raw[ex_base + _EXEMPLAR_BYTES * b:
+                                ex_base + _EXEMPLAR_BYTES * (b + 1)]
+                        )
+                        for b in range(n_buckets)
+                    )
                 return SlotValue(
-                    spec, bucket_counts=tuple(counts), sum=total, count=n
+                    spec, bucket_counts=tuple(counts), sum=total, count=n,
+                    exemplars=exemplars,
                 )
             (value,) = struct.unpack_from("<d", raw, 0)
             return SlotValue(spec, value=value)
@@ -418,9 +497,14 @@ def merge_snapshots(
                     gauges[key] = slot.value
                     registry.gauge(spec.name, spec.help).set(slot.value, **labels)
             else:
-                registry.histogram(
+                hist = registry.histogram(
                     spec.name, spec.help, buckets=spec.buckets
-                ).merge_raw(slot.bucket_counts, slot.sum, **labels)
+                )
+                hist.merge_raw(slot.bucket_counts, slot.sum, **labels)
+                if slot.exemplars and any(
+                    e is not None for e in slot.exemplars
+                ):
+                    hist.merge_exemplars(slot.exemplars, **labels)
     return registry
 
 

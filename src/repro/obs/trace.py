@@ -26,6 +26,8 @@ import uuid
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, TextIO, Union
 
+from .recorder import get_recorder
+
 PathLike = Union[str, pathlib.Path]
 
 _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
@@ -200,6 +202,15 @@ class Tracer:
     def finish(self, span: Span, exc: BaseException | None = None) -> None:
         span.finish(exc)
         self.sink.write(span)
+        # Feed the always-on flight recorder (bounded ring, no I/O).
+        get_recorder().note_span(
+            {
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "duration_s": span.duration_s,
+                "error": span.error["type"] if span.error else None,
+            }
+        )
 
 
 _TRACER: Tracer | None = None
@@ -287,14 +298,39 @@ def span(name: str, parent: Any = INHERIT, **attributes: Any) -> Iterator[Span |
 # ----------------------------------------------------------------------
 # Reading traces back
 # ----------------------------------------------------------------------
-def read_trace(path: PathLike) -> list[dict[str, Any]]:
-    """Parse a JSON-lines trace file into span dicts (file order)."""
-    out = []
-    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+def read_trace_stats(path: PathLike) -> tuple[list[dict[str, Any]], int]:
+    """Parse a JSON-lines trace file -> ``(spans, n_torn_lines)``.
+
+    A worker killed mid-flush leaves a truncated final line; the reader
+    skips such torn lines and counts them instead of raising — the same
+    contract the publisher's ``updates.log`` reader honours.  A non-dict
+    line (hand-edited file) counts as torn too.
+    """
+    out: list[dict[str, Any]] = []
+    n_torn = 0
+    for line in pathlib.Path(path).read_text(
+        encoding="utf-8", errors="replace"
+    ).splitlines():
         line = line.strip()
-        if line:
-            out.append(json.loads(line))
-    return out
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            n_torn += 1
+            continue
+        if isinstance(doc, dict):
+            out.append(doc)
+        else:
+            n_torn += 1
+    return out, n_torn
+
+
+def read_trace(path: PathLike) -> list[dict[str, Any]]:
+    """Parse a JSON-lines trace file into span dicts (file order),
+    tolerating a torn tail (see :func:`read_trace_stats`)."""
+    spans, _ = read_trace_stats(path)
+    return spans
 
 
 def span_tree(spans: list[dict[str, Any]]) -> dict[str | None, list[dict[str, Any]]]:
@@ -327,12 +363,15 @@ def merge_traces(
     """
     spans: list[dict[str, Any]] = []
     n_files = 0
+    n_torn_lines = 0
     for path in paths:
         try:
-            spans.extend(read_trace(path))
-            n_files += 1
-        except (OSError, json.JSONDecodeError):
+            file_spans, n_torn = read_trace_stats(path)
+        except OSError:
             continue
+        spans.extend(file_spans)
+        n_torn_lines += n_torn
+        n_files += 1
     by_trace: dict[str, list[dict[str, Any]]] = {}
     for sp in spans:
         by_trace.setdefault(str(sp.get("trace_id")), []).append(sp)
@@ -384,6 +423,7 @@ def merge_traces(
             fh.write(json.dumps(sp, separators=(",", ":")) + "\n")
     return {
         "n_files": n_files,
+        "n_torn_lines": n_torn_lines,
         "n_spans": len(spans),
         "n_traces": len(by_trace),
         "n_kept_traces": sum(reasons.values()),

@@ -58,8 +58,22 @@ from typing import Any, Sequence
 from repro.apps.store import QueryResult, QuerySource, UnknownAddressError
 from repro.geo import Point
 from repro.obs import MetricsRegistry, get_registry
+from repro.obs.exemplar import Exemplar, exemplars_enabled
 from repro.obs.health import SLO, HealthReport, RequestWindows, evaluate_slos
-from repro.obs.shm import MetricsPlane, SlotSpec, merged_registry
+from repro.obs.provenance import (
+    ProvenanceRing,
+    get_provenance_ring,
+    merge_provenance,
+)
+from repro.obs.recorder import get_recorder
+from repro.obs.shm import (
+    MetricsPlane,
+    PlaneSchemaError,
+    SlotSpec,
+    merge_snapshots,
+    merged_registry,
+    scrape_planes,
+)
 from repro.obs.trace import (
     configure_tracing,
     current_trace_path,
@@ -106,10 +120,20 @@ def worker_plane_specs(worker_id: int) -> list[SlotSpec]:
         for s in _WORKER_STATUSES
     ]
     specs += [
+        # exemplars=True reserves seqlock-guarded per-bucket exemplar
+        # bytes: a fleet latency bucket can pivot straight into the
+        # trace + provenance record of a real request that landed in it.
         SlotSpec("histogram", "serve_worker_request_latency_seconds",
                  (("cache", c), ("worker", w)),
-                 help="In-worker wall time per served row")
+                 help="In-worker wall time per served row",
+                 exemplars=True)
         for c in _CACHE_STATES
+    ]
+    specs += [
+        SlotSpec("counter", "provenance_records_total",
+                 (("result", r), ("worker", w)),
+                 help="Provenance records by retention outcome")
+        for r in ("kept", "sampled_out")
     ]
     specs += [
         SlotSpec("counter", "serve_worker_cache_events_total",
@@ -460,6 +484,9 @@ def _worker_main(
                                     worker=w),
             "version": plane.slot("serve_worker_snapshot_version", worker=w),
             "lag": plane.slot("serve_worker_snapshot_version_lag", worker=w),
+            "prov": {r: plane.slot("provenance_records_total",
+                                   result=r, worker=w)
+                     for r in ("kept", "sampled_out")},
         }
 
     publisher = SnapshotPublisher(directory)
@@ -472,6 +499,22 @@ def _worker_main(
     load_seconds: list[float] = []
     n_requests = 0
     prev_cache = [0, 0]  # hits, misses already folded into the plane
+    # Provenance is minted worker-side (the worker is where the answer is
+    # actually resolved); the ring is persisted on snapshot rotation and at
+    # shutdown so the router can merge `provenance-worker-*.jsonl` files
+    # exactly like trace files.
+    ring = ProvenanceRing(capacity=256, origin=f"w{worker_id}")
+    prev_prov = [0.0, 0.0]  # kept, sampled_out already folded into the plane
+
+    def persist_ring() -> None:
+        if not obs_dir or len(ring) == 0:
+            return
+        try:
+            ring.write_jsonl(
+                os.path.join(obs_dir, f"provenance-worker-{worker_id}.jsonl")
+            )
+        except OSError:
+            pass  # forensics must never take the worker down
 
     def publish_versions() -> None:
         if plane is None:
@@ -499,6 +542,10 @@ def _worker_main(
             dt = time.perf_counter() - t0
             load_seconds.append(dt)
             del load_seconds[:-256]
+            if snap is not None:
+                # Rotation boundary: flush provenance minted against the
+                # outgoing snapshot before answers start citing the new one.
+                persist_ring()
             snap = fresh
             if cache is not None:
                 cache.clear()
@@ -509,16 +556,44 @@ def _worker_main(
             return snap
         raise FileNotFoundError(f"no loadable snapshot in {directory!r}")
 
-    def record_rows(rows: list[tuple], elapsed: float) -> None:
-        """Fold one answered sub-batch into the shared-memory plane."""
+    def record_rows(rows: list[tuple], elapsed: float,
+                    trace_id: str = "") -> None:
+        """Mint provenance and fold one answered sub-batch into the plane."""
+        attach = exemplars_enabled()
+        for row in rows:
+            record = ring.mint(
+                row[0],
+                row[1],
+                lng=row[2],
+                lat=row[3],
+                source=row[4] or "",
+                confidence=row[5],
+                cache_state=row[6] or "",
+                snapshot_version=snap.version if snap is not None else None,
+                trace_id=trace_id,
+                error=row[7] or "",
+            )
+            if plane is not None:
+                plane.inc(slots["status"][row[1]])
+                if (row[1] == ServeStatus.OK.value
+                        and row[6] in slots["latency"]):
+                    exemplar = (
+                        Exemplar.now(elapsed, trace_id=trace_id,
+                                     provenance_key=record.key)
+                        if attach else None
+                    )
+                    plane.observe(slots["latency"][row[6]], elapsed,
+                                  exemplar=exemplar)
         if plane is None:
             return
-        status_slots = slots["status"]
-        latency_slots = slots["latency"]
-        for row in rows:
-            plane.inc(status_slots[row[1]])
-            if row[1] == ServeStatus.OK.value and row[6] in latency_slots:
-                plane.observe(latency_slots[row[6]], elapsed)
+        counts = ring.counts()
+        d_kept = counts["kept"] - prev_prov[0]
+        d_sampled = counts["sampled_out"] - prev_prov[1]
+        if d_kept:
+            plane.inc(slots["prov"]["kept"], d_kept)
+        if d_sampled:
+            plane.inc(slots["prov"]["sampled_out"], d_sampled)
+        prev_prov[0], prev_prov[1] = counts["kept"], counts["sampled_out"]
         if cache is not None:
             stats = cache.stats()
             d_hits = stats.hits - prev_cache[0]
@@ -590,11 +665,14 @@ def _worker_main(
         # files without the router's own trace file (post-mortem
         # obs-export of a crashed run).
         sampled = {"sampled": True} if parent is not None and parent.sampled else {}
+        trace_id = parent.trace_id if parent is not None else ""
         try:
             # parent=None deliberately forces a root span: a request that
             # arrived without a traceparent starts its own trace.
             with span("serve.request", parent=parent, worker=worker_id,
-                      n_ids=len(ids), pid=os.getpid(), **sampled):
+                      n_ids=len(ids), pid=os.getpid(), **sampled) as sp:
+                if sp is not None:
+                    trace_id = sp.trace_id
                 rows = resolve(ids, deadline)
         except Exception as exc:  # noqa: BLE001 — keep the worker alive
             rows = [
@@ -602,7 +680,7 @@ def _worker_main(
                  f"{type(exc).__name__}: {exc}")
                 for a in ids
             ]
-        record_rows(rows, time.perf_counter() - t0)
+        record_rows(rows, time.perf_counter() - t0, trace_id)
         return rows
 
     try:
@@ -647,8 +725,10 @@ def _worker_main(
                 return
     finally:
         # Every exit path — stop message, closed pipe, terminate-induced
-        # EOF — flushes the span sink and unmaps the plane, so short-lived
-        # workers never drop their final spans or leave a torn seqlock.
+        # EOF — flushes the span sink, persists the provenance ring, and
+        # unmaps the plane, so short-lived workers never drop their final
+        # spans or leave a torn seqlock.
+        persist_ring()
         if plane is not None:
             plane.close()
         disable_tracing()
@@ -1002,6 +1082,18 @@ class ProcessRouter:
                 self._restarts_total.inc(worker=str(index))
                 if self._plane is not None:
                     self._plane.inc(self._plane_slots["restarts"][index])
+                # A dead worker is exactly the moment post-hoc forensics
+                # need a black box: snapshot the ring plus the router's
+                # current metric state before the restart papers over it.
+                try:
+                    registry_doc = self.metrics().to_dict()
+                except Exception:  # noqa: BLE001 — forensics stay best-effort
+                    registry_doc = None
+                get_recorder().trigger(
+                    "worker_crash",
+                    context={"worker": index, "restarts": self.restarts},
+                    registry_doc=registry_doc,
+                )
                 threading.Thread(
                     target=worker.stop, name="serve-mp-reap", daemon=True
                 ).start()
@@ -1253,9 +1345,22 @@ class ProcessRouter:
 
     def fleet_verdict(self, slos: Sequence[SLO]) -> HealthReport:
         """SLO verdict over the merged fleet metrics (not the live
-        windows — see :meth:`verdict` for those)."""
-        return evaluate_slos(self.metrics().to_dict(), list(slos),
-                             source="fleet")
+        windows — see :meth:`verdict` for those).
+
+        Raises :class:`PlaneSchemaError` when :attr:`obs_dir` holds no
+        plane files at all: a verdict computed over zero planes would
+        vacuously pass every SLO, which is the opposite of what an
+        operator pointing at the wrong directory needs to hear.
+        """
+        snapshots = scrape_planes(self.obs_dir)
+        if not snapshots:
+            raise PlaneSchemaError(
+                f"no metrics planes (metrics-*.shm) found in "
+                f"{self.obs_dir!r}; is the obs dir correct and has the "
+                f"router been started?"
+            )
+        return evaluate_slos(merge_snapshots(snapshots).to_dict(),
+                             list(slos), source="fleet")
 
     def trace_dump(
         self,
@@ -1280,6 +1385,31 @@ class ProcessRouter:
             os.path.join(self.obs_dir, "trace-worker-*.jsonl")
         )))
         return merge_traces(paths, out, p99_hint=p99_hint)
+
+    def provenance_dump(
+        self, out: str | None = None, include_local: bool = True
+    ) -> tuple[list, dict[str, Any]]:
+        """Merge per-worker provenance JSONL files (plus the router's own
+        ring) into one newest-wins record list.
+
+        Workers persist their rings on snapshot rotation and shutdown;
+        this merges whatever has landed so far, torn tails tolerated.
+        Returns ``(records, stats)`` — see
+        :func:`repro.obs.provenance.merge_provenance`.
+        """
+        if include_local:
+            local = get_provenance_ring()
+            if len(local) > 0:
+                try:
+                    local.write_jsonl(
+                        os.path.join(self.obs_dir, "provenance-router.jsonl")
+                    )
+                except OSError:
+                    pass  # merge whatever the workers already persisted
+        paths = sorted(_glob.glob(
+            os.path.join(self.obs_dir, "provenance-*.jsonl")
+        ))
+        return merge_provenance(paths, out=out)
 
     # -- introspection ---------------------------------------------------
     def worker_stats(self, timeout_s: float = 1.0) -> list[dict[str, Any]]:

@@ -29,7 +29,10 @@ from repro.apps.store import QueryResult, UnknownAddressError
 from repro.geo import Point
 from repro.obs import current_span, event, get_registry
 from repro.obs import span as obs_span
+from repro.obs.exemplar import Exemplar, exemplars_enabled
 from repro.obs.health import SLO, HealthReport, RequestWindows
+from repro.obs.provenance import get_provenance_ring, pop_evidence
+from repro.obs.recorder import get_recorder
 from repro.serve.router import QueryRouter
 from repro.serve.shard import ShardedLocationStore
 
@@ -182,6 +185,13 @@ class QueryServer:
             "serve_request_latency_seconds",
             "End-to-end request latency by answering tier and cache state",
         )
+        self._exemplars_attached = registry.counter(
+            "exemplars_attached_total",
+            "Histogram observations that carried an exemplar",
+        )
+        self._exemplars_attached.inc(0)
+        #: Per-query evidence chains (the `repro explain` data source).
+        self.provenance = get_provenance_ring()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -307,6 +317,7 @@ class QueryServer:
                 "serve.request", parent=pending.parent_span,
                 address_id=pending.address_id, sampled=True,
             ) as sp:
+                trace_id = sp.trace_id if sp is not None else ""
                 try:
                     routed = self.router.resolve(pending.address_id)
                 except UnknownAddressError as exc:
@@ -315,20 +326,33 @@ class QueryServer:
                         None, time.monotonic() - pending.t_submit,
                         error=str(exc),
                     )
+                    self._mint(pending.address_id, response, None, trace_id)
                 except Exception as exc:  # noqa: BLE001 — keep workers alive
                     response = ServeResponse(
                         pending.address_id, ServeStatus.ERROR, None, None,
                         time.monotonic() - pending.t_submit,
                         error=f"{type(exc).__name__}: {exc}",
                     )
+                    self._mint(pending.address_id, response, None, trace_id)
                 else:
                     latency = time.monotonic() - pending.t_submit
                     response = ServeResponse(
                         pending.address_id, ServeStatus.OK, routed.result,
                         routed.cache_state, latency,
                     )
+                    record = self._mint(
+                        pending.address_id, response, routed, trace_id
+                    )
+                    exemplar = None
+                    if exemplars_enabled():
+                        exemplar = Exemplar.now(
+                            latency, trace_id=trace_id,
+                            provenance_key=record.key,
+                        )
+                        self._exemplars_attached.inc()
                     self._latency.observe(
                         latency,
+                        exemplar=exemplar,
                         source=routed.result.source.value,
                         cache=routed.cache_state,
                     )
@@ -337,6 +361,33 @@ class QueryServer:
                     if response.cache_state is not None:
                         sp.set("cache", response.cache_state)
             pending.finish(response)
+
+    def _mint(self, address_id: str, response: ServeResponse, routed,
+              trace_id: str):
+        """Build the provenance record for one terminal response."""
+        evidence = pop_evidence(address_id) or {}
+        result = response.result
+        record = self.provenance.mint(
+            address_id,
+            response.status.value,
+            lng=result.location.lng if result is not None else None,
+            lat=result.location.lat if result is not None else None,
+            source=result.source.value if result is not None else "",
+            cache_state=(routed.cache_state if routed is not None else "")
+            or "",
+            confidence=result.confidence if result is not None else None,
+            candidates=evidence.get("candidates", []),
+            stays=evidence.get("stays", []),
+            snapshot_version=self.store.version,
+            model_fingerprint=evidence.get("model_fingerprint", ""),
+            pool_fingerprint=evidence.get("pool_fingerprint", ""),
+            trace_id=trace_id,
+            error=response.error or "",
+        )
+        get_recorder().note_provenance(
+            record.key, record.address_id, record.status
+        )
+        return record
 
     # ------------------------------------------------------------------
     # Introspection

@@ -102,6 +102,10 @@ class StreamBenchConfig:
     n_poison_sites: int = 32
     parity_check: bool = True
     snapshot_dir: str | None = None  # required for backend=process
+    # When set, the flight recorder dumps a black box here on every gate
+    # refusal / anomaly during the run (the poison probe should yield
+    # exactly one).  None leaves the process-global recorder untouched.
+    blackbox_dir: str | None = None
 
 
 def _poison_fixes(
@@ -166,6 +170,10 @@ def run_stream_bench(
     cfg = config
     if cfg.preset not in _PRESETS:
         raise ValueError(f"unknown preset: {cfg.preset!r}")
+    if cfg.blackbox_dir:
+        from repro.obs import configure_recorder
+
+        configure_recorder(dump_dir=cfg.blackbox_dir)
     dataset = generate_dataset(_PRESETS[cfg.preset](cfg.scale, cfg.seed))
     day_streams = build_day_streams(
         dataset.sim_trips, dataset.city,
@@ -372,6 +380,31 @@ def run_stream_bench(
         "serve": serve_report.to_dict() if serve_report else None,
         "zero_loss": metrics.n_lost() == 0,
     }
+    if cfg.blackbox_dir:
+        import glob as _glob
+        import os as _os
+
+        payload["blackbox"] = {
+            "dir": cfg.blackbox_dir,
+            "dumps": sorted(_glob.glob(
+                _os.path.join(cfg.blackbox_dir, "blackbox-*.json")
+            )),
+        }
+    if obs_dir:
+        # Persist the serving tier's provenance ring next to the worker
+        # files so post-run `repro explain` sees thread-backend answers too.
+        from repro.obs import get_provenance_ring
+
+        ring = get_provenance_ring()
+        if len(ring) > 0:
+            try:
+                import os as _os
+
+                ring.write_jsonl(
+                    _os.path.join(obs_dir, "provenance-router.jsonl")
+                )
+            except OSError:
+                pass
     metrics.close()
     close_backend()
     return payload

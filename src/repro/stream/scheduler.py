@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.geo import Point
-from repro.obs import SLO, evaluate_slos, event
+from repro.obs import SLO, evaluate_slos, event, get_provenance_ring, get_recorder
 from repro.obs.drift import (
     DURATION_EDGES,
     WEIGHT_EDGES,
@@ -302,6 +302,35 @@ class RefreshScheduler:
         event(
             "stream_promotion_rejected", level="warning", component="stream",
             outcome=outcome, reason=reason, n_stays=len(quarantined),
+        )
+        # A gate refusal is the forensic moment this pipeline exists for:
+        # snapshot the flight recorder with the rejected-vs-served versions,
+        # the live registry, the failing gate's verdict, and whatever
+        # provenance records are implicated in the rejected traffic.
+        served = self.metrics.registry.to_dict()
+        try:
+            served_version = int(
+                self.metrics.snapshot_version.value()
+            )
+        except Exception:  # noqa: BLE001 — context stays best-effort
+            served_version = 0
+        implicated = [
+            r.to_dict() for r in get_provenance_ring().records()[:16]
+        ]
+        get_recorder().trigger(
+            "gate_refusal",
+            context={
+                "tick": self._tick,
+                "outcome": outcome,
+                "reason": reason,
+                "n_quarantined": len(quarantined),
+                "served_version": served_version,
+                "rejected_candidate_version": served_version + 1,
+                "drift": drift,
+            },
+            registry_doc=served,
+            slo=slo,
+            provenance=implicated,
         )
         return record
 

@@ -1,0 +1,206 @@
+"""Provenance records: minting, retention policy, persistence, merging."""
+
+import json
+
+import pytest
+
+from repro.obs.drift import Fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    PROVENANCE_VERSION,
+    ProvenanceRecord,
+    ProvenanceRing,
+    fingerprint_digest,
+    iter_jsonl_tolerant,
+    merge_provenance,
+    pop_evidence,
+    put_evidence,
+    read_provenance,
+    render_record,
+)
+
+
+def _fill(ring, n, status="ok", confidence=0.9, **fields):
+    return [
+        ring.mint(f"addr-{i:04d}", status, confidence=confidence, **fields)
+        for i in range(n)
+    ]
+
+
+class TestRecord:
+    def test_dict_roundtrip(self):
+        record = ProvenanceRecord(
+            key="main:00000001", address_id="a1", status="ok",
+            lng=116.4, lat=39.9, source="model", cache_state="miss",
+            confidence=0.83,
+            candidates=[{"candidate_id": "c1", "score": 0.8, "rank": 1}],
+            stays=[{"candidate_id": "c1", "weight": 3.0}],
+            snapshot_version=7, model_fingerprint="matcher:abc",
+            pool_fingerprint="pool:def", trace_id="t" * 16,
+        )
+        back = ProvenanceRecord.from_dict(record.to_dict())
+        assert back == record
+        assert back.version == PROVENANCE_VERSION
+
+    def test_fingerprint_digest_is_stable_and_kind_prefixed(self):
+        fp = Fingerprint(kind="pool", dists={"w": (1, 2, 3)})
+        d1, d2 = fingerprint_digest(fp), fingerprint_digest(fp)
+        assert d1 == d2
+        assert d1.startswith("pool:")
+
+    def test_render_mentions_the_load_bearing_fields(self):
+        record = ProvenanceRecord(
+            key="main:00000009", address_id="a9", status="ok",
+            lng=1.0, lat=2.0, source="model", cache_state="miss",
+            confidence=0.5,
+            candidates=[
+                {"candidate_id": "c2", "score": 0.1, "rank": 2,
+                 "weight": 1.0},
+                {"candidate_id": "c1", "score": 0.9, "rank": 1,
+                 "weight": 2.0},
+            ],
+            stays=[{"candidate_id": "c1", "weight": 2.0,
+                    "avg_duration_s": 300.0, "n_couriers": 3}],
+            snapshot_version=4, model_fingerprint="matcher:aa",
+            pool_fingerprint="pool:bb", trace_id="abcd",
+        )
+        text = render_record(record)
+        assert "a9" in text and "model" in text
+        assert "matcher:aa" in text and "pool:bb" in text
+        assert "c1" in text and "abcd" in text
+
+
+class TestRingRetention:
+    def test_always_keeps_errors_and_low_confidence(self):
+        ring = ProvenanceRing(capacity=4, keep_capacity=8)
+        _fill(ring, 50)
+        bad = ring.mint("bad-id", "error", error="boom")
+        shaky = ring.mint("shaky", "ok", confidence=0.05)
+        unknown = ring.mint("nope", "unknown_address")
+        keys = {r.key for r in ring.records()}
+        assert {bad.key, shaky.key, unknown.key} <= keys
+
+    def test_reservoir_is_deterministic(self):
+        def run():
+            ring = ProvenanceRing(capacity=8)
+            _fill(ring, 200)
+            return [r.key for r in ring.records()]
+
+        assert run() == run()
+
+    def test_counts_match_total_minted(self):
+        ring = ProvenanceRing(capacity=8, registry=MetricsRegistry())
+        _fill(ring, 100)
+        counts = ring.counts()
+        assert counts["kept"] + counts["sampled_out"] == 100
+        assert counts["kept"] >= 8  # accepted-at-mint, ring-bounded after
+
+    def test_counters_preseeded_at_zero(self):
+        registry = MetricsRegistry()
+        ProvenanceRing(capacity=4, registry=registry)
+        doc = registry.to_dict()
+        family = next(
+            m for m in doc["metrics"]
+            if m["name"] == "provenance_records_total"
+        )
+        values = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in family["samples"]
+        }
+        assert values[(("result", "kept"),)] == 0
+        assert values[(("result", "sampled_out"),)] == 0
+
+    def test_find_returns_newest_first(self):
+        ring = ProvenanceRing(capacity=32)
+        first = ring.mint("dup", "ok", confidence=0.9, snapshot_version=1)
+        second = ring.mint("dup", "ok", confidence=0.9, snapshot_version=2)
+        found = ring.find("dup")
+        assert [r.key for r in found] == [second.key, first.key]
+
+
+class TestEvidenceChannel:
+    def test_put_pop_is_one_shot(self):
+        put_evidence("a1", {"candidates": [{"candidate_id": "c1"}]})
+        assert pop_evidence("a1")["candidates"][0]["candidate_id"] == "c1"
+        assert pop_evidence("a1") is None
+
+    def test_mint_folds_evidence_fields(self):
+        ring = ProvenanceRing(capacity=8)
+        record = ring.mint(
+            "a2", "ok", confidence=0.9,
+            candidates=[{"candidate_id": "c9", "score": 1.0, "rank": 1}],
+            model_fingerprint="matcher:ff", pool_fingerprint="pool:ee",
+        )
+        assert record.candidates[0]["candidate_id"] == "c9"
+        assert record.model_fingerprint == "matcher:ff"
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        ring = ProvenanceRing(capacity=16)
+        minted = _fill(ring, 10, snapshot_version=3)
+        path = ring.write_jsonl(tmp_path / "provenance-w0.jsonl")
+        records, n_torn = read_provenance(path)
+        assert n_torn == 0
+        assert {r.key for r in records} == {m.key for m in minted}
+
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        ring = ProvenanceRing(capacity=16)
+        _fill(ring, 5)
+        path = ring.write_jsonl(tmp_path / "p.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "main:fffffff"')  # crash mid-line
+        records, n_torn = read_provenance(path)
+        assert len(records) == 5
+        assert n_torn == 1
+
+    def test_future_version_records_are_skipped_not_fatal(self, tmp_path):
+        ring = ProvenanceRing(capacity=16)
+        _fill(ring, 2)
+        path = ring.write_jsonl(tmp_path / "p.jsonl")
+        doc = _fill(ProvenanceRing(capacity=4), 1)[0].to_dict()
+        doc["version"] = PROVENANCE_VERSION + 1
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc) + "\n")
+        records, n_torn = read_provenance(path)
+        assert len(records) == 2
+        assert n_torn == 1
+
+    def test_iter_jsonl_tolerant_on_binary_garbage(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        path.write_bytes(b'{"a": 1}\n\xff\xfe\x00garbage\n{"b": 2}\n')
+        docs, n_torn = iter_jsonl_tolerant(path)
+        assert docs == [{"a": 1}, {"b": 2}]
+        assert n_torn == 1
+
+
+class TestMerge:
+    def test_merge_dedups_newest_wins_and_counts(self, tmp_path):
+        r1 = ProvenanceRing(capacity=16, origin="w0")
+        r2 = ProvenanceRing(capacity=16, origin="w1")
+        _fill(r1, 4)
+        _fill(r2, 6)
+        p1 = r1.write_jsonl(tmp_path / "provenance-worker-0.jsonl")
+        p2 = r2.write_jsonl(tmp_path / "provenance-worker-1.jsonl")
+        out = tmp_path / "merged.jsonl"
+        records, stats = merge_provenance([p1, p2, p1], out=out)
+        assert stats["n_files"] == 3
+        assert stats["n_records"] == 10  # duplicate file dedup'd by key
+        assert out.exists()
+        again, stats2 = merge_provenance([out])
+        assert {r.key for r in again} == {r.key for r in records}
+
+    def test_unreadable_file_is_counted_not_fatal(self, tmp_path):
+        ring = ProvenanceRing(capacity=8)
+        _fill(ring, 3)
+        good = ring.write_jsonl(tmp_path / "good.jsonl")
+        records, stats = merge_provenance(
+            [good, tmp_path / "missing.jsonl"]
+        )
+        assert len(records) == 3
+        assert stats["n_unreadable_files"] == 1
+
+    def test_merge_nothing_is_empty(self):
+        records, stats = merge_provenance([])
+        assert records == []
+        assert stats["n_records"] == 0

@@ -1,0 +1,79 @@
+"""Torn-tail tolerance for the JSONL forensic readers (traces, provenance).
+
+A worker killed mid-flush leaves a truncated final line; every reader
+that merges post-mortem files must skip-and-count, never raise, never
+silently swallow.
+"""
+
+import json
+
+from repro.obs.trace import merge_traces, read_trace, read_trace_stats
+
+
+def _span(trace_id, span_id, name="s", duration=0.01, error=None):
+    return {
+        "trace_id": trace_id, "span_id": span_id, "parent_id": None,
+        "name": name, "t_start": 0.0, "duration_s": duration,
+        "attrs": {}, "error": error,
+    }
+
+
+def _write_spans(path, spans, tail=""):
+    with open(path, "w", encoding="utf-8") as fh:
+        for doc in spans:
+            fh.write(json.dumps(doc) + "\n")
+        if tail:
+            fh.write(tail)
+
+
+class TestReadTraceStats:
+    def test_clean_file_has_zero_torn(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_spans(path, [_span("t1", "s1"), _span("t1", "s2")])
+        spans, n_torn = read_trace_stats(path)
+        assert len(spans) == 2 and n_torn == 0
+
+    def test_truncated_tail_is_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_spans(path, [_span("t1", "s1")],
+                     tail='{"trace_id": "t1", "span_id": "s2", "na')
+        spans, n_torn = read_trace_stats(path)
+        assert len(spans) == 1
+        assert n_torn == 1
+
+    def test_non_dict_and_binary_lines_count_as_torn(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(_span("t1", "s1")).encode() + b"\n")
+            fh.write(b"[1, 2, 3]\n")
+            fh.write(b"\xff\xfe half a line\n")
+        spans, n_torn = read_trace_stats(path)
+        assert len(spans) == 1
+        assert n_torn == 2
+
+    def test_read_trace_keeps_old_signature(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_spans(path, [_span("t1", "s1")], tail="{torn")
+        assert len(read_trace(path)) == 1
+
+
+class TestMergeTracesTornAccounting:
+    def test_merge_reports_torn_lines_across_files(self, tmp_path):
+        p1 = tmp_path / "trace-worker-0.jsonl"
+        p2 = tmp_path / "trace-worker-1.jsonl"
+        _write_spans(p1, [_span("t1", "s1", error={"type": "X"})],
+                     tail='{"cut')
+        _write_spans(p2, [_span("t2", "s2", error={"type": "Y"})])
+        out = tmp_path / "merged.jsonl"
+        stats = merge_traces([p1, p2], out)
+        assert stats["n_files"] == 2
+        assert stats["n_torn_lines"] == 1
+        assert stats["n_kept_spans"] == 2  # errored traces always kept
+
+    def test_unreadable_file_skipped(self, tmp_path):
+        p1 = tmp_path / "trace-worker-0.jsonl"
+        _write_spans(p1, [_span("t1", "s1", error={"type": "X"})])
+        out = tmp_path / "merged.jsonl"
+        stats = merge_traces([p1, tmp_path / "gone.jsonl"], out)
+        assert stats["n_files"] == 1
+        assert stats["n_kept_spans"] == 1
